@@ -1,0 +1,26 @@
+"""Benchmark harness configuration.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each benchmark regenerates one table or figure of the paper, prints the
+paper-style rows, and asserts the headline *shape* claims (who wins,
+by roughly what factor, where crossovers fall).  ``EXPERIMENTS.md``
+records paper-vs-measured values.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time a driver exactly once (training drivers are not re-runnable cheaply)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    def _run(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return _run

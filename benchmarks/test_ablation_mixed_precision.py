@@ -1,0 +1,66 @@
+"""Ablation: BF16 mixed precision preserves convergence (Sec III-B).
+
+The paper trains in BF16 with dynamic gradient scaling for a ~2x
+speedup (Table I); the implicit claim is that reduced precision does
+not change what the model learns.  This ablation trains the same tiny
+model with the same data order in FP32 and in emulated BF16 (+ scaler)
+and compares the loss trajectories.
+"""
+
+import numpy as np
+
+from repro.data import BatchLoader, LatLonGrid, Normalizer, SyntheticERA5, default_registry
+from repro.models import OrbitConfig, build_model
+from repro.nn import DynamicGradScaler
+from repro.nn.precision import BF16_MIXED
+from repro.train import AdamW, Trainer
+
+
+def _train_pair(steps: int = 60, seed: int = 0):
+    grid = LatLonGrid(8, 16)
+    names = ["2m_temperature", "temperature_850", "geopotential_500", "10m_u_component_of_wind"]
+    registry = default_registry(91).subset(names)
+    era5 = SyntheticERA5(grid, registry, steps_per_year=16, seed=seed)
+    train = era5.train()
+    norm = Normalizer.fit(train, num_samples=16)
+    config = OrbitConfig(
+        "precision-ablate", embed_dim=16, depth=2, num_heads=2,
+        in_vars=len(names), out_vars=len(names),
+        img_height=8, img_width=16, patch_size=4,
+    )
+    results = {}
+    for label, precision, scaler in (
+        ("fp32", None, None),
+        ("bf16+scaler", BF16_MIXED, DynamicGradScaler(init_scale=2.0**10, growth_interval=10**6)),
+    ):
+        model = build_model(config, rng=seed)
+        loader = BatchLoader(train, 4, normalizer=norm, seed=seed)
+        trainer = Trainer(
+            model, loader.batches(10**9), grid.latitude_weights(),
+            AdamW(model.parameters(), lr=2e-3, weight_decay=0.0),
+            precision=precision, scaler=scaler,
+        )
+        outcome = trainer.train(steps)
+        results[label] = outcome
+    return results
+
+
+def test_bf16_training_matches_fp32_quality(once):
+    results = once(_train_pair)
+    fp32 = results["fp32"]
+    bf16 = results["bf16+scaler"]
+    final_fp32 = float(np.mean([l for _, l in fp32.history[-10:]]))
+    final_bf16 = float(np.mean([l for _, l in bf16.history[-10:]]))
+    print(
+        f"\nmixed-precision ablation: final wMSE fp32 {final_fp32:.4f}, "
+        f"bf16+scaler {final_bf16:.4f}; skipped steps {bf16.skipped_steps}"
+    )
+
+    # Both converge from the same start...
+    first = fp32.history[0][1]
+    assert final_fp32 < 0.8 * first
+    assert final_bf16 < 0.8 * first
+    # ...to equivalent quality (the Sec III-B claim), within 15%.
+    assert abs(final_bf16 - final_fp32) < 0.15 * final_fp32
+    # The scaler kept BF16 training healthy (no persistent overflow loop).
+    assert bf16.skipped_steps <= 3

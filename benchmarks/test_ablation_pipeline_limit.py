@@ -1,0 +1,56 @@
+"""Ablation: pipeline parallelism's layer-count limit (paper Sec II).
+
+The paper dismisses pipeline parallelism because "the scalability for
+pipeline parallelism is limited by the number of model layers".  This
+benchmark makes that executable: the pipeline engine refuses more
+stages than layers, its maximal model size plateaus once GPUs exceed
+the 56-layer depth, while Hybrid-STOP keeps scaling; and the GPipe
+bubble shrinks only with more micro-batches — i.e. more memory.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import VirtualCluster
+from repro.memory.estimator import MemoryModel, Parallelism
+from repro.models import ORBIT_113B
+from repro.nn.transformer import TransformerStack
+from repro.parallel import PipelineLimitError, PipelineParallelTrunk
+
+
+def _max_sizes():
+    model = MemoryModel()
+    return {
+        gpus: {
+            "pipeline": model.max_model_size(Parallelism.PIPELINE, gpus, ORBIT_113B)[0],
+            "hybrid": model.max_model_size(Parallelism.HYBRID_STOP, gpus, ORBIT_113B)[0],
+        }
+        for gpus in (8, 64, 512)
+    }
+
+
+def test_pipeline_layer_limit(once):
+    sizes = once(_max_sizes)
+    rows = "\n".join(
+        f"  {gpus:>4d} GPUs: pipeline {v['pipeline'] / 1e9:.1f}B, "
+        f"hybrid-stop {v['hybrid'] / 1e9:.1f}B"
+        for gpus, v in sizes.items()
+    )
+    print(f"\nmax model size, pipeline vs Hybrid-STOP:\n{rows}")
+
+    # The executable limit: stages cannot exceed layers.
+    serial = TransformerStack(8, 2, 2, rng=0)
+    cluster = VirtualCluster(num_gpus=4)
+    with pytest.raises(PipelineLimitError):
+        PipelineParallelTrunk(serial, cluster, num_stages=3)
+
+    # The scaling consequence: pipeline plateaus at depth (56 layers for
+    # the 113B template), Hybrid-STOP keeps growing.
+    assert sizes[64]["pipeline"] == sizes[512]["pipeline"]
+    assert sizes[512]["hybrid"] > 1.5 * sizes[512]["pipeline"]
+
+    # And the bubble: halving it requires ~doubling in-flight micro-batches.
+    serial = TransformerStack(8, 8, 2, rng=0)
+    cluster = VirtualCluster(num_gpus=8)
+    pipe = PipelineParallelTrunk(serial, cluster, num_stages=8)
+    assert pipe.bubble_fraction(4) > 2.5 * pipe.bubble_fraction(32)

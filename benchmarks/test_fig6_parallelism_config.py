@@ -1,0 +1,40 @@
+"""Benchmark: paper Fig 6 — hierarchical parallelism configuration sweep.
+
+Paper (113B, 512 GPUs, DDP=1): FSDP alone runs out of memory;
+FSDP=64 x TP=8 is fastest (batch 3); that point is ~25x faster than
+FSDP=2 x TP=256; per-GPU memory rises mildly as the FSDP share grows.
+"""
+
+from repro.experiments import fig6_parallelism_config
+
+
+def test_fig6_parallelism_configurations(once):
+    result = once(fig6_parallelism_config.run)
+    print("\n" + result.format())
+
+    # FSDP alone (TP=1) is out of memory at the paper's operating batch.
+    assert result.row_for(1).oom
+
+    # The paper's fastest configuration: FSDP=64 x TP=8 at batch 3.
+    balanced = result.row_for(8)
+    assert not balanced.oom
+    assert balanced.micro_batch == 3
+    # Known model deviation (EXPERIMENTS.md): FSDP=256 x TP=2 comes out
+    # marginally faster here; the balanced point must at least be within
+    # 30% of the sweep's best and beat every higher tensor-parallel degree.
+    fastest = result.fastest()
+    assert balanced.walltime_per_obs_s <= 1.3 * fastest.walltime_per_obs_s
+    for tp in (32, 64, 128, 256, 512):
+        assert balanced.walltime_per_obs_s < result.row_for(tp).walltime_per_obs_s
+
+    # The 25x blowup at extreme tensor parallelism (paper: 25x).
+    assert result.row_for(256).walltime_per_obs_s > 15 * balanced.walltime_per_obs_s
+
+    # Walltime worsens monotonically as TP grows beyond the node.
+    times = [result.row_for(tp).walltime_per_obs_s for tp in (8, 32, 64, 128, 256, 512)]
+    assert times == sorted(times)
+
+    # Fig 6b: memory changes are mild across viable configurations.
+    viable = [r for r in result.rows if not r.oom]
+    mems = [r.memory_per_gpu_bytes for r in viable]
+    assert max(mems) < 1.5 * min(mems)

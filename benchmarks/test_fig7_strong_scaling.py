@@ -1,0 +1,61 @@
+"""Benchmark: paper Fig 7 — strong scaling to 49,152 GPUs.
+
+Paper: efficiencies of 44-82% (48 ch) and 41-85% (91 ch) at 49,152
+GPUs; 113B processes a 48-channel observation in 3e-3 s at 684 PFLOPS
+sustained; 10B sustains ~1.6 EFLOPS; 91-channel observations cost more
+than 48-channel ones.
+"""
+
+import pytest
+
+from repro.experiments import fig7_strong_scaling
+
+
+def test_fig7_strong_scaling_48_channels(once):
+    result = once(fig7_strong_scaling.run, channels=48)
+    print("\n" + result.format())
+
+    point_113b = result.points["orbit-113b"][49152]
+    # Anchors: 3e-3 s/obs at 684 PFLOPS (paper).
+    assert point_113b.time_per_obs_s == pytest.approx(3e-3, rel=0.3)
+    assert point_113b.sustained_flops == pytest.approx(684e15, rel=0.3)
+
+    # 10B approaches the exaFLOPS regime (paper: 1.6 EFLOPS).
+    point_10b = result.points["orbit-10b"][49152]
+    assert point_10b.sustained_flops > 0.6e18
+    assert point_10b.time_per_obs_s < 5e-4
+
+    # Every size keeps efficiency in a paper-like band at 49,152 GPUs
+    # and loses efficiency monotonically as the world grows.
+    for name, series in result.points.items():
+        eff_49k = series[49152].efficiency
+        assert 0.35 < eff_49k <= 1.0, name
+        efficiencies = [series[g].efficiency for g in sorted(series)]
+        assert all(a >= b - 0.02 for a, b in zip(efficiencies, efficiencies[1:])), name
+
+    # Time per observation falls monotonically with GPU count.
+    for name, series in result.points.items():
+        times = [series[g].time_per_obs_s for g in sorted(series)]
+        assert times == sorted(times, reverse=True), name
+
+
+def test_fig7_strong_scaling_91_channels(once):
+    result = once(fig7_strong_scaling.run, channels=91)
+    print("\n" + result.format())
+
+    baseline = fig7_strong_scaling.run(channels=48)
+    # 91-channel observations cost more walltime than 48-channel ones
+    # (paper: 5e-3 vs 3e-3 for 113B, 2e-4 vs 1e-4 for 10B).
+    for name in result.points:
+        t91 = result.points[name][49152].time_per_obs_s
+        t48 = baseline.points[name][49152].time_per_obs_s
+        assert t91 > t48, name
+    ratio_113b = (
+        result.points["orbit-113b"][49152].time_per_obs_s
+        / baseline.points["orbit-113b"][49152].time_per_obs_s
+    )
+    assert 1.2 < ratio_113b < 4.0  # paper: 5e-3 / 3e-3 = 1.7
+
+    # Efficiencies stay in the paper-like band.
+    for name, series in result.points.items():
+        assert 0.35 < series[49152].efficiency <= 1.0, name

@@ -1,0 +1,54 @@
+"""Benchmark: paper Fig 9 — wACC comparison at 1/14/30-day leads.
+
+Paper: ORBIT is comparable to the task-specific and numerical models
+at 1 day and clearly superior at 14 and 30 days (up to +52% over IFS
+and +166% over Stormer at 14 days).
+
+Measured on the synthetic world; the published (real-ERA5) scores are
+printed alongside for shape comparison — see EXPERIMENTS.md for the
+documented deviations (the tiny proxy ViTs trail the physics-exact
+baselines at 1 day, and the spectral-operator stand-in is an oracle
+family for the synthetic generator).
+"""
+
+from repro.eval.reference import PUBLISHED_WACC
+from repro.experiments import fig9_wacc
+
+
+def test_fig9_wacc_lead_time_comparison(once):
+    result = once(fig9_wacc.run)
+    print("\n" + result.format())
+    print("\nPublished (real-ERA5) wACC for shape comparison:")
+    for model, scores in PUBLISHED_WACC.items():
+        row = {v: s for v, s in scores.items()}
+        print(f"  {model}: {row}")
+
+    orbit = "ORBIT (pretrained)"
+    ifs = "IFS-like (numerical)"
+    stormer = "Stormer-like (ERA5 only)"
+
+    # Headline (paper Sec V-F): ORBIT beats the numerical model at 14
+    # and 30 days (paper: up to +52% at 14 days)...
+    assert result.mean_wacc(orbit, 14) > result.mean_wacc(ifs, 14)
+    assert result.mean_wacc(orbit, 30) > result.mean_wacc(ifs, 30)
+    # ...and the task-specific (no pre-training) model at 14 days
+    # (paper: up to +166%): the value of foundation-model pre-training.
+    assert result.mean_wacc(orbit, 14) > result.mean_wacc(stormer, 14)
+
+    # ORBIT retains real skill at long leads: above climatology and
+    # persistence at both 14 and 30 days.
+    for lead in (14, 30):
+        assert result.mean_wacc(orbit, lead) > result.mean_wacc("climatology", lead) + 0.05
+        assert result.mean_wacc(orbit, lead) > result.mean_wacc("persistence", lead)
+
+    # Skill decays with lead time for every forecaster with skill.
+    for model in (orbit, "ClimaX-like (pretrained)", stormer):
+        assert result.mean_wacc(model, 1) > result.mean_wacc(model, 14) > result.mean_wacc(model, 30)
+
+    # At 1 day everyone with dynamics knowledge is clearly skillful.
+    for model in (orbit, ifs, "FourCastNet-like (spectral)", "persistence"):
+        assert result.mean_wacc(model, 1) > 0.5
+
+    # ORBIT and ClimaX-like are close (the paper's 30-day gap is 9%).
+    gap = abs(result.mean_wacc(orbit, 30) - result.mean_wacc("ClimaX-like (pretrained)", 30))
+    assert gap < 0.15

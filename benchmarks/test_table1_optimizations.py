@@ -1,0 +1,34 @@
+"""Benchmark: paper Table I — the optimization ablation.
+
+Paper (113B on 512 GPUs, seconds per observation):
+OOM -> 0.97 -> 0.49 -> 0.40 -> 0.17 as layer wrapping, mixed precision,
+prefetching, and activation checkpointing stack.
+"""
+
+import pytest
+
+from repro.experiments import table1_optimizations
+
+
+def test_table1_optimization_ablation(once):
+    result = once(table1_optimizations.run)
+    print("\n" + result.format())
+    rows = {row.name: row for row in result.rows}
+
+    # Column 1: no optimizations -> out of memory.
+    assert rows["none"].oom
+
+    # Columns 2-5 run, each faster than the previous.
+    walltimes = [rows[n].walltime_per_obs_s for n in ("+wrap", "+bf16", "+prefetch", "+ckpt")]
+    assert all(w is not None for w in walltimes)
+    assert walltimes[0] > walltimes[1] > walltimes[2] > walltimes[3]
+
+    # Anchor values (paper: 0.97 / 0.49 / 0.40 / 0.17).
+    assert walltimes[0] == pytest.approx(0.97, rel=0.15)
+    assert walltimes[1] == pytest.approx(0.49, rel=0.15)
+    assert walltimes[2] == pytest.approx(0.40, rel=0.15)
+    assert walltimes[3] == pytest.approx(0.17, rel=0.25)
+
+    # Mixed precision is a clean 2x; checkpointing buys the micro-batch.
+    assert walltimes[0] / walltimes[1] == pytest.approx(2.0, rel=0.05)
+    assert rows["+ckpt"].micro_batch >= 3 * rows["+prefetch"].micro_batch

@@ -1,0 +1,36 @@
+"""Forecast comparison: a miniature of the paper's Fig 9 evaluation.
+
+Pre-trains a tiny ORBIT on the synthetic CMIP6 archive, fine-tunes it
+on synthetic ERA5 (all four target variables, mixed lead times), and
+compares wACC at 1/14/30-day leads against the task-specific,
+spectral-operator, numerical, and trivial baselines.
+
+Run:  python examples/forecast_comparison.py        (~1-2 minutes)
+"""
+
+from repro.experiments import fig9_wacc
+
+
+def main() -> None:
+    result = fig9_wacc.run(
+        pretrain_steps=200,
+        finetune_steps=200,
+        num_initializations=4,
+    )
+    print(result.format())
+    print("\nmean wACC over the four target variables:")
+    for model in result.wacc:
+        row = "  ".join(
+            f"{lead:>2d}d: {result.mean_wacc(model, lead):+.3f}" for lead in (1, 14, 30)
+        )
+        print(f"  {model:28s} {row}")
+    orbit, ifs = "ORBIT (pretrained)", "IFS-like (numerical)"
+    gain = result.mean_wacc(orbit, 14) - result.mean_wacc(ifs, 14)
+    print(
+        f"\nThe foundation-model pattern of paper Fig 9: ORBIT leads the "
+        f"numerical baseline by {gain:+.3f} mean wACC at 14 days."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""Hybrid-STOP on the virtual cluster: the paper's parallelism end-to-end.
+
+Trains the same tiny ORBIT model two ways — serially, and with the
+Hybrid-STOP engine on a simulated 8-GPU Frontier node group
+(tensor-parallel x FSDP x DDP = 2 x 2 x 2) — and shows:
+
+* per-step losses agree to floating-point noise (the engine is exact);
+* no device ever holds more than its parameter shard plus one gathered
+  layer (the Hybrid-STOP memory property);
+* the communication/computation time the virtual cluster accounted.
+
+Run:  python examples/hybrid_stop_training.py
+"""
+
+import numpy as np
+
+from repro.cluster import VirtualCluster
+from repro.data import BatchLoader, LatLonGrid, Normalizer, SyntheticERA5, default_registry
+from repro.models import OrbitConfig, build_model
+from repro.parallel import HybridParallelPlan, HybridSTOPEngine, PeakFractionCompute
+from repro.train import AdamW, DistributedTrainer, latitude_weighted_mse
+from repro.utils.units import format_bytes, format_time
+
+
+def main() -> None:
+    grid = LatLonGrid(8, 16)
+    names = ["2m_temperature", "temperature_850", "geopotential_500", "10m_u_component_of_wind"]
+    registry = default_registry(91).subset(names)
+    era5 = SyntheticERA5(grid, registry, steps_per_year=16, seed=3)
+    train = era5.train()
+    normalizer = Normalizer.fit(train, num_samples=16)
+    weights = grid.latitude_weights()
+
+    config = OrbitConfig(
+        "orbit-hybrid-demo", embed_dim=16, depth=2, num_heads=2,
+        in_vars=len(names), out_vars=len(train.out_names),
+        img_height=grid.nlat, img_width=grid.nlon, patch_size=4,
+    )
+
+    # -- the distributed instance: 2-way TP x 2-way FSDP x 2-way DDP --------
+    cluster = VirtualCluster(num_gpus=8, gpus_per_node=4)
+    plan = HybridParallelPlan(cluster, tp_size=2, fsdp_size=2, ddp_size=2)
+    engine = HybridSTOPEngine(
+        build_model(config, rng=42), plan,
+        prefetch=True, compute_model=PeakFractionCompute(cluster),
+    )
+    # -- the serial reference --------------------------------------------------
+    serial = build_model(config, rng=42)
+
+    serial_optimizer = AdamW(serial.parameters(), lr=1e-3, weight_decay=0.0)
+    distributed = DistributedTrainer(engine, weights, lr=1e-3)
+
+    loader = BatchLoader(train, batch_size=8, normalizer=normalizer, seed=0)
+    print("step | serial wMSE | hybrid-stop wMSE")
+    for step in range(5):
+        batch = loader.next_batch()
+        # Serial step over the whole global batch.
+        pred = serial(batch.x, batch.lead_time_hours)
+        loss_serial, grad = latitude_weighted_mse(pred, batch.y, weights)
+        serial.zero_grad()
+        serial.backward(grad)
+        serial_optimizer.step()
+        serial.clear_cache()
+
+        # Hybrid-STOP step: DistributedTrainer splits the global batch
+        # over the (DDP x FSDP) grid and reduces gradients exactly.
+        loss_dist = distributed.train_step(batch)
+        print(f"  {step}  |   {loss_serial:.5f}  |   {loss_dist:.5f}")
+
+    # -- what the cluster observed ----------------------------------------------
+    print("\nper-device state after training:")
+    for rank in range(cluster.world_size):
+        mem = cluster.device(rank).memory
+        led = cluster.timeline.ledger(rank)
+        print(
+            f"  gpu{rank}: persistent {format_bytes(mem.category_current('params')):>10s}, "
+            f"peak {format_bytes(mem.peak_bytes):>10s}, "
+            f"compute {format_time(led.compute_s)}, comm {format_time(led.comm_s)} "
+            f"({format_time(led.exposed_comm_s)} exposed)"
+        )
+    total = sum(p.data.nbytes for p in serial.parameters())
+    print(f"\nfull model parameters: {format_bytes(total)} "
+          f"(each GPU holds only its shard + dense replicas)")
+
+
+if __name__ == "__main__":
+    main()

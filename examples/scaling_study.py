@@ -1,0 +1,64 @@
+"""Scaling study: plan a large training run before buying the GPUs.
+
+Uses the calibrated memory and performance models to answer the
+questions the paper's evaluation answers for Frontier:
+
+1. How large a model fits with each parallelism at my GPU count? (Fig 5)
+2. Which optimizations matter, and in what order? (Table I)
+3. How should I split tensor-parallel vs FSDP group sizes? (Fig 6)
+4. What walltime/throughput should I expect at scale? (Fig 7)
+
+Run:  python examples/scaling_study.py [num_gpus]
+"""
+
+import sys
+
+from repro.experiments import (
+    fig5_max_model_size,
+    fig6_parallelism_config,
+    fig7_strong_scaling,
+    table1_optimizations,
+)
+from repro.memory.estimator import MemoryModel, Parallelism, TrainingSetup
+from repro.models import ORBIT_113B, count_parameters
+from repro.perf import PerformanceModel
+from repro.perf.metrics import epoch_hours
+from repro.utils.units import format_flops
+
+
+def main() -> None:
+    num_gpus = int(sys.argv[1]) if len(sys.argv) > 1 else 512
+
+    print(f"=== planning a run on {num_gpus} GPUs ===\n")
+
+    counts = sorted({1, 8, 64, num_gpus})
+    print(fig5_max_model_size.run(gpu_counts=tuple(counts)).format())
+
+    print()
+    print(table1_optimizations.run(num_gpus=num_gpus,
+                                   fsdp_size=num_gpus // 8).format())
+
+    print()
+    print(fig6_parallelism_config.run(num_gpus=num_gpus).format())
+
+    print()
+    result = fig7_strong_scaling.run(gpu_counts=(512, num_gpus * 4, 49152))
+    print(result.format())
+
+    # Headline summary for the 113B flagship.
+    pm = PerformanceModel()
+    setup = TrainingSetup(
+        ORBIT_113B, 49152, Parallelism.HYBRID_STOP,
+        tp_size=8, fsdp_size=64, micro_batch=3,
+    )
+    step = pm.step_time(setup)
+    print(
+        f"\nflagship: {count_parameters(ORBIT_113B) / 1e9:.0f}B parameters at 49,152 GPUs -> "
+        f"{step.time_per_observation_s:.1e} s/observation, "
+        f"{format_flops(step.sustained_flops)} sustained, "
+        f"{epoch_hours(step.time_per_observation_s):.1f} h per 1.2M-observation epoch"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""repro — reproduction of ORBIT (SC 2024).
+
+ORBIT is a ClimaX-style vision-transformer foundation model for Earth
+system predictability, scaled to 113B parameters with the Hybrid-STOP
+(Hybrid Sharded Tensor-Data Orthogonal Parallelism) algorithm on the
+Frontier supercomputer.  This package re-implements:
+
+* the parallelism contribution (:mod:`repro.core`,
+  :mod:`repro.parallel`) over a simulated Frontier cluster
+  (:mod:`repro.cluster`);
+* the model (:mod:`repro.models`) on an explicit-backprop NumPy
+  substrate (:mod:`repro.nn`);
+* the data, training and evaluation pipeline (:mod:`repro.data`,
+  :mod:`repro.train`, :mod:`repro.eval`);
+* one experiment driver per table/figure of the paper
+  (:mod:`repro.experiments`).
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for
+paper-vs-measured results.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

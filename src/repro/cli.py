@@ -1,0 +1,124 @@
+"""Command-line interface: regenerate any paper table/figure.
+
+Usage::
+
+    python -m repro fig5                 # max model size per parallelism
+    python -m repro table1               # optimization ablation
+    python -m repro fig6                 # (FSDP, TP) configuration sweep
+    python -m repro fig7 --channels 91   # strong scaling
+    python -m repro fig8 --steps 80      # pre-training loss (real training)
+    python -m repro fig9                 # wACC comparison (real training)
+    python -m repro fig10                # fine-tuning data efficiency
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the ORBIT paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig5 = sub.add_parser("fig5", help="maximal model size per parallelism (Fig 5)")
+    fig5.add_argument("--max-gpus", type=int, default=512)
+
+    sub.add_parser("table1", help="optimization ablation (Table I)")
+
+    fig6 = sub.add_parser("fig6", help="(FSDP, TP) group-size sweep (Fig 6)")
+    fig6.add_argument("--gpus", type=int, default=512)
+
+    fig7 = sub.add_parser("fig7", help="strong scaling (Fig 7)")
+    fig7.add_argument("--channels", type=int, default=48, choices=(48, 91))
+
+    fig8 = sub.add_parser("fig8", help="pre-training loss by size (Fig 8; trains)")
+    fig8.add_argument("--steps", type=int, default=80)
+    fig8.add_argument("--seed", type=int, default=0)
+
+    fig9 = sub.add_parser("fig9", help="wACC lead-time comparison (Fig 9; trains)")
+    fig9.add_argument("--pretrain-steps", type=int, default=400)
+    fig9.add_argument("--finetune-steps", type=int, default=250)
+    fig9.add_argument("--seed", type=int, default=0)
+
+    fig10 = sub.add_parser("fig10", help="fine-tuning data efficiency (Fig 10; trains)")
+    fig10.add_argument("--seed", type=int, default=0)
+
+    everything = sub.add_parser(
+        "all", help="run every analytic table/figure and write them to a directory"
+    )
+    everything.add_argument("--out", default="results")
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    # Imports deferred so `--help` stays instant.
+    if args.command == "fig5":
+        from repro.experiments import fig5_max_model_size
+
+        counts = tuple(n for n in (1, 2, 4, 8, 16, 32, 64, 128, 256, 512) if n <= args.max_gpus)
+        print(fig5_max_model_size.run(gpu_counts=counts).format())
+    elif args.command == "table1":
+        from repro.experiments import table1_optimizations
+
+        print(table1_optimizations.run().format())
+    elif args.command == "fig6":
+        from repro.experiments import fig6_parallelism_config
+
+        print(fig6_parallelism_config.run(num_gpus=args.gpus).format())
+    elif args.command == "fig7":
+        from repro.experiments import fig7_strong_scaling
+
+        print(fig7_strong_scaling.run(channels=args.channels).format())
+    elif args.command == "fig8":
+        from repro.experiments import fig8_pretraining_loss
+
+        print(fig8_pretraining_loss.run(num_steps=args.steps, seed=args.seed).format())
+    elif args.command == "fig9":
+        from repro.experiments import fig9_wacc
+
+        result = fig9_wacc.run(
+            pretrain_steps=args.pretrain_steps,
+            finetune_steps=args.finetune_steps,
+            seed=args.seed,
+        )
+        print(result.format())
+    elif args.command == "fig10":
+        from repro.experiments import fig10_data_efficiency
+
+        print(fig10_data_efficiency.run(seed=args.seed).format())
+    elif args.command == "all":
+        from pathlib import Path
+
+        from repro.experiments import (
+            fig5_max_model_size,
+            fig6_parallelism_config,
+            fig7_strong_scaling,
+            table1_optimizations,
+        )
+
+        out = Path(args.out)
+        out.mkdir(parents=True, exist_ok=True)
+        tables = {
+            "fig5.txt": fig5_max_model_size.run().format(),
+            "table1.txt": table1_optimizations.run().format(),
+            "fig6.txt": fig6_parallelism_config.run().format(),
+            "fig7_48ch.txt": fig7_strong_scaling.run(channels=48).format(),
+            "fig7_91ch.txt": fig7_strong_scaling.run(channels=91).format(),
+        }
+        for filename, text in tables.items():
+            (out / filename).write_text(text + "\n")
+            print(f"wrote {out / filename}")
+        print("(training figures: run fig8/fig9/fig10 subcommands separately)")
+    else:  # pragma: no cover - argparse enforces choices
+        raise AssertionError(args.command)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

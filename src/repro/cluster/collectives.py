@@ -1,0 +1,214 @@
+"""Functional collectives over per-rank buffers.
+
+The virtual cluster executes in a single process, so a collective is a
+pure function: it takes one buffer per group member (ordered by
+group-local index) and returns one result per member, while recording
+the modeled communication time on the cluster
+:class:`~repro.cluster.timeline.Timeline`.
+
+Both real :class:`numpy.ndarray` buffers and
+:class:`~repro.meta.MetaArray` stand-ins are supported; in meta mode
+only shapes and costs are produced.  Mixing the two in one call is an
+error.
+
+Semantics mirror mpi4py/RCCL:
+
+========================  ====================================================
+``all_gather``            every member receives the concatenation of all
+                          members' shards (along ``axis``)
+``reduce_scatter``        every member contributes a full buffer and receives
+                          its reduced shard (along ``axis``)
+``all_reduce``            every member receives the elementwise reduction
+``broadcast``             every member receives the root's buffer
+``scatter``/``gather``    root distributes / collects shards
+``all_to_all``            member *i* sends block *j* to member *j*
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.cluster.process_group import ProcessGroup
+from repro.meta import MetaArray, is_meta, nbytes_of
+
+_REDUCE_OPS = ("sum", "mean", "max", "min")
+
+
+def _check_buffers(group: ProcessGroup, buffers: Sequence) -> bool:
+    """Validate one-buffer-per-member; return True when in meta mode."""
+    if len(buffers) != group.size:
+        raise ValueError(
+            f"expected {group.size} buffers (one per group member), got {len(buffers)}"
+        )
+    metas = [is_meta(b) for b in buffers]
+    if any(metas) and not all(metas):
+        raise TypeError("cannot mix MetaArray and ndarray buffers in one collective")
+    return metas[0]
+
+
+def _reduce(stack: np.ndarray, op: str) -> np.ndarray:
+    if op == "sum":
+        return stack.sum(axis=0)
+    if op == "mean":
+        return stack.mean(axis=0)
+    if op == "max":
+        return stack.max(axis=0)
+    if op == "min":
+        return stack.min(axis=0)
+    raise ValueError(f"unknown reduce op {op!r}; expected one of {_REDUCE_OPS}")
+
+
+def _record(group: ProcessGroup, seconds: float, nbytes: float, overlappable: bool) -> None:
+    group.cluster.timeline.record_comm(group.ranks, seconds, nbytes, overlappable=overlappable)
+
+
+def all_gather(
+    group: ProcessGroup,
+    shards: Sequence,
+    axis: int = 0,
+    overlappable: bool = False,
+) -> list:
+    """Concatenate per-member shards; every member receives the result."""
+    meta = _check_buffers(group, shards)
+    total_bytes = sum(nbytes_of(s) for s in shards)
+    seconds = group.cluster.cost_model.all_gather(group.ranks, total_bytes)
+    _record(group, seconds, total_bytes, overlappable)
+    if group.size == 1:
+        return [shards[0]]
+    if meta:
+        first = shards[0]
+        gather_dim = sum(s.shape[axis] for s in shards)
+        shape = list(first.shape)
+        shape[axis] = gather_dim
+        out = MetaArray(tuple(shape), first.dtype)
+        return [out] * group.size
+    gathered = np.concatenate([np.asarray(s) for s in shards], axis=axis)
+    return [gathered] * group.size
+
+
+def reduce_scatter(
+    group: ProcessGroup,
+    buffers: Sequence,
+    op: str = "sum",
+    axis: int = 0,
+    overlappable: bool = False,
+) -> list:
+    """Reduce full buffers elementwise, then scatter equal shards along ``axis``."""
+    meta = _check_buffers(group, buffers)
+    shapes = {tuple(b.shape) for b in buffers}
+    if len(shapes) != 1:
+        raise ValueError(f"reduce_scatter buffers must share a shape, got {shapes}")
+    shape = shapes.pop()
+    if shape[axis] % group.size:
+        raise ValueError(
+            f"axis {axis} of shape {shape} not divisible by group size {group.size}"
+        )
+    total_bytes = nbytes_of(buffers[0])
+    seconds = group.cluster.cost_model.reduce_scatter(group.ranks, total_bytes)
+    _record(group, seconds, total_bytes, overlappable)
+    shard_len = shape[axis] // group.size
+    if meta:
+        out_shape = list(shape)
+        out_shape[axis] = shard_len
+        out = MetaArray(tuple(out_shape), buffers[0].dtype)
+        return [out] * group.size
+    reduced = _reduce(np.stack([np.asarray(b) for b in buffers]), op)
+    return [
+        np.take(reduced, range(i * shard_len, (i + 1) * shard_len), axis=axis)
+        for i in range(group.size)
+    ]
+
+
+def all_reduce(
+    group: ProcessGroup,
+    buffers: Sequence,
+    op: str = "sum",
+    overlappable: bool = False,
+) -> list:
+    """Elementwise reduction delivered to every member."""
+    meta = _check_buffers(group, buffers)
+    shapes = {tuple(b.shape) for b in buffers}
+    if len(shapes) != 1:
+        raise ValueError(f"all_reduce buffers must share a shape, got {shapes}")
+    total_bytes = nbytes_of(buffers[0])
+    seconds = group.cluster.cost_model.all_reduce(group.ranks, total_bytes)
+    _record(group, seconds, total_bytes, overlappable)
+    if meta:
+        return [buffers[0]] * group.size
+    if group.size == 1:
+        return [np.asarray(buffers[0])]
+    reduced = _reduce(np.stack([np.asarray(b) for b in buffers]), op)
+    return [reduced] * group.size
+
+
+def broadcast(group: ProcessGroup, buffer, root: int = 0, overlappable: bool = False) -> list:
+    """Send the root's buffer (group-local ``root``) to every member."""
+    if not 0 <= root < group.size:
+        raise ValueError(f"root {root} outside group of size {group.size}")
+    total_bytes = nbytes_of(buffer)
+    seconds = group.cluster.cost_model.broadcast(group.ranks, total_bytes)
+    _record(group, seconds, total_bytes, overlappable)
+    return [buffer] * group.size
+
+
+def scatter(
+    group: ProcessGroup,
+    shards: Sequence,
+    root: int = 0,
+    overlappable: bool = False,
+) -> list:
+    """Root distributes ``shards[i]`` to member ``i``."""
+    if len(shards) != group.size:
+        raise ValueError(f"scatter needs {group.size} shards, got {len(shards)}")
+    if not 0 <= root < group.size:
+        raise ValueError(f"root {root} outside group of size {group.size}")
+    total_bytes = sum(nbytes_of(s) for s in shards)
+    seconds = group.cluster.cost_model.scatter(group.ranks, total_bytes)
+    _record(group, seconds, total_bytes, overlappable)
+    return list(shards)
+
+
+def gather(
+    group: ProcessGroup,
+    shards: Sequence,
+    root: int = 0,
+    axis: int = 0,
+    overlappable: bool = False,
+) -> list:
+    """Collect shards onto the root; non-root members receive ``None``."""
+    meta = _check_buffers(group, shards)
+    if not 0 <= root < group.size:
+        raise ValueError(f"root {root} outside group of size {group.size}")
+    total_bytes = sum(nbytes_of(s) for s in shards)
+    seconds = group.cluster.cost_model.gather(group.ranks, total_bytes)
+    _record(group, seconds, total_bytes, overlappable)
+    if meta:
+        first = shards[0]
+        shape = list(first.shape)
+        shape[axis] = sum(s.shape[axis] for s in shards)
+        result = MetaArray(tuple(shape), first.dtype)
+    else:
+        result = np.concatenate([np.asarray(s) for s in shards], axis=axis)
+    return [result if i == root else None for i in range(group.size)]
+
+
+def all_to_all(group: ProcessGroup, blocks: Sequence[Sequence], overlappable: bool = False) -> list:
+    """``blocks[i][j]`` goes from member *i* to member *j*; returns per-member lists."""
+    if len(blocks) != group.size:
+        raise ValueError(f"all_to_all needs {group.size} block rows, got {len(blocks)}")
+    for i, row in enumerate(blocks):
+        if len(row) != group.size:
+            raise ValueError(f"block row {i} has {len(row)} entries, expected {group.size}")
+    per_rank_bytes = max(sum(nbytes_of(b) for b in row) for row in blocks)
+    seconds = group.cluster.cost_model.all_to_all(group.ranks, per_rank_bytes)
+    _record(group, seconds, per_rank_bytes, overlappable)
+    return [[blocks[i][j] for i in range(group.size)] for j in range(group.size)]
+
+
+def barrier(group: ProcessGroup) -> None:
+    """Synchronize the group (costed as a tiny all-reduce)."""
+    seconds = group.cluster.cost_model.all_reduce(group.ranks, 4)
+    _record(group, seconds, 0, overlappable=False)

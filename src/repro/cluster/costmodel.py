@@ -1,0 +1,140 @@
+"""Alpha-beta cost models for ring/tree collectives.
+
+Costs follow the standard LogP-style formulation used to reason about
+RCCL/NCCL ring algorithms: a collective over ``g`` ranks moving a
+per-rank shard of ``s`` bytes on a link with latency ``alpha`` and
+bandwidth ``beta`` costs
+
+* ring all-gather / reduce-scatter:  ``(g-1) * (alpha + s / beta)``
+* ring all-reduce:                   ``2 * (g-1) * (alpha + s / beta)``
+* binomial-tree broadcast/gather:    ``ceil(log2 g) * (alpha + S / beta)``
+
+where ``S`` is the full buffer and ``s = S / g``.  The link spec comes
+from :meth:`~repro.cluster.topology.FrontierTopology.effective_bandwidth`,
+so NIC contention between co-located groups is already folded in.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.cluster.topology import FrontierTopology, LinkKind, LinkSpec
+
+
+@dataclass(frozen=True)
+class CollectiveCostModel:
+    """Maps (collective, group, bytes) to seconds on a topology."""
+
+    topology: FrontierTopology
+
+    def _spec(self, ranks: Sequence[int]) -> LinkSpec:
+        return self.topology.effective_bandwidth(ranks)
+
+    @staticmethod
+    def _steps(alpha: float, beta: float, steps: int, bytes_per_step: float) -> float:
+        if steps <= 0 or bytes_per_step < 0:
+            return 0.0
+        if math.isinf(beta):
+            return steps * alpha
+        return steps * (alpha + bytes_per_step / beta)
+
+    def all_gather(self, ranks: Sequence[int], total_bytes: int) -> float:
+        """Ring all-gather producing ``total_bytes`` on every rank."""
+        g = len(ranks)
+        if g <= 1:
+            return 0.0
+        spec = self._spec(ranks)
+        return self._steps(spec.latency_s, spec.bandwidth_Bps, g - 1, total_bytes / g)
+
+    def reduce_scatter(self, ranks: Sequence[int], total_bytes: int) -> float:
+        """Ring reduce-scatter of a ``total_bytes`` buffer (per-rank share out)."""
+        return self.all_gather(ranks, total_bytes)
+
+    def all_reduce(self, ranks: Sequence[int], total_bytes: int) -> float:
+        """Ring all-reduce (reduce-scatter followed by all-gather)."""
+        g = len(ranks)
+        if g <= 1:
+            return 0.0
+        spec = self._spec(ranks)
+        return self._steps(spec.latency_s, spec.bandwidth_Bps, 2 * (g - 1), total_bytes / g)
+
+    def broadcast(self, ranks: Sequence[int], total_bytes: int) -> float:
+        """Binomial-tree broadcast of the full buffer."""
+        g = len(ranks)
+        if g <= 1:
+            return 0.0
+        spec = self._spec(ranks)
+        return self._steps(spec.latency_s, spec.bandwidth_Bps, math.ceil(math.log2(g)), total_bytes)
+
+    def gather(self, ranks: Sequence[int], total_bytes: int) -> float:
+        """Binomial-tree gather of ``total_bytes`` onto the root."""
+        return self.broadcast(ranks, total_bytes)
+
+    def scatter(self, ranks: Sequence[int], total_bytes: int) -> float:
+        """Binomial-tree scatter of ``total_bytes`` from the root."""
+        return self.broadcast(ranks, total_bytes)
+
+    def all_to_all(self, ranks: Sequence[int], total_bytes: int) -> float:
+        """Pairwise-exchange all-to-all; ``total_bytes`` is the per-rank send total."""
+        g = len(ranks)
+        if g <= 1:
+            return 0.0
+        spec = self._spec(ranks)
+        return self._steps(spec.latency_s, spec.bandwidth_Bps, g - 1, total_bytes / g)
+
+    #: A single inter-node flow is bound by one NIC, not the whole node
+    #: injection bandwidth (Frontier has 4x25 GB/s NICs per node).
+    NICS_PER_NODE = 4
+
+    def hierarchical_all_reduce(self, ranks: Sequence[int], total_bytes: int) -> float:
+        """Two-level all-reduce: tree-reduce in-node, all-reduce across
+        node leaders, tree-broadcast in-node.
+
+        This is the RCCL/NCCL *tree* strategy.  A flat ring over
+        contiguous whole nodes is already bandwidth-optimal (each ring
+        step crosses the NIC exactly once per node), but it pays
+        ``2*(g-1)`` latency terms; the two-level tree pays
+        ``O(log(members) + nodes)`` instead, winning for small,
+        latency-bound buffers — e.g. the per-layer norm/scale scalars
+        and the DDP reductions of small models at extreme scale.  The
+        flat ring cost is returned for groups that do not decompose
+        into multi-member nodes.
+        """
+        g = len(ranks)
+        if g <= 1:
+            return 0.0
+        by_node: dict[int, list[int]] = {}
+        for rank in ranks:
+            by_node.setdefault(self.topology.node_of(rank), []).append(rank)
+        if len(by_node) == 1 or min(len(m) for m in by_node.values()) < 2:
+            return self.all_reduce(ranks, total_bytes)
+        intra = self.topology.link_spec(LinkKind.INTRA_NODE)
+        max_members = max(len(m) for m in by_node.values())
+        tree_steps = math.ceil(math.log2(max_members))
+        # Phases 1/3: tree reduce onto each node leader, tree broadcast back.
+        phase_intra = 2 * self._steps(
+            intra.latency_s, intra.bandwidth_Bps, tree_steps, total_bytes
+        )
+        # Phase 2: ring all-reduce over one leader per node (full NIC each:
+        # only the leaders drive the fabric during this phase).
+        leaders = sorted(members[0] for members in by_node.values())
+        inter = self.topology.link_spec(LinkKind.INTER_NODE)
+        n = len(leaders)
+        phase_inter = self._steps(
+            inter.latency_s, inter.bandwidth_Bps, 2 * (n - 1), total_bytes / n
+        )
+        return phase_intra + phase_inter
+
+    def point_to_point(self, src: int, dst: int, nbytes: int) -> float:
+        """Single message between two ranks."""
+        if src == dst:
+            return 0.0
+        kind = self.topology.link_kind(src, dst)
+        spec = self.topology.link_spec(kind)
+        bandwidth = spec.bandwidth_Bps
+
+        if kind is LinkKind.INTER_NODE:
+            bandwidth /= self.NICS_PER_NODE
+        return self._steps(spec.latency_s, bandwidth, 1, nbytes)

@@ -1,0 +1,112 @@
+"""Per-rank ledgers of compute and communication time.
+
+The paper's walltime results (Table I, Figs 6–7) depend on three
+effects the timeline must capture:
+
+* compute time, derived from FLOP counts and device throughput;
+* communication time, derived from the alpha-beta cost model;
+* *overlap*: with prefetching (Sec III-B) shard gathers are issued
+  ahead of use, so their cost hides under compute up to the available
+  compute slack.
+
+Every rank accumulates totals; the simulated walltime of a phase is the
+maximum over participating ranks (bulk-synchronous semantics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+
+@dataclass
+class RankLedger:
+    """Accumulated times (seconds) and counters for one rank."""
+
+    compute_s: float = 0.0
+    comm_s: float = 0.0
+    exposed_comm_s: float = 0.0
+    flops: float = 0.0
+    comm_bytes: float = 0.0
+    #: compute time logged since the last overlappable communication,
+    #: available to hide a future prefetched gather under.
+    overlap_budget_s: float = 0.0
+
+    @property
+    def walltime_s(self) -> float:
+        """Busy time of this rank: compute plus non-hidden communication."""
+        return self.compute_s + self.exposed_comm_s
+
+
+class Timeline:
+    """Compute/communication accounting across all ranks of a cluster."""
+
+    def __init__(self, num_ranks: int):
+        if num_ranks < 1:
+            raise ValueError("num_ranks must be positive")
+        self._ledgers = [RankLedger() for _ in range(num_ranks)]
+
+    @property
+    def num_ranks(self) -> int:
+        return len(self._ledgers)
+
+    def ledger(self, rank: int) -> RankLedger:
+        """Ledger for one rank."""
+        return self._ledgers[rank]
+
+    # -- recording ---------------------------------------------------------
+    def record_compute(self, rank: int, seconds: float, flops: float = 0.0) -> None:
+        """Log compute work on ``rank``; it also grows the overlap budget."""
+        if seconds < 0:
+            raise ValueError("compute seconds must be non-negative")
+        led = self._ledgers[rank]
+        led.compute_s += seconds
+        led.flops += flops
+        led.overlap_budget_s += seconds
+
+    def record_comm(
+        self,
+        ranks: Iterable[int],
+        seconds: float,
+        nbytes: float,
+        overlappable: bool = False,
+    ) -> None:
+        """Log one collective of ``seconds`` across ``ranks``.
+
+        When ``overlappable`` (prefetched gathers), the cost is hidden
+        under each rank's accumulated compute slack; only the excess is
+        exposed.  Non-overlappable collectives (e.g. the blocking
+        all-reduce closing a micro-batch) are fully exposed.
+        """
+        if seconds < 0:
+            raise ValueError("comm seconds must be non-negative")
+        for rank in ranks:
+            led = self._ledgers[rank]
+            led.comm_s += seconds
+            led.comm_bytes += nbytes
+            if overlappable:
+                hidden = min(seconds, led.overlap_budget_s)
+                led.overlap_budget_s -= hidden
+                led.exposed_comm_s += seconds - hidden
+            else:
+                led.exposed_comm_s += seconds
+                led.overlap_budget_s = 0.0
+
+    # -- summaries ---------------------------------------------------------
+    def walltime_s(self, ranks: Iterable[int] | None = None) -> float:
+        """Bulk-synchronous walltime: the slowest participating rank."""
+        ledgers = self._ledgers if ranks is None else [self._ledgers[r] for r in ranks]
+        return max((led.walltime_s for led in ledgers), default=0.0)
+
+    def total_flops(self) -> float:
+        """FLOPs summed over all ranks."""
+        return sum(led.flops for led in self._ledgers)
+
+    def sustained_flops(self) -> float:
+        """Aggregate sustained throughput: total FLOPs / walltime."""
+        wall = self.walltime_s()
+        return self.total_flops() / wall if wall > 0 else 0.0
+
+    def reset(self) -> None:
+        """Zero every ledger."""
+        self._ledgers = [RankLedger() for _ in self._ledgers]

@@ -1,0 +1,87 @@
+"""Shared machinery for Hybrid-STOP sublayer modules."""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import TYPE_CHECKING
+
+from repro.nn.context import ExecutionContext, execution_context
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.parallel.plan import HybridParallelPlan
+
+
+class HybridModuleBase:
+    """Base for sharded sublayers living on one DDP replica of a plan.
+
+    Provides replica-scoped group accessors and per-rank compute
+    recording: engine code wraps each rank's local math in
+    :meth:`ranked_compute` so its FLOPs land on that rank's timeline
+    ledger (converted to seconds by the optional ``compute_model``).
+    """
+
+    def __init__(
+        self,
+        plan: "HybridParallelPlan",
+        ddp_index: int = 0,
+        prefetch: bool = False,
+        compute_model=None,
+        name: str = "layer",
+    ):
+        if not 0 <= ddp_index < plan.ddp_size:
+            raise ValueError(f"ddp_index {ddp_index} outside ddp_size {plan.ddp_size}")
+        self.plan = plan
+        self.ddp_index = ddp_index
+        self.prefetch = prefetch
+        self.compute_model = compute_model
+        self.name = name
+        self._cache = None
+        #: Set False when a trunk accounts gathered memory wholesale
+        #: (the no-layer-wrapping mode of Table I).
+        self.track_gather_memory = True
+
+    def _gather(self, param, group):
+        """Gather a shard with this module's prefetch/track settings."""
+        from repro.core.fsdp_ops import gather_param
+
+        return gather_param(
+            param, group, overlappable=self.prefetch, track_memory=self.track_gather_memory
+        )
+
+    # -- replica-scoped shortcuts ---------------------------------------------
+    @property
+    def tp_size(self) -> int:
+        return self.plan.tp_size
+
+    @property
+    def fsdp_size(self) -> int:
+        return self.plan.fsdp_size
+
+    def tp_group(self, fsdp: int):
+        return self.plan.tp_group(self.ddp_index, fsdp)
+
+    def fsdp_group(self, tp: int):
+        return self.plan.fsdp_group(self.ddp_index, tp)
+
+    def rank(self, fsdp: int, tp: int) -> int:
+        return self.plan.rank(self.ddp_index, fsdp, tp)
+
+    # -- accounting --------------------------------------------------------------
+    @contextmanager
+    def ranked_compute(self, fsdp: int, tp: int):
+        """Attribute the enclosed work to rank ``(fsdp, tp)``'s timeline."""
+        ctx = ExecutionContext()
+        with execution_context(ctx):
+            yield
+        if self.compute_model is not None:
+            rank = self.rank(fsdp, tp)
+            seconds = self.compute_model.seconds_for(ctx.flops, rank)
+            self.plan.cluster.timeline.record_compute(rank, seconds, ctx.flops)
+
+    def _require_cache(self):
+        if self._cache is None:
+            raise RuntimeError(
+                f"{type(self).__name__} '{self.name}': backward called without a "
+                "cached forward"
+            )
+        return self._cache

@@ -1,0 +1,96 @@
+"""The matrix-chain identities Hybrid-STOP is built on (paper Eqns 1-3).
+
+For ``y = x A B`` with ``A`` split into column shards ``A_k`` and ``B``
+into matching row shards ``B_k``::
+
+    y = x A B = sum_k  x A_k B_k                          (Eqn 2)
+    dy/dx     = sum_k  B_k^T A_k^T  (as right-multiplier) (Eqn 3)
+
+An elementwise nonlinearity ``phi`` between the two products commutes
+with the column split (``phi`` acts per element, and columns of
+``x A`` are computed independently), so ``phi(x A) B = sum_k
+phi(x A_k) B_k`` — the property that lets one scheme cover both the
+feed-forward sublayer (``phi = GeLU``) and, with the softmax applied to
+a head-local block, self-attention.
+
+These reference kernels operate on explicit shard lists with a real
+tensor-parallel group performing the reduction; the Hybrid-STOP modules
+wrap them with FSDP sharding, prefetch, and memory accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.cluster.collectives import all_reduce
+from repro.cluster.process_group import ProcessGroup
+from repro.nn import ops
+
+
+def chain_forward_reference(x, a, b, phi: Callable | None = None):
+    """Serial ``y = phi(x A) B`` (identity ``phi`` when None)."""
+    hidden = ops.matmul(x, a)
+    if phi is not None:
+        hidden = phi(hidden)
+    return ops.matmul(hidden, b)
+
+
+def chain_backward_reference(x, a, b, grad_y):
+    """Serial gradients of ``y = x A B`` (no nonlinearity).
+
+    Returns ``(grad_x, grad_a, grad_b)``.
+    """
+    hidden = ops.matmul(x, a)
+    grad_hidden = ops.matmul(grad_y, ops.swapaxes(b, -1, -2))
+    grad_b = ops.matmul(ops.swapaxes(hidden, -1, -2), grad_y)
+    grad_a = ops.matmul(ops.swapaxes(x, -1, -2), grad_hidden)
+    grad_x = ops.matmul(grad_hidden, ops.swapaxes(a, -1, -2))
+    return grad_x, grad_a, grad_b
+
+
+def chain_forward_sharded(
+    x,
+    a_shards: Sequence,
+    b_shards: Sequence,
+    tp_group: ProcessGroup,
+    phi: Callable | None = None,
+):
+    """Eqn 2: every tensor-parallel rank computes ``phi(x A_k) B_k``;
+    the partials are summed with an all-reduce over the group.
+
+    Returns ``(y, hiddens)`` where ``hiddens[k] = phi(x A_k)`` (each
+    rank's activation half, kept for the backward pass).
+    """
+    if len(a_shards) != tp_group.size or len(b_shards) != tp_group.size:
+        raise ValueError(
+            f"need one A and one B shard per tensor-parallel rank "
+            f"({tp_group.size}), got {len(a_shards)} / {len(b_shards)}"
+        )
+    hiddens = []
+    partials = []
+    for a_k, b_k in zip(a_shards, b_shards):
+        hidden_k = ops.matmul(x, a_k)
+        if phi is not None:
+            hidden_k = phi(hidden_k)
+        hiddens.append(hidden_k)
+        partials.append(ops.matmul(hidden_k, b_k))
+    y = all_reduce(tp_group, partials, op="sum")[0]
+    return y, hiddens
+
+
+def chain_grad_input_sharded(
+    grad_y,
+    a_shards: Sequence,
+    b_shards: Sequence,
+    tp_group: ProcessGroup,
+):
+    """Eqn 3 (identity ``phi``): ``grad_x = sum_k grad_y B_k^T A_k^T``.
+
+    Each rank computes its partial input gradient locally; the
+    tensor-parallel all-reduce forms the total.
+    """
+    partials = []
+    for a_k, b_k in zip(a_shards, b_shards):
+        grad_hidden_k = ops.matmul(grad_y, ops.swapaxes(b_k, -1, -2))
+        partials.append(ops.matmul(grad_hidden_k, ops.swapaxes(a_k, -1, -2)))
+    return all_reduce(tp_group, partials, op="sum")[0]

@@ -1,0 +1,158 @@
+"""Shard layouts used by Hybrid-STOP.
+
+Two layouts compose (paper Fig 3):
+
+* **column/row shards** over the tensor-parallel group — matrix ``A``
+  is split along columns, matrix ``B`` along rows, so partial products
+  ``x A_k B_k`` sum to ``x A B`` (Eqn 2);
+* **flat shards** over the FSDP group — each tensor-parallel shard is
+  flattened, zero-padded to a multiple of the group size, and split
+  evenly, so all-gather / reduce-scatter move equal-sized messages
+  (how PyTorch FSDP lays flat parameters out).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.meta import MetaArray, is_meta, nbytes_of
+
+
+def column_shards(matrix, num_shards: int) -> list:
+    """Split the last axis into ``num_shards`` equal column blocks."""
+    cols = matrix.shape[-1]
+    if cols % num_shards:
+        raise ValueError(f"{cols} columns not divisible into {num_shards} shards")
+    if is_meta(matrix):
+        shape = tuple(matrix.shape[:-1]) + (cols // num_shards,)
+        return [MetaArray(shape, matrix.dtype)] * num_shards
+    return [np.ascontiguousarray(s) for s in np.split(np.asarray(matrix), num_shards, axis=-1)]
+
+
+def row_shards(matrix, num_shards: int) -> list:
+    """Split the second-to-last axis into ``num_shards`` equal row blocks."""
+    rows = matrix.shape[-2]
+    if rows % num_shards:
+        raise ValueError(f"{rows} rows not divisible into {num_shards} shards")
+    if is_meta(matrix):
+        shape = tuple(matrix.shape)
+        shape = shape[:-2] + (rows // num_shards, shape[-1])
+        return [MetaArray(shape, matrix.dtype)] * num_shards
+    return [np.ascontiguousarray(s) for s in np.split(np.asarray(matrix), num_shards, axis=-2)]
+
+
+def flat_pad_shard(array, num_shards: int) -> list:
+    """Flatten, zero-pad to a multiple of ``num_shards``, split evenly.
+
+    The inverse is :func:`flat_unshard` with the original shape.
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be positive")
+    size = int(array.size)
+    padded = math.ceil(size / num_shards) * num_shards if size else num_shards
+    if is_meta(array):
+        return [MetaArray((padded // num_shards,), array.dtype)] * num_shards
+    flat = np.asarray(array).reshape(-1)
+    if padded != size:
+        flat = np.concatenate([flat, np.zeros(padded - size, flat.dtype)])
+    return [np.ascontiguousarray(s) for s in np.split(flat, num_shards)]
+
+
+def flat_unshard(shards: list, shape: tuple[int, ...]):
+    """Reassemble :func:`flat_pad_shard` output into ``shape``."""
+    if any(is_meta(s) for s in shards):
+        return MetaArray(tuple(shape), shards[0].dtype)
+    flat = np.concatenate([np.asarray(s).reshape(-1) for s in shards])
+    size = math.prod(shape)
+    if flat.size < size:
+        raise ValueError(f"shards hold {flat.size} elements; shape {shape} needs {size}")
+    return flat[:size].reshape(shape)
+
+
+class ShardedParameter:
+    """One logical matrix stored as flat shards over an FSDP group.
+
+    Tracks the logical (unsharded) shape so gathers can restore it, and
+    registers the per-rank shard bytes with each owning device's memory
+    tracker.
+
+    Parameters
+    ----------
+    full:
+        The logical array (real or meta) to distribute.
+    num_shards:
+        FSDP group size.
+    name:
+        Used for memory-tracker tags and error messages.
+    devices:
+        Optional per-shard devices; when given, persistent shard memory
+        is allocated on each (tag ``params.<name>``).
+    """
+
+    def __init__(self, full, num_shards: int, name: str = "param", devices=None):
+        self.logical_shape = tuple(full.shape)
+        self.dtype = full.dtype
+        self.name = name
+        self.shards = flat_pad_shard(full, num_shards)
+        self.grad_shards: list | None = None
+        self._allocations = []
+        if devices is not None:
+            if len(devices) != num_shards:
+                raise ValueError(f"need {num_shards} devices, got {len(devices)}")
+            for device, shard in zip(devices, self.shards):
+                self._allocations.append(
+                    device.memory.allocate(nbytes_of(shard), tag=f"params.{name}")
+                )
+            self.devices = list(devices)
+        else:
+            self.devices = None
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def shard_nbytes(self) -> int:
+        """Bytes of one shard."""
+        return nbytes_of(self.shards[0])
+
+    def full(self):
+        """Reassemble the logical array from the local shards (no comm)."""
+        return flat_unshard(self.shards, self.logical_shape)
+
+    def set_grad_shards(self, grad_shards: list) -> None:
+        """Store (accumulate) the reduced gradient shards."""
+        if len(grad_shards) != self.num_shards:
+            raise ValueError(
+                f"{self.name}: expected {self.num_shards} gradient shards, "
+                f"got {len(grad_shards)}"
+            )
+        if self.grad_shards is None or any(is_meta(g) for g in grad_shards):
+            self.grad_shards = list(grad_shards)
+        else:
+            self.grad_shards = [g0 + g1 for g0, g1 in zip(self.grad_shards, grad_shards)]
+
+    def zero_grad(self) -> None:
+        self.grad_shards = None
+
+    def full_grad(self):
+        """Reassemble the logical gradient (testing/optimizer use)."""
+        if self.grad_shards is None:
+            return None
+        return flat_unshard(self.grad_shards, self.logical_shape)
+
+    def free(self) -> None:
+        """Release the persistent shard allocations (simulated)."""
+        if self.devices is not None:
+            for device, alloc in zip(self.devices, self._allocations):
+                device.memory.free(alloc)
+            self._allocations = []
+            self.devices = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ShardedParameter({self.name}, logical={self.logical_shape}, "
+            f"shards={self.num_shards})"
+        )

@@ -1,0 +1,53 @@
+"""Climate data substrate.
+
+The paper pre-trains on ten CMIP6 sources (1.2M six-hourly snapshots,
+48 or 91 variables at 1.40625 degrees) and fine-tunes on ERA5.  Neither
+archive is redistributable here, so this package provides a synthetic
+Earth-system generator with the properties the experiments exercise:
+
+* the exact tensor shapes and variable inventory (91 = 3 static + 3
+  surface + 85 atmospheric over 17 pressure levels);
+* spatially correlated, seasonally forced, temporally persistent
+  fields driven by shared latent dynamics (so multi-variable
+  forecasting is learnable and lead-time skill decays realistically);
+* distinct "climate models": each CMIP6 source perturbs the latent
+  dynamics (inter-model spread), while the synthetic ERA5 is a separate
+  realization standing in for observations.
+"""
+
+from repro.data.climatology import Climatology
+from repro.data.cmip6 import CMIP6_SOURCES, SyntheticCMIP6Archive
+from repro.data.dataset import ClimateDataset, ForecastSample
+from repro.data.era5 import SyntheticERA5
+from repro.data.filedataset import FileDataset, save_archive
+from repro.data.grid import LatLonGrid
+from repro.data.loader import BatchLoader, ShardSpec
+from repro.data.normalization import Normalizer
+from repro.data.synthetic import ClimateSystemModel, LatentSpec
+from repro.data.variables import (
+    Variable,
+    VariableKind,
+    VariableRegistry,
+    default_registry,
+)
+
+__all__ = [
+    "BatchLoader",
+    "CMIP6_SOURCES",
+    "Climatology",
+    "ClimateDataset",
+    "ClimateSystemModel",
+    "FileDataset",
+    "ForecastSample",
+    "LatLonGrid",
+    "LatentSpec",
+    "Normalizer",
+    "ShardSpec",
+    "SyntheticCMIP6Archive",
+    "SyntheticERA5",
+    "save_archive",
+    "Variable",
+    "VariableKind",
+    "VariableRegistry",
+    "default_registry",
+]

@@ -1,0 +1,118 @@
+"""Time-indexed dataset views over a climate system model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.synthetic import HOURS_PER_STEP, STEPS_PER_YEAR, ClimateSystemModel
+
+
+@dataclass(frozen=True)
+class ForecastSample:
+    """One (input, target, lead-time) training example."""
+
+    x: np.ndarray  # (C_in, H, W)
+    y: np.ndarray  # (C_out, H, W)
+    lead_time_hours: float
+    t: int  # input time step (dataset-relative)
+
+
+class ClimateDataset:
+    """A contiguous window of six-hourly snapshots from one system model.
+
+    Parameters
+    ----------
+    system:
+        The generating :class:`~repro.data.synthetic.ClimateSystemModel`.
+    start_step / num_steps:
+        Window of absolute time steps this dataset exposes.
+    out_names:
+        Variables used as prediction targets (default: all input
+        channels).
+    name:
+        Label used in logs (e.g. the CMIP6 source name).
+    """
+
+    def __init__(
+        self,
+        system: ClimateSystemModel,
+        start_step: int = 0,
+        num_steps: int = STEPS_PER_YEAR,
+        out_names: list[str] | None = None,
+        name: str = "dataset",
+    ):
+        if num_steps < 1 or start_step < 0:
+            raise ValueError("start_step must be >= 0 and num_steps >= 1")
+        self.system = system
+        self.start_step = int(start_step)
+        self.num_steps = int(num_steps)
+        self.name = name
+        self.out_names = list(out_names) if out_names is not None else list(
+            system.registry.names
+        )
+        self._out_indices = system.registry.indices(self.out_names)
+
+    def __len__(self) -> int:
+        return self.num_steps
+
+    @property
+    def registry(self):
+        return self.system.registry
+
+    @property
+    def num_channels(self) -> int:
+        return len(self.system.registry)
+
+    def absolute_step(self, index: int) -> int:
+        if not 0 <= index < self.num_steps:
+            raise IndexError(f"index {index} outside dataset of {self.num_steps} steps")
+        return self.start_step + index
+
+    def snapshot(self, index: int) -> np.ndarray:
+        """Input tensor ``(C, H, W)`` at dataset index ``index``."""
+        return self.system.snapshot(self.absolute_step(index))
+
+    def target(self, index: int) -> np.ndarray:
+        """Target tensor ``(C_out, H, W)`` at dataset index ``index``."""
+        snap = self.snapshot(index)
+        return snap[self._out_indices]
+
+    def max_input_index(self, lead_steps: int) -> int:
+        """Largest index usable as an input for the given lead."""
+        last = self.num_steps - 1 - lead_steps
+        if last < 0:
+            raise ValueError(
+                f"lead of {lead_steps} steps exceeds dataset length {self.num_steps}"
+            )
+        return last
+
+    def forecast_sample(self, index: int, lead_steps: int) -> ForecastSample:
+        """Input at ``index``, target ``lead_steps`` later."""
+        if lead_steps < 1:
+            raise ValueError("lead_steps must be >= 1")
+        if index > self.max_input_index(lead_steps):
+            raise IndexError(
+                f"index {index} + lead {lead_steps} exceeds dataset length {self.num_steps}"
+            )
+        return ForecastSample(
+            x=self.snapshot(index),
+            y=self.target(index + lead_steps),
+            lead_time_hours=lead_steps * HOURS_PER_STEP,
+            t=index,
+        )
+
+    def window(self, start: int, length: int, name: str | None = None) -> "ClimateDataset":
+        """A sub-window view (used for train/val/test splits)."""
+        if start < 0 or start + length > self.num_steps:
+            raise ValueError(
+                f"window [{start}, {start + length}) outside dataset of {self.num_steps}"
+            )
+        return ClimateDataset(
+            self.system,
+            start_step=self.start_step + start,
+            num_steps=length,
+            out_names=self.out_names,
+            name=name or f"{self.name}[{start}:{start + length}]",
+        )

@@ -1,0 +1,132 @@
+"""File-backed datasets: plug real (exported) reanalysis data in.
+
+The synthetic generator covers everything the benchmarks need, but a
+downstream user with actual CMIP6/ERA5 exports should not have to touch
+the generator.  :func:`save_archive` writes any dataset window to a
+single ``.npz`` file; :class:`FileDataset` exposes such an archive with
+the same interface as :class:`~repro.data.dataset.ClimateDataset`
+(snapshots, targets, forecast pairs, windows), so loaders, trainers,
+climatology, and evaluators work unchanged.
+
+Archive layout (one ``.npz``):
+
+* ``fields`` — float32 array of shape ``(T, C, H, W)``;
+* ``names`` — channel names, in order;
+* ``out_names`` — target-variable names;
+* ``start_step`` — absolute six-hourly index of the first snapshot.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.dataset import ClimateDataset, ForecastSample
+from repro.data.grid import LatLonGrid
+from repro.data.synthetic import HOURS_PER_STEP
+from repro.data.variables import VariableRegistry, default_registry
+
+
+def save_archive(dataset: ClimateDataset, path, indices=None) -> None:
+    """Materialize a dataset window into an ``.npz`` archive."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if indices is None:
+        indices = range(len(dataset))
+    fields = np.stack([dataset.snapshot(int(i)) for i in indices]).astype(np.float32)
+    np.savez_compressed(
+        path,
+        fields=fields,
+        names=np.array(list(dataset.registry.names)),
+        out_names=np.array(list(dataset.out_names)),
+        start_step=np.int64(dataset.start_step),
+    )
+
+
+class FileDataset:
+    """A ``ClimateDataset``-compatible view over an ``.npz`` archive."""
+
+    def __init__(self, path, registry: VariableRegistry | None = None):
+        path = Path(path)
+        with np.load(path, allow_pickle=False) as archive:
+            self.fields = np.asarray(archive["fields"], dtype=np.float32)
+            names = [str(n) for n in archive["names"]]
+            self.out_names = [str(n) for n in archive["out_names"]]
+            self.start_step = int(archive["start_step"])
+        if self.fields.ndim != 4:
+            raise ValueError(f"archive fields must be (T, C, H, W), got {self.fields.shape}")
+        if self.fields.shape[1] != len(names):
+            raise ValueError(
+                f"{self.fields.shape[1]} channels but {len(names)} names in archive"
+            )
+        full = registry if registry is not None else default_registry(91)
+        self.registry = full.subset(names)
+        self._out_indices = self.registry.indices(self.out_names)
+        self.name = path.stem
+        self.grid = LatLonGrid(self.fields.shape[2], self.fields.shape[3])
+        # Duck-type the `.system.grid` access the evaluator uses.
+        self.system = _FileSystemShim(self.grid)
+
+    # -- ClimateDataset interface -----------------------------------------------
+    def __len__(self) -> int:
+        return self.fields.shape[0]
+
+    @property
+    def num_steps(self) -> int:
+        return len(self)
+
+    @property
+    def num_channels(self) -> int:
+        return self.fields.shape[1]
+
+    def absolute_step(self, index: int) -> int:
+        if not 0 <= index < len(self):
+            raise IndexError(f"index {index} outside archive of {len(self)} snapshots")
+        return self.start_step + index
+
+    def snapshot(self, index: int) -> np.ndarray:
+        self.absolute_step(index)
+        return self.fields[index].copy()
+
+    def target(self, index: int) -> np.ndarray:
+        return self.snapshot(index)[self._out_indices]
+
+    def max_input_index(self, lead_steps: int) -> int:
+        last = len(self) - 1 - lead_steps
+        if last < 0:
+            raise ValueError(f"lead of {lead_steps} steps exceeds archive length {len(self)}")
+        return last
+
+    def forecast_sample(self, index: int, lead_steps: int) -> ForecastSample:
+        if lead_steps < 1:
+            raise ValueError("lead_steps must be >= 1")
+        if index > self.max_input_index(lead_steps):
+            raise IndexError(f"index {index} + lead {lead_steps} exceeds archive")
+        return ForecastSample(
+            x=self.snapshot(index),
+            y=self.target(index + lead_steps),
+            lead_time_hours=lead_steps * HOURS_PER_STEP,
+            t=index,
+        )
+
+    def window(self, start: int, length: int, name: str | None = None) -> "FileDataset":
+        if start < 0 or start + length > len(self):
+            raise ValueError(f"window [{start}, {start + length}) outside archive")
+        clone = object.__new__(FileDataset)
+        clone.fields = self.fields[start : start + length]
+        clone.out_names = list(self.out_names)
+        clone.start_step = self.start_step + start
+        clone.registry = self.registry
+        clone._out_indices = list(self._out_indices)
+        clone.name = name or f"{self.name}[{start}:{start + length}]"
+        clone.grid = self.grid
+        clone.system = self.system
+        return clone
+
+
+class _FileSystemShim:
+    """Provides the ``.grid`` attribute evaluators read from ``.system``."""
+
+    def __init__(self, grid: LatLonGrid):
+        self.grid = grid

@@ -1,0 +1,64 @@
+"""Latitude-longitude grids and area weights.
+
+The paper's resolution is 1.40625 degrees: a 128 x 256 equiangular
+grid.  Latitude weights (proportional to the cosine of latitude,
+normalized to unit mean) enter both the training loss (wMSE) and the
+evaluation metric (wACC) so polar grid cells do not dominate
+(Sec IV, "Performance Metrics").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LatLonGrid:
+    """Equiangular global grid with ``nlat x nlon`` cell centers."""
+
+    nlat: int
+    nlon: int
+
+    def __post_init__(self):
+        if self.nlat < 2 or self.nlon < 2:
+            raise ValueError("grid needs at least 2 points per axis")
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.nlat, self.nlon)
+
+    @property
+    def resolution_degrees(self) -> float:
+        """Grid spacing in degrees (equal in both axes for 2:1 grids)."""
+        return 180.0 / self.nlat
+
+    @property
+    def latitudes(self) -> np.ndarray:
+        """Cell-center latitudes in degrees, north to south."""
+        step = 180.0 / self.nlat
+        return 90.0 - step * (np.arange(self.nlat) + 0.5)
+
+    @property
+    def longitudes(self) -> np.ndarray:
+        """Cell-center longitudes in degrees east."""
+        step = 360.0 / self.nlon
+        return step * (np.arange(self.nlon) + 0.5)
+
+    def latitude_weights(self) -> np.ndarray:
+        """Per-row weights ``cos(lat)`` normalized to unit mean, shape (nlat, 1).
+
+        Broadcastable against ``(..., nlat, nlon)`` fields.
+        """
+        weights = np.cos(np.deg2rad(self.latitudes))
+        weights = weights / weights.mean()
+        return weights[:, None].astype(np.float64)
+
+    def cell_weights(self) -> np.ndarray:
+        """Full (nlat, nlon) weight map (rows repeated across longitude)."""
+        return np.broadcast_to(self.latitude_weights(), self.shape).copy()
+
+
+#: The paper's pre-training/fine-tuning grid (1.40625 degrees).
+PAPER_GRID = LatLonGrid(128, 256)

@@ -1,0 +1,57 @@
+"""Per-channel normalization statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import ClimateDataset
+
+
+class Normalizer:
+    """Channel-wise standardization fitted on dataset snapshots."""
+
+    def __init__(self, mean: np.ndarray, std: np.ndarray, names: list[str]):
+        mean = np.asarray(mean, dtype=np.float64)
+        std = np.asarray(std, dtype=np.float64)
+        if mean.shape != std.shape or mean.ndim != 1 or len(names) != mean.size:
+            raise ValueError("mean/std must be 1-D and match names")
+        if (std <= 0).any():
+            raise ValueError("standard deviations must be positive")
+        self.mean = mean
+        self.std = std
+        self.names = list(names)
+        self._index = {n: i for i, n in enumerate(names)}
+
+    @classmethod
+    def fit(cls, dataset: ClimateDataset, num_samples: int = 32) -> "Normalizer":
+        """Estimate per-channel statistics from evenly spaced snapshots."""
+        indices = np.linspace(0, len(dataset) - 1, min(num_samples, len(dataset)), dtype=int)
+        count = 0
+        total = None
+        total_sq = None
+        for index in indices:
+            snap = dataset.snapshot(int(index)).astype(np.float64)
+            flat = snap.reshape(snap.shape[0], -1)
+            s, sq = flat.sum(axis=1), (flat**2).sum(axis=1)
+            total = s if total is None else total + s
+            total_sq = sq if total_sq is None else total_sq + sq
+            count += flat.shape[1]
+        mean = total / count
+        var = np.maximum(total_sq / count - mean**2, 1e-12)
+        return cls(mean, np.sqrt(var), list(dataset.registry.names))
+
+    def _stats_for(self, names: list[str] | None):
+        if names is None:
+            return self.mean, self.std
+        idx = [self._index[n] for n in names]
+        return self.mean[idx], self.std[idx]
+
+    def normalize(self, x: np.ndarray, names: list[str] | None = None) -> np.ndarray:
+        """Standardize ``(..., C, H, W)``; ``names`` selects a channel subset."""
+        mean, std = self._stats_for(names)
+        return ((x - mean[:, None, None]) / std[:, None, None]).astype(np.float32)
+
+    def denormalize(self, x: np.ndarray, names: list[str] | None = None) -> np.ndarray:
+        """Invert :meth:`normalize`."""
+        mean, std = self._stats_for(names)
+        return (x * std[:, None, None] + mean[:, None, None]).astype(np.float32)

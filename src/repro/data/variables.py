@@ -1,0 +1,178 @@
+"""The 91-variable inventory (paper Sec IV, "Pre-training Dataset").
+
+The paper's 91 channels are 3 static variables, 3 surface variables,
+and 85 atmospheric variables — five fields (geopotential, temperature,
+specific humidity, zonal and meridional wind) on 17 pressure levels.
+The 48-variable set mirrors the ClimaX configuration: the same static
+and surface variables plus a 42-variable subset of the atmosphere
+(geopotential on ten levels, the other fields on eight).
+
+Each variable carries the statistics the synthetic generator needs:
+typical mean/standard deviation (for realistic magnitudes), a seasonal
+amplitude, and how strongly it couples to the shared latent dynamics.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class VariableKind(enum.Enum):
+    STATIC = "static"
+    SURFACE = "surface"
+    ATMOSPHERIC = "atmospheric"
+
+
+#: The 17 pressure levels (hPa) spanned by the 91-variable set.
+PRESSURE_LEVELS_17 = (
+    10, 50, 100, 150, 200, 250, 300, 400, 500, 600, 700, 775, 850, 925, 950, 975, 1000
+)
+
+#: Atmospheric fields: (short prefix, long name, units, mean@850, std, seasonal)
+_ATMOS_FIELDS = (
+    ("z", "geopotential", "m^2/s^2", 1.4e4, 3.0e3, 0.2),
+    ("t", "temperature", "K", 281.0, 15.0, 0.5),
+    ("q", "specific_humidity", "kg/kg", 5e-3, 3e-3, 0.4),
+    ("u", "u_component_of_wind", "m/s", 1.5, 8.0, 0.2),
+    ("v", "v_component_of_wind", "m/s", 0.2, 6.0, 0.2),
+)
+
+
+@dataclass(frozen=True)
+class Variable:
+    """One climate variable channel."""
+
+    name: str
+    kind: VariableKind
+    units: str
+    level_hpa: int | None = None
+    mean: float = 0.0
+    std: float = 1.0
+    seasonal_amplitude: float = 0.0
+    #: coupling strength to the shared latent dynamics in [0, 1];
+    #: static fields have zero coupling (they never change).
+    latent_coupling: float = 1.0
+
+    def __post_init__(self):
+        if self.std <= 0:
+            raise ValueError(f"{self.name}: std must be positive")
+        if (self.kind is VariableKind.ATMOSPHERIC) != (self.level_hpa is not None):
+            raise ValueError(f"{self.name}: atmospheric variables need a pressure level")
+
+    @property
+    def is_static(self) -> bool:
+        return self.kind is VariableKind.STATIC
+
+
+def _build_all_variables() -> tuple[Variable, ...]:
+    variables = [
+        Variable("land_sea_mask", VariableKind.STATIC, "1", mean=0.3, std=0.46,
+                 latent_coupling=0.0),
+        Variable("orography", VariableKind.STATIC, "m", mean=380.0, std=840.0,
+                 latent_coupling=0.0),
+        Variable("soil_type", VariableKind.STATIC, "1", mean=2.0, std=1.9,
+                 latent_coupling=0.0),
+        Variable("2m_temperature", VariableKind.SURFACE, "K", mean=287.0, std=16.0,
+                 seasonal_amplitude=0.6),
+        Variable("10m_u_component_of_wind", VariableKind.SURFACE, "m/s", mean=0.5,
+                 std=5.5, seasonal_amplitude=0.15),
+        Variable("10m_v_component_of_wind", VariableKind.SURFACE, "m/s", mean=0.1,
+                 std=4.7, seasonal_amplitude=0.15),
+    ]
+    for prefix, long_name, units, mean, std, seasonal in _ATMOS_FIELDS:
+        for level in PRESSURE_LEVELS_17:
+            # Crude vertical structure: magnitudes scale with pressure.
+            scale = 0.4 + 0.6 * (level / 1000.0)
+            variables.append(
+                Variable(
+                    f"{long_name}_{level}",
+                    VariableKind.ATMOSPHERIC,
+                    units,
+                    level_hpa=level,
+                    mean=mean * scale if prefix != "z" else mean * (1000.0 / max(level, 10)),
+                    std=std * scale if prefix != "z" else std * (1000.0 / max(level, 10)) * 0.3,
+                    seasonal_amplitude=seasonal,
+                )
+            )
+    return tuple(variables)
+
+
+_ALL_VARIABLES = _build_all_variables()
+
+#: ClimaX-style 48-variable subset: statics + surface + z on 10 levels +
+#: t/q/u/v on 8 levels each (3 + 3 + 10 + 4*8 = 48).
+_Z_LEVELS_48 = (50, 100, 200, 250, 300, 400, 500, 700, 850, 925)
+_OTHER_LEVELS_48 = (100, 250, 300, 500, 700, 850, 925, 1000)
+
+
+def _names_48() -> tuple[str, ...]:
+    names = [
+        "land_sea_mask", "orography", "soil_type",
+        "2m_temperature", "10m_u_component_of_wind", "10m_v_component_of_wind",
+    ]
+    names += [f"geopotential_{lvl}" for lvl in _Z_LEVELS_48]
+    for field in ("temperature", "specific_humidity", "u_component_of_wind",
+                  "v_component_of_wind"):
+        names += [f"{field}_{lvl}" for lvl in _OTHER_LEVELS_48]
+    return tuple(names)
+
+
+class VariableRegistry:
+    """An ordered set of variables — the channel dimension of the model."""
+
+    def __init__(self, variables: tuple[Variable, ...]):
+        if len({v.name for v in variables}) != len(variables):
+            raise ValueError("duplicate variable names")
+        self.variables = tuple(variables)
+        self._by_name = {v.name: i for i, v in enumerate(self.variables)}
+
+    def __len__(self) -> int:
+        return len(self.variables)
+
+    def __iter__(self):
+        return iter(self.variables)
+
+    def __getitem__(self, key: int | str) -> Variable:
+        if isinstance(key, str):
+            return self.variables[self.index(key)]
+        return self.variables[key]
+
+    def index(self, name: str) -> int:
+        """Channel index of a variable name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"unknown variable {name!r}") from None
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(v.name for v in self.variables)
+
+    def subset(self, names) -> "VariableRegistry":
+        """A registry restricted to (and ordered by) the given names."""
+        return VariableRegistry(tuple(self[name] for name in names))
+
+    def indices(self, names) -> list[int]:
+        """Channel indices of the given names, in order."""
+        return [self.index(n) for n in names]
+
+    @property
+    def static_indices(self) -> list[int]:
+        return [i for i, v in enumerate(self.variables) if v.is_static]
+
+
+def default_registry(num_vars: int = 91) -> VariableRegistry:
+    """The paper's channel sets: 91 (full) or 48 (ClimaX-compatible).
+
+    Other sizes return the first ``num_vars`` of the 91-variable order
+    (used by the scaled-down proxies).
+    """
+    full = VariableRegistry(_ALL_VARIABLES)
+    if num_vars == 91:
+        return full
+    if num_vars == 48:
+        return full.subset(_names_48())
+    if not 1 <= num_vars <= 91:
+        raise ValueError(f"num_vars must be in [1, 91], got {num_vars}")
+    return VariableRegistry(_ALL_VARIABLES[:num_vars])

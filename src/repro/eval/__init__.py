@@ -1,0 +1,27 @@
+"""Evaluation: wACC/wRMSE metrics, forecast harness, baselines."""
+
+from repro.eval.baselines import (
+    ClimatologyForecaster,
+    FFTFilterForecaster,
+    ModelForecaster,
+    NumericalSurrogateForecaster,
+    PersistenceForecaster,
+)
+from repro.eval.forecast import ForecastEvaluator, LeadTimeScores
+from repro.eval.metrics import latitude_weighted_acc, latitude_weighted_rmse
+from repro.eval.reference import PUBLISHED_WACC
+from repro.eval.rollout import RolloutForecaster
+
+__all__ = [
+    "ClimatologyForecaster",
+    "FFTFilterForecaster",
+    "ForecastEvaluator",
+    "LeadTimeScores",
+    "ModelForecaster",
+    "NumericalSurrogateForecaster",
+    "PersistenceForecaster",
+    "PUBLISHED_WACC",
+    "RolloutForecaster",
+    "latitude_weighted_acc",
+    "latitude_weighted_rmse",
+]

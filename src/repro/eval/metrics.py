@@ -1,0 +1,57 @@
+"""Latitude-weighted forecast metrics (paper Sec IV).
+
+wACC — the headline metric of Fig 9 — is the Pearson correlation of
+*anomalies with respect to the climatology*, weighted by latitude:
++1 is a perfect forecast, 0 is indistinguishable from climatology,
+negative values anti-correlate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _checked_weights(field_shape, lat_weights) -> np.ndarray:
+    weights = np.broadcast_to(lat_weights, field_shape[-2:])
+    return weights
+
+
+def latitude_weighted_acc(
+    prediction: np.ndarray,
+    truth: np.ndarray,
+    climatology: np.ndarray,
+    lat_weights: np.ndarray,
+) -> float:
+    """wACC of one ``(H, W)`` field (or batch-mean over leading axes).
+
+    Anomalies are taken against ``climatology``; the spatial mean
+    anomaly is removed (centered ACC, the WeatherBench convention).
+    """
+    if prediction.shape != truth.shape:
+        raise ValueError(f"shape mismatch: {prediction.shape} vs {truth.shape}")
+    weights = _checked_weights(prediction.shape, lat_weights)
+    pred_anom = prediction.astype(np.float64) - climatology
+    true_anom = truth.astype(np.float64) - climatology
+    axes = (-2, -1)
+    w_mean = weights.mean()
+    pred_anom = pred_anom - (weights * pred_anom).mean(axis=axes, keepdims=True) / w_mean
+    true_anom = true_anom - (weights * true_anom).mean(axis=axes, keepdims=True) / w_mean
+    num = (weights * pred_anom * true_anom).sum(axis=axes)
+    den = np.sqrt(
+        (weights * pred_anom**2).sum(axis=axes) * (weights * true_anom**2).sum(axis=axes)
+    )
+    acc = num / np.maximum(den, 1e-12)
+    return float(np.mean(acc))
+
+
+def latitude_weighted_rmse(
+    prediction: np.ndarray,
+    truth: np.ndarray,
+    lat_weights: np.ndarray,
+) -> float:
+    """Latitude-weighted RMSE of one field (or batch mean)."""
+    if prediction.shape != truth.shape:
+        raise ValueError(f"shape mismatch: {prediction.shape} vs {truth.shape}")
+    weights = _checked_weights(prediction.shape, lat_weights)
+    sq = weights * (prediction.astype(np.float64) - truth.astype(np.float64)) ** 2
+    return float(np.sqrt(sq.mean(axis=(-2, -1))).mean())

@@ -1,0 +1,55 @@
+"""Published wACC scores used for documentation-level comparison.
+
+Values read from paper Fig 9 (which itself aggregates the ClimaX,
+Stormer, and FourCastNet papers).  They describe performance on *real*
+ERA5 at the papers' resolutions and are **not** comparable numerically
+to scores on the synthetic world — the benchmark prints them alongside
+measured values so the *shape* (ranking by lead time) can be checked,
+as DESIGN.md explains.
+
+Keys: ``PUBLISHED_WACC[model][variable][lead_days]``.  ``None`` marks
+combinations the original systems do not provide (Stormer stops at 14
+days; FourCastNet and IFS at short range only).
+"""
+
+from __future__ import annotations
+
+PUBLISHED_WACC: dict[str, dict[str, dict[int, float | None]]] = {
+    "ORBIT-115M": {
+        "geopotential_500": {1: 0.98, 14: 0.60, 30: 0.35},
+        "temperature_850": {1: 0.97, 14: 0.62, 30: 0.40},
+        "2m_temperature": {1: 0.97, 14: 0.68, 30: 0.48},
+        "10m_u_component_of_wind": {1: 0.95, 14: 0.50, 30: 0.28},
+    },
+    "ClimaX": {
+        "geopotential_500": {1: 0.98, 14: 0.55, 30: 0.33},
+        "temperature_850": {1: 0.97, 14: 0.58, 30: 0.38},
+        "2m_temperature": {1: 0.96, 14: 0.62, 30: 0.45},
+        "10m_u_component_of_wind": {1: 0.94, 14: 0.45, 30: 0.26},
+    },
+    "Stormer": {
+        "geopotential_500": {1: 0.99, 14: 0.35, 30: None},
+        "temperature_850": {1: 0.97, 14: 0.30, 30: None},
+        "2m_temperature": {1: 0.97, 14: 0.40, 30: None},
+        "10m_u_component_of_wind": {1: 0.96, 14: 0.25, 30: None},
+    },
+    "FourCastNet": {
+        "geopotential_500": {1: 0.99, 14: None, 30: None},
+        "temperature_850": {1: 0.97, 14: None, 30: None},
+        "2m_temperature": {1: 0.96, 14: None, 30: None},
+        "10m_u_component_of_wind": {1: 0.95, 14: None, 30: None},
+    },
+    "IFS": {
+        "geopotential_500": {1: 0.99, 14: 0.42, 30: None},
+        "temperature_850": {1: 0.98, 14: 0.45, 30: None},
+        "2m_temperature": {1: 0.98, 14: 0.50, 30: None},
+        "10m_u_component_of_wind": {1: 0.97, 14: 0.35, 30: None},
+    },
+}
+
+#: Paper-claimed relative improvements (Sec V-F).
+PAPER_CLAIMS = {
+    "14d_vs_ifs_max_improvement": 0.52,
+    "14d_vs_stormer_max_improvement": 1.66,
+    "30d_vs_climax_max_improvement": 0.09,
+}

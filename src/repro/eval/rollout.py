@@ -1,0 +1,75 @@
+"""Autoregressive rollout forecasting.
+
+ClimaX-family models can reach long leads two ways: direct prediction
+with a lead-time embedding (what the paper fine-tunes), or rolling a
+short-lead model forward autoregressively (the FourCastNet protocol).
+:class:`RolloutForecaster` implements the latter so both protocols can
+be compared on the same trained model.
+
+A rollout needs the model to predict *all* of its input channels (the
+output feeds back as the next input); static channels are carried over
+from the initial condition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import ClimateDataset
+from repro.data.normalization import Normalizer
+from repro.data.synthetic import HOURS_PER_STEP
+
+
+class RolloutForecaster:
+    """Iteratively apply a one-step model to reach longer leads.
+
+    Parameters
+    ----------
+    model:
+        A model mapping all channels to all channels (``out_vars ==
+        in_vars``), trained at ``base_lead_steps``.
+    normalizer:
+        Channel statistics for the model's normalized space.
+    base_lead_steps:
+        The lead (in 6-hour steps) of one model application.
+    """
+
+    def __init__(
+        self,
+        model,
+        normalizer: Normalizer,
+        base_lead_steps: int = 1,
+        name: str = "rollout",
+    ):
+        if base_lead_steps < 1:
+            raise ValueError("base_lead_steps must be positive")
+        self.model = model
+        self.normalizer = normalizer
+        self.base_lead_steps = base_lead_steps
+        self.name = name
+
+    def forecast(self, dataset: ClimateDataset, index: int, lead_steps: int) -> np.ndarray:
+        """Roll the model forward to ``lead_steps`` and return the targets."""
+        if lead_steps % self.base_lead_steps:
+            raise ValueError(
+                f"lead {lead_steps} not a multiple of the rollout step "
+                f"{self.base_lead_steps}"
+            )
+        registry = dataset.registry
+        static = registry.static_indices
+        state = self.normalizer.normalize(dataset.snapshot(index))
+        lead_hours = np.asarray([self.base_lead_steps * HOURS_PER_STEP], np.float32)
+        for _ in range(lead_steps // self.base_lead_steps):
+            prediction = self.model(state[None].astype(np.float32), lead_hours)[0]
+            self.model.clear_cache()
+            if prediction.shape != state.shape:
+                raise ValueError(
+                    "rollout needs a model predicting all input channels: "
+                    f"got {prediction.shape}, state is {state.shape}"
+                )
+            # Static channels (orography etc.) never change.
+            prediction[static] = state[static]
+            state = prediction
+        denorm = self.normalizer.denormalize(state)
+        out_indices = registry.indices(dataset.out_names)
+        return denorm[out_indices]

@@ -1,0 +1,28 @@
+"""Experiment drivers: one module per table/figure of the paper.
+
+Each driver exposes ``run(...) -> <Result>`` returning structured data,
+and the result types render paper-style text tables via ``format()``.
+The benchmark harness under ``benchmarks/`` wraps these drivers and
+checks the headline claims; ``EXPERIMENTS.md`` records paper-vs-measured
+values.
+"""
+
+from repro.experiments import (
+    fig5_max_model_size,
+    fig6_parallelism_config,
+    fig7_strong_scaling,
+    fig8_pretraining_loss,
+    fig9_wacc,
+    fig10_data_efficiency,
+    table1_optimizations,
+)
+
+__all__ = [
+    "fig5_max_model_size",
+    "fig6_parallelism_config",
+    "fig7_strong_scaling",
+    "fig8_pretraining_loss",
+    "fig9_wacc",
+    "fig10_data_efficiency",
+    "table1_optimizations",
+]

@@ -1,0 +1,36 @@
+"""Shared helpers for experiment drivers."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = "") -> str:
+    """Render a fixed-width text table (the benches print these)."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_params(params: float) -> str:
+    """Parameter counts in the paper's units (e.g. ``143B``, ``115M``)."""
+    if params >= 1e9:
+        return f"{params / 1e9:.1f}B"
+    if params >= 1e6:
+        return f"{params / 1e6:.0f}M"
+    return f"{params:.0f}"
+
+
+def format_seconds(seconds: float) -> str:
+    """Walltimes in the paper's scientific style for sub-millisecond values."""
+    if seconds >= 0.01:
+        return f"{seconds:.2f}"
+    return f"{seconds:.0e}"

@@ -1,0 +1,198 @@
+"""Fig 9 — wACC comparison at 1 / 14 / 30-day leads.
+
+Paper result: ORBIT (115M) is comparable to IFS / Stormer /
+FourCastNet / ClimaX at 1-day lead and clearly stronger at 14 and 30
+days (up to +52% over IFS and +166% over Stormer at 14 days, +9% over
+ClimaX at 30 days).
+
+Reproduction protocol (DESIGN.md substitutions):
+
+* **ORBIT** — tiny ClimaX architecture *with* QK layer-norm,
+  pre-trained on the synthetic CMIP6 archive, fine-tuned on synthetic
+  ERA5 on all four targets jointly with mixed lead times;
+* **ClimaX-like** — same pipeline without QK layer-norm;
+* **Stormer-like** — identical architecture trained on ERA5 only with
+  the same fine-tuning budget (no pre-training: the task-specific
+  regime);
+* **FourCastNet-like** — the fitted spectral operator;
+* **IFS-like** — the numerical surrogate (imperfect-physics
+  integration of the true dynamics);
+* persistence and climatology as references.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.climatology import Climatology
+from repro.data.cmip6 import SyntheticCMIP6Archive
+from repro.data.era5 import SyntheticERA5, TARGET_VARIABLES
+from repro.data.grid import LatLonGrid
+from repro.data.loader import BatchLoader, round_robin_loaders
+from repro.data.normalization import Normalizer
+from repro.data.synthetic import LatentSpec
+from repro.data.variables import default_registry
+from repro.eval.baselines import (
+    ClimatologyForecaster,
+    FFTFilterForecaster,
+    ModelForecaster,
+    NumericalSurrogateForecaster,
+    PersistenceForecaster,
+)
+from repro.eval.forecast import ForecastEvaluator
+from repro.experiments.common import format_table
+from repro.models import build_model
+from repro.models.configs import OrbitConfig
+from repro.train import AdamW, Trainer, WarmupCosineSchedule
+
+#: Six-hourly steps per evaluated lead.
+LEAD_STEPS = {1: 4, 14: 56, 30: 120}
+
+#: World dynamics tuned to atmospheric timescales: latent e-folding of
+#: ~2 weeks and slow zonal drift, so day-1 forecasts are nearly
+#: saturated and 14/30-day forecasts retain paper-like partial skill.
+ATMOSPHERIC_SPEC = LatentSpec(persistence=0.992, advection_cells_per_step=0.05)
+
+#: Channel set: the four targets plus dynamically informative extras.
+DEFAULT_NAMES = [
+    "land_sea_mask",
+    "orography",
+    "2m_temperature",
+    "10m_u_component_of_wind",
+    "temperature_850",
+    "geopotential_500",
+    "u_component_of_wind_500",
+    "specific_humidity_700",
+]
+
+
+@dataclass
+class Fig9Result:
+    """``wacc[model][lead_days][variable]``."""
+
+    wacc: dict[str, dict[int, dict[str, float]]] = field(default_factory=dict)
+    lead_days: tuple[int, ...] = (1, 14, 30)
+
+    def mean_wacc(self, model: str, lead: int) -> float:
+        return float(np.mean(list(self.wacc[model][lead].values())))
+
+    def format(self) -> str:
+        variables = None
+        rows = []
+        for model, leads in self.wacc.items():
+            for lead, scores in sorted(leads.items()):
+                if variables is None:
+                    variables = list(scores)
+                rows.append(
+                    [model, f"{lead}d"] + [f"{scores[v]:.3f}" for v in variables]
+                )
+        return format_table(
+            ["model", "lead"] + [v[:18] for v in (variables or [])],
+            rows,
+            title="Fig 9: wACC by model and lead time (synthetic world)",
+        )
+
+
+def _tiny_config(num_vars: int, grid: LatLonGrid, qk_layernorm: bool, name: str) -> OrbitConfig:
+    return OrbitConfig(
+        name,
+        embed_dim=32,
+        depth=2,
+        num_heads=4,
+        in_vars=num_vars,
+        out_vars=len(TARGET_VARIABLES),
+        img_height=grid.nlat,
+        img_width=grid.nlon,
+        patch_size=4,
+        qk_layernorm=qk_layernorm,
+    )
+
+
+def _train(model, batches, grid, steps: int, lr: float) -> None:
+    optimizer = AdamW(model.parameters(), lr=lr, weight_decay=0.0)
+    schedule = WarmupCosineSchedule(lr, warmup_steps=min(5, steps - 1), total_steps=steps)
+    Trainer(model, batches, grid.latitude_weights(), optimizer, schedule=schedule).train(steps)
+
+
+def run(
+    grid: LatLonGrid = LatLonGrid(16, 32),
+    names: list[str] | None = None,
+    pretrain_steps: int = 400,
+    finetune_steps: int = 250,
+    batch_size: int = 4,
+    steps_per_year: int = 240,
+    num_initializations: int = 4,
+    lr: float = 3e-3,
+    seed: int = 0,
+) -> Fig9Result:
+    """Train all learned comparators and evaluate everyone on ERA5-2020."""
+    names = names or DEFAULT_NAMES
+    registry = default_registry(91).subset(names)
+    era5 = SyntheticERA5(
+        grid, registry, steps_per_year=steps_per_year, seed=seed + 1979,
+        spec=ATMOSPHERIC_SPEC,
+    )
+    train, test = era5.train(), era5.test()
+    normalizer = Normalizer.fit(train, num_samples=24)
+    climatology = Climatology.from_dataset(train, num_samples=64)
+    lead_choices = tuple(LEAD_STEPS.values())
+
+    def finetune_batches(loader_seed):
+        return BatchLoader(
+            train, batch_size, lead_steps_choices=lead_choices,
+            normalizer=normalizer, seed=loader_seed,
+        ).batches(10**9)
+
+    # Pre-training stream (CMIP6, next-step prediction of all channels).
+    archive = SyntheticCMIP6Archive(
+        grid, registry, years_per_source=0.1, seed=seed + 6, spec=ATMOSPHERIC_SPEC,
+    )
+    pretrain_cfg_kwargs = dict(out_vars=len(registry))
+
+    def pretrained_model(qk_layernorm: bool, name: str):
+        config = _tiny_config(len(registry), grid, qk_layernorm, name)
+        pre_config = dataclasses.replace(config, **pretrain_cfg_kwargs)
+        model = build_model(pre_config, rng=seed)
+        batches = round_robin_loaders(
+            archive.datasets(), batch_size, lead_steps_choices=(1,),
+            normalizer=normalizer, seed=seed,
+        )
+        _train(model, batches, grid, pretrain_steps, lr)
+        # Swap the head for the four-target fine-tuning task, keep the trunk.
+        finetuned = build_model(config, rng=seed + 1)
+        pre_state = model.state_dict()
+        state = finetuned.state_dict()
+        for key, value in pre_state.items():
+            if key in state and state[key].shape == value.shape:
+                state[key] = value
+        finetuned.load_state_dict(state)
+        _train(finetuned, finetune_batches(seed + 2), grid, finetune_steps, lr)
+        return finetuned
+
+    # ORBIT and the ClimaX-like comparator (pre-trained).
+    orbit = pretrained_model(qk_layernorm=True, name="orbit-tiny")
+    climax = pretrained_model(qk_layernorm=False, name="climax-tiny")
+    # Stormer-like: same architecture, ERA5 only, same fine-tuning budget.
+    stormer = build_model(_tiny_config(len(registry), grid, False, "stormer-tiny"), rng=seed + 3)
+    _train(stormer, finetune_batches(seed + 4), grid, finetune_steps, lr)
+
+    forecasters = {
+        "ORBIT (pretrained)": ModelForecaster(orbit, normalizer, "orbit"),
+        "ClimaX-like (pretrained)": ModelForecaster(climax, normalizer, "climax"),
+        "Stormer-like (ERA5 only)": ModelForecaster(stormer, normalizer, "stormer"),
+        "FourCastNet-like (spectral)": FFTFilterForecaster(train, climatology),
+        "IFS-like (numerical)": NumericalSurrogateForecaster(persistence_error=0.01, advection_error=2.0),
+        "persistence": PersistenceForecaster(),
+        "climatology": ClimatologyForecaster(climatology),
+    }
+    evaluator = ForecastEvaluator(test, climatology, num_initializations=num_initializations)
+    result = Fig9Result()
+    for model_name, forecaster in forecasters.items():
+        result.wacc[model_name] = {}
+        for lead_days, lead_steps in LEAD_STEPS.items():
+            scores = evaluator.evaluate(forecaster, lead_steps)
+            result.wacc[model_name][lead_days] = dict(scores.wacc)
+    return result

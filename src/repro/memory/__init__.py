@@ -1,0 +1,13 @@
+"""Device-memory accounting: trackers, simulated OOM, analytic estimates."""
+
+from repro.memory.estimator import MemoryModel, Parallelism, TrainingSetup
+from repro.memory.tracker import Allocation, MemoryTracker, OutOfDeviceMemoryError
+
+__all__ = [
+    "Allocation",
+    "MemoryModel",
+    "MemoryTracker",
+    "OutOfDeviceMemoryError",
+    "Parallelism",
+    "TrainingSetup",
+]

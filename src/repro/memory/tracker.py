@@ -1,0 +1,163 @@
+"""Per-device memory accounting with simulated out-of-memory behaviour.
+
+Each :class:`~repro.cluster.device.VirtualGPU` owns a
+:class:`MemoryTracker` sized like a Frontier MI250X GCD (64 GB).  All
+allocations made by the neural-network substrate and the parallelism
+engines — persistent parameter shards, optimizer state, transient
+gathered shards, activations — pass through the tracker, so peak memory
+and OOM events are observable exactly where the paper reports them
+(Fig 5, Fig 6b, Table I first column).
+"""
+
+from __future__ import annotations
+
+import itertools
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.utils.units import format_bytes
+
+
+class OutOfDeviceMemoryError(RuntimeError):
+    """Raised when an allocation would exceed the device capacity.
+
+    Mirrors a HIP/CUDA out-of-memory error in the simulated cluster.
+    """
+
+    def __init__(self, device: str, requested: int, in_use: int, capacity: int):
+        self.device = device
+        self.requested = int(requested)
+        self.in_use = int(in_use)
+        self.capacity = int(capacity)
+        super().__init__(
+            f"simulated OOM on {device}: requested {format_bytes(requested)}, "
+            f"in use {format_bytes(in_use)} of {format_bytes(capacity)}"
+        )
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """Handle for one live allocation; pass back to :meth:`MemoryTracker.free`."""
+
+    handle: int
+    nbytes: int
+    tag: str
+
+
+@dataclass
+class _Category:
+    current: int = 0
+    peak: int = 0
+
+
+class MemoryTracker:
+    """Track live/current/peak bytes for one device.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Simulated device capacity; allocations beyond it raise
+        :class:`OutOfDeviceMemoryError`.  ``None`` disables the limit
+        (useful for analytic what-if estimation).
+    name:
+        Device name used in error messages.
+    """
+
+    def __init__(self, capacity_bytes: int | None, name: str = "gpu"):
+        if capacity_bytes is not None and capacity_bytes < 0:
+            raise ValueError("capacity_bytes must be non-negative or None")
+        self.capacity_bytes = None if capacity_bytes is None else int(capacity_bytes)
+        self.name = name
+        self._counter = itertools.count()
+        self._live: dict[int, Allocation] = {}
+        self._current = 0
+        self._peak = 0
+        self._categories: dict[str, _Category] = {}
+
+    # -- queries ---------------------------------------------------------
+    @property
+    def current_bytes(self) -> int:
+        """Bytes currently allocated."""
+        return self._current
+
+    @property
+    def peak_bytes(self) -> int:
+        """High-water mark since construction or :meth:`reset_peak`."""
+        return self._peak
+
+    @property
+    def live_allocations(self) -> int:
+        """Number of outstanding allocations."""
+        return len(self._live)
+
+    def category_peak(self, tag_prefix: str) -> int:
+        """Peak bytes among allocations whose tag starts with ``tag_prefix``."""
+        return max(
+            (cat.peak for tag, cat in self._categories.items() if tag.startswith(tag_prefix)),
+            default=0,
+        )
+
+    def category_current(self, tag_prefix: str) -> int:
+        """Live bytes among allocations whose tag starts with ``tag_prefix``."""
+        return sum(
+            cat.current for tag, cat in self._categories.items() if tag.startswith(tag_prefix)
+        )
+
+    def breakdown(self) -> dict[str, int]:
+        """Current live bytes per tag (zero-byte tags omitted)."""
+        return {tag: cat.current for tag, cat in self._categories.items() if cat.current}
+
+    # -- mutation --------------------------------------------------------
+    def allocate(self, nbytes: int, tag: str = "untagged") -> Allocation:
+        """Reserve ``nbytes``; raise :class:`OutOfDeviceMemoryError` if over capacity."""
+        nbytes = int(nbytes)
+        if nbytes < 0:
+            raise ValueError(f"cannot allocate negative bytes: {nbytes}")
+        if self.capacity_bytes is not None and self._current + nbytes > self.capacity_bytes:
+            raise OutOfDeviceMemoryError(self.name, nbytes, self._current, self.capacity_bytes)
+        alloc = Allocation(next(self._counter), nbytes, tag)
+        self._live[alloc.handle] = alloc
+        self._current += nbytes
+        self._peak = max(self._peak, self._current)
+        cat = self._categories.setdefault(tag, _Category())
+        cat.current += nbytes
+        cat.peak = max(cat.peak, cat.current)
+        return alloc
+
+    def free(self, alloc: Allocation) -> None:
+        """Release a live allocation. Double-free raises ``KeyError``."""
+        stored = self._live.pop(alloc.handle, None)
+        if stored is None:
+            raise KeyError(f"allocation {alloc.handle} ({alloc.tag}) is not live")
+        self._current -= stored.nbytes
+        self._categories[stored.tag].current -= stored.nbytes
+
+    @contextmanager
+    def scoped(self, nbytes: int, tag: str = "scratch") -> Iterator[Allocation]:
+        """Context manager allocating on entry and freeing on exit."""
+        alloc = self.allocate(nbytes, tag)
+        try:
+            yield alloc
+        finally:
+            self.free(alloc)
+
+    def reset_peak(self) -> None:
+        """Reset the high-water marks to the current live totals."""
+        self._peak = self._current
+        for cat in self._categories.values():
+            cat.peak = cat.current
+
+    def free_all(self) -> None:
+        """Release every live allocation (used between simulated runs)."""
+        self._live.clear()
+        self._current = 0
+        for cat in self._categories.values():
+            cat.current = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        cap = "inf" if self.capacity_bytes is None else format_bytes(self.capacity_bytes)
+        return (
+            f"MemoryTracker({self.name}, current={format_bytes(self._current)}, "
+            f"peak={format_bytes(self._peak)}, capacity={cap})"
+        )

@@ -1,0 +1,77 @@
+"""Prediction head: token embeddings back to the variable/image space."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import LayerNorm, Linear
+from repro.nn import ops
+from repro.nn.module import Module
+from repro.utils.seeding import spawn_rng
+
+
+class PredictionHead(Module):
+    """Final norm + projection + unpatchify.
+
+    Tokens ``(B, L, D)`` are normalized, projected to
+    ``out_vars * patch_size**2`` pixels per token, and rearranged into
+    ``(B, out_vars, H, W)`` prediction maps (the "image space"
+    projection of paper Fig 1).
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        out_vars: int,
+        img_height: int,
+        img_width: int,
+        patch_size: int,
+        rng=None,
+        dtype=np.float32,
+        meta: bool = False,
+    ):
+        super().__init__()
+        if img_height % patch_size or img_width % patch_size:
+            raise ValueError("image dimensions must be divisible by patch_size")
+        self.dim = dim
+        self.out_vars = out_vars
+        self.img_height = img_height
+        self.img_width = img_width
+        self.patch_size = patch_size
+        self.num_patches = (img_height // patch_size) * (img_width // patch_size)
+        rng = spawn_rng(rng)
+        self.norm = LayerNorm(dim, dtype=dtype, meta=meta)
+        self.proj = Linear(dim, out_vars * patch_size**2, rng=rng, dtype=dtype, meta=meta)
+
+    def _tokens_to_image(self, tokens):
+        """``(B, L, V*p*p)`` -> ``(B, V, H, W)``."""
+        batch = tokens.shape[0]
+        p = self.patch_size
+        rows, cols = self.img_height // p, self.img_width // p
+        x = ops.reshape(tokens, (batch, rows, cols, self.out_vars, p, p))
+        x = ops.transpose(x, (0, 3, 1, 4, 2, 5))
+        return ops.reshape(x, (batch, self.out_vars, self.img_height, self.img_width))
+
+    def _image_to_tokens(self, image):
+        """``(B, V, H, W)`` -> ``(B, L, V*p*p)`` (inverse of _tokens_to_image)."""
+        batch = image.shape[0]
+        p = self.patch_size
+        rows, cols = self.img_height // p, self.img_width // p
+        x = ops.reshape(image, (batch, self.out_vars, rows, p, cols, p))
+        x = ops.transpose(x, (0, 2, 4, 1, 3, 5))
+        return ops.reshape(x, (batch, self.num_patches, self.out_vars * p * p))
+
+    def forward(self, tokens):
+        if tokens.ndim != 3 or tokens.shape[1] != self.num_patches or tokens.shape[2] != self.dim:
+            raise ValueError(
+                f"expected (B, {self.num_patches}, {self.dim}) tokens, got {tuple(tokens.shape)}"
+            )
+        projected = self.proj(self.norm(tokens))
+        self._cache = True
+        return self._tokens_to_image(projected)
+
+    def backward(self, grad_image):
+        self._require_cache()
+        self._cache = None
+        grad_tokens = self._image_to_tokens(grad_image)
+        return self.norm.backward(self.proj.backward(grad_tokens))

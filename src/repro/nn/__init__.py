@@ -1,0 +1,63 @@
+"""Minimal explicit-backprop neural-network substrate on NumPy.
+
+PyTorch plays this role in the paper; re-implementing the substrate
+(rather than importing a framework) is what lets the parallelism
+engines in :mod:`repro.core` and :mod:`repro.parallel` control exactly
+*which shard of which parameter* is materialized when — the property
+Hybrid-STOP is about.
+
+Key differences from an autograd framework:
+
+* modules implement ``forward`` **and** ``backward`` explicitly; the
+  forward caches exactly what backward needs (and activation
+  checkpointing works by dropping those caches, see
+  :mod:`repro.nn.checkpoint`);
+* all array math goes through :mod:`repro.nn.ops`, which dispatches on
+  real ``numpy.ndarray`` vs :class:`~repro.meta.MetaArray` inputs and
+  reports FLOPs to the active :class:`~repro.nn.context.ExecutionContext`;
+* bfloat16 is emulated by round-trip rounding of float32 values
+  (:mod:`repro.nn.precision`), matching BF16 numerics without a
+  hardware dtype.
+"""
+
+from repro.nn.attention import CrossVariableAggregation, MultiHeadAttention
+from repro.nn.checkpoint import CheckpointWrapper
+from repro.nn.context import ExecutionContext, current_context, execution_context
+from repro.nn.embedding import (
+    LeadTimeEmbedding,
+    PatchEmbedding,
+    PositionalEmbedding,
+    VariableEmbedding,
+)
+from repro.nn.grad_scaler import DynamicGradScaler
+from repro.nn.layernorm import LayerNorm
+from repro.nn.linear import Linear
+from repro.nn.mlp import MLP
+from repro.nn.module import Module, Sequential
+from repro.nn.parameter import Parameter
+from repro.nn.precision import PrecisionPolicy, round_to_bfloat16
+from repro.nn.transformer import TransformerBlock, TransformerStack
+
+__all__ = [
+    "CheckpointWrapper",
+    "CrossVariableAggregation",
+    "DynamicGradScaler",
+    "ExecutionContext",
+    "LayerNorm",
+    "LeadTimeEmbedding",
+    "Linear",
+    "MLP",
+    "Module",
+    "MultiHeadAttention",
+    "Parameter",
+    "PatchEmbedding",
+    "PositionalEmbedding",
+    "PrecisionPolicy",
+    "Sequential",
+    "TransformerBlock",
+    "TransformerStack",
+    "VariableEmbedding",
+    "current_context",
+    "execution_context",
+    "round_to_bfloat16",
+]

@@ -1,0 +1,187 @@
+"""Multi-head self-attention and cross-variable aggregation.
+
+Self-attention is the second matrix-chain pattern Hybrid-STOP shards
+(``softmax(Q K^T) V``).  ORBIT's single architectural change relative
+to ClimaX — layer normalization of queries and keys before the scaled
+dot product (Sec III-B, after the ViT-22B recipe) — is the
+``qk_layernorm`` flag here.
+
+:class:`CrossVariableAggregation` is the ClimaX channel aggregator: a
+learned query cross-attends over the per-variable embeddings at every
+spatial token, collapsing ``(B, V, L, D)`` to ``(B, L, D)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn import ops
+from repro.nn.init import meta_init, trunc_normal
+from repro.nn.layernorm import LayerNorm
+from repro.nn.linear import Linear
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+from repro.utils.seeding import spawn_rng
+
+
+class MultiHeadAttention(Module):
+    """Standard multi-head self-attention over ``(B, L, D)`` inputs."""
+
+    def __init__(
+        self,
+        dim: int,
+        num_heads: int,
+        qk_layernorm: bool = False,
+        rng=None,
+        dtype=np.float32,
+        meta: bool = False,
+    ):
+        super().__init__()
+        if dim % num_heads:
+            raise ValueError(f"dim {dim} not divisible by num_heads {num_heads}")
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.scale = self.head_dim**-0.5
+        self.qk_layernorm = qk_layernorm
+        rng = spawn_rng(rng)
+        self.wq = Linear(dim, dim, rng=rng, dtype=dtype, meta=meta)
+        self.wk = Linear(dim, dim, rng=rng, dtype=dtype, meta=meta)
+        self.wv = Linear(dim, dim, rng=rng, dtype=dtype, meta=meta)
+        self.wo = Linear(dim, dim, rng=rng, dtype=dtype, meta=meta)
+        if qk_layernorm:
+            self.ln_q = LayerNorm(self.head_dim, dtype=dtype, meta=meta)
+            self.ln_k = LayerNorm(self.head_dim, dtype=dtype, meta=meta)
+
+    def _split_heads(self, x, batch: int, seq: int):
+        x = ops.reshape(x, (batch, seq, self.num_heads, self.head_dim))
+        return ops.transpose(x, (0, 2, 1, 3))
+
+    def _merge_heads(self, x, batch: int, seq: int):
+        x = ops.transpose(x, (0, 2, 1, 3))
+        return ops.reshape(x, (batch, seq, self.dim))
+
+    def forward(self, x):
+        if x.ndim != 3 or x.shape[-1] != self.dim:
+            raise ValueError(f"expected (batch, seq, {self.dim}) input, got {tuple(x.shape)}")
+        batch, seq, _ = x.shape
+        q = self._split_heads(self.wq(x), batch, seq)
+        k = self._split_heads(self.wk(x), batch, seq)
+        v = self._split_heads(self.wv(x), batch, seq)
+        if self.qk_layernorm:
+            q = self.ln_q(q)
+            k = self.ln_k(k)
+        out, attn_cache = F.attention_forward(q, k, v, self.scale)
+        merged = self._merge_heads(out, batch, seq)
+        self._cache = (attn_cache, batch, seq)
+        return self.wo(merged)
+
+    def backward(self, grad_out):
+        attn_cache, batch, seq = self._require_cache()
+        self._cache = None
+        grad_merged = self.wo.backward(grad_out)
+        grad_heads = self._split_heads(grad_merged, batch, seq)
+        grad_q, grad_k, grad_v = F.attention_backward(attn_cache, grad_heads)
+        if self.qk_layernorm:
+            grad_q = self.ln_q.backward(grad_q)
+            grad_k = self.ln_k.backward(grad_k)
+        grad_x = self.wq.backward(self._merge_heads(grad_q, batch, seq))
+        grad_x = ops.add(grad_x, self.wk.backward(self._merge_heads(grad_k, batch, seq)))
+        grad_x = ops.add(grad_x, self.wv.backward(self._merge_heads(grad_v, batch, seq)))
+        return grad_x
+
+    def max_attention_logit(self, x) -> float:
+        """Largest |logit| the scaled dot product would see for ``x``.
+
+        Diagnostic used by the QK-layernorm ablation: without QK-LN the
+        logits grow with embedding norm and eventually saturate softmax
+        (near-zero entropy), the instability reported for ViT-22B.
+        """
+        batch, seq, _ = x.shape
+        q = self._split_heads(self.wq(x), batch, seq)
+        k = self._split_heads(self.wk(x), batch, seq)
+        if self.qk_layernorm:
+            q = self.ln_q(q)
+            k = self.ln_k(k)
+            self.ln_q.clear_cache()
+            self.ln_k.clear_cache()
+        self.wq.clear_cache()
+        self.wk.clear_cache()
+        scores = ops.multiply(ops.matmul(q, ops.swapaxes(k, -1, -2)), self.scale)
+        return float(np.abs(np.asarray(scores)).max())
+
+
+class CrossVariableAggregation(Module):
+    """ClimaX-style aggregation of per-variable tokens.
+
+    Input ``(B, V, L, D)`` (variable-tokenized embeddings), output
+    ``(B, L, D)``: at each spatial token, a learned query attends over
+    the ``V`` variable embeddings.
+    """
+
+    def __init__(self, dim: int, num_heads: int, rng=None, dtype=np.float32, meta: bool = False):
+        super().__init__()
+        if dim % num_heads:
+            raise ValueError(f"dim {dim} not divisible by num_heads {num_heads}")
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.scale = self.head_dim**-0.5
+        rng = spawn_rng(rng)
+        if meta:
+            query = meta_init((1, 1, dim), dtype)
+        else:
+            query = trunc_normal(rng, (1, 1, dim), std=0.02, dtype=dtype)
+        self.query = Parameter(query, "query")
+        self.wq = Linear(dim, dim, rng=rng, dtype=dtype, meta=meta)
+        self.wk = Linear(dim, dim, rng=rng, dtype=dtype, meta=meta)
+        self.wv = Linear(dim, dim, rng=rng, dtype=dtype, meta=meta)
+        self.wo = Linear(dim, dim, rng=rng, dtype=dtype, meta=meta)
+
+    def forward(self, tokens):
+        if tokens.ndim != 4 or tokens.shape[-1] != self.dim:
+            raise ValueError(
+                f"expected (batch, vars, seq, {self.dim}) input, got {tuple(tokens.shape)}"
+            )
+        batch, num_vars, seq, _ = tokens.shape
+        flat = batch * seq
+        # (B, V, L, D) -> (B*L, V, D): attend over variables at each token.
+        seqs = ops.reshape(ops.transpose(tokens, (0, 2, 1, 3)), (flat, num_vars, self.dim))
+        query = ops.broadcast_to(self.query.data, (flat, 1, self.dim))
+        q = self._split(self.wq(query), flat, 1)
+        k = self._split(self.wk(seqs), flat, num_vars)
+        v = self._split(self.wv(seqs), flat, num_vars)
+        out, attn_cache = F.attention_forward(q, k, v, self.scale)
+        merged = ops.reshape(ops.transpose(out, (0, 2, 1, 3)), (flat, 1, self.dim))
+        projected = self.wo(merged)
+        self._cache = (attn_cache, batch, num_vars, seq)
+        return ops.reshape(projected, (batch, seq, self.dim))
+
+    def _split(self, x, flat: int, seq: int):
+        x = ops.reshape(x, (flat, seq, self.num_heads, self.head_dim))
+        return ops.transpose(x, (0, 2, 1, 3))
+
+    def backward(self, grad_out):
+        attn_cache, batch, num_vars, seq = self._require_cache()
+        self._cache = None
+        flat = batch * seq
+        grad_proj = ops.reshape(grad_out, (flat, 1, self.dim))
+        grad_merged = self.wo.backward(grad_proj)
+        grad_heads = ops.transpose(
+            ops.reshape(grad_merged, (flat, 1, self.num_heads, self.head_dim)), (0, 2, 1, 3)
+        )
+        grad_q, grad_k, grad_v = F.attention_backward(attn_cache, grad_heads)
+        merge = lambda g, s: ops.reshape(ops.transpose(g, (0, 2, 1, 3)), (flat, s, self.dim))
+        grad_query_in = self.wq.backward(merge(grad_q, 1))
+        grad_seqs = ops.add(
+            self.wk.backward(merge(grad_k, num_vars)),
+            self.wv.backward(merge(grad_v, num_vars)),
+        )
+        self.query.add_grad(
+            ops.reshape(ops.sum_(grad_query_in, axis=0), (1, 1, self.dim))
+        )
+        grad_tokens = ops.transpose(
+            ops.reshape(grad_seqs, (batch, seq, num_vars, self.dim)), (0, 2, 1, 3)
+        )
+        return grad_tokens

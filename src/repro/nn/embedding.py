@@ -1,0 +1,206 @@
+"""Tokenization and embedding modules for the ClimaX/ORBIT front end.
+
+The ClimaX input pipeline (paper Fig 1):
+
+1. :class:`PatchEmbedding` — every climate-variable channel is patch
+   tokenized *independently* with its own projection, producing
+   ``(B, V, L, D)`` tokens;
+2. :class:`VariableEmbedding` — a learned per-variable vector is added
+   so the aggregator can tell channels apart;
+3. cross-attention aggregation collapses the variable axis
+   (:class:`~repro.nn.attention.CrossVariableAggregation`);
+4. :class:`PositionalEmbedding` and :class:`LeadTimeEmbedding` mark
+   spatial position and forecast lead time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import ops
+from repro.nn.init import meta_init, trunc_normal, zeros_init
+from repro.nn.linear import Linear
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+from repro.utils.seeding import spawn_rng
+
+
+class PatchEmbedding(Module):
+    """Per-variable patch tokenization.
+
+    Input ``(B, V, H, W)``; output ``(B, V, L, D)`` with
+    ``L = (H/p) * (W/p)``.  Each variable ``v`` has its own projection
+    ``(p*p, D)`` — a batched matmul over the variable axis.
+    """
+
+    def __init__(
+        self,
+        num_vars: int,
+        img_height: int,
+        img_width: int,
+        patch_size: int,
+        dim: int,
+        rng=None,
+        dtype=np.float32,
+        meta: bool = False,
+    ):
+        super().__init__()
+        if img_height % patch_size or img_width % patch_size:
+            raise ValueError(
+                f"image {img_height}x{img_width} not divisible by patch size {patch_size}"
+            )
+        self.num_vars = num_vars
+        self.img_height = img_height
+        self.img_width = img_width
+        self.patch_size = patch_size
+        self.dim = dim
+        self.num_patches = (img_height // patch_size) * (img_width // patch_size)
+        patch_pixels = patch_size * patch_size
+        if meta:
+            self.weight = Parameter(meta_init((num_vars, patch_pixels, dim), dtype), "weight")
+            self.bias = Parameter(meta_init((num_vars, 1, dim), dtype), "bias")
+        else:
+            rng = spawn_rng(rng)
+            self.weight = Parameter(
+                trunc_normal(rng, (num_vars, patch_pixels, dim), std=0.02, dtype=dtype),
+                "weight",
+            )
+            self.bias = Parameter(zeros_init((num_vars, 1, dim), dtype), "bias")
+
+    def patchify(self, x):
+        """``(B, V, H, W)`` -> ``(B, V, L, p*p)``."""
+        batch, num_vars, height, width = x.shape
+        p = self.patch_size
+        x = ops.reshape(x, (batch, num_vars, height // p, p, width // p, p))
+        x = ops.transpose(x, (0, 1, 2, 4, 3, 5))
+        return ops.reshape(x, (batch, num_vars, self.num_patches, p * p))
+
+    def unpatchify(self, patches, batch: int, num_vars: int):
+        """``(B, V, L, p*p)`` -> ``(B, V, H, W)`` (inverse of patchify)."""
+        p = self.patch_size
+        rows, cols = self.img_height // p, self.img_width // p
+        x = ops.reshape(patches, (batch, num_vars, rows, cols, p, p))
+        x = ops.transpose(x, (0, 1, 2, 4, 3, 5))
+        return ops.reshape(x, (batch, num_vars, self.img_height, self.img_width))
+
+    def forward(self, x):
+        if x.ndim != 4 or x.shape[1] != self.num_vars:
+            raise ValueError(
+                f"expected (batch, {self.num_vars}, {self.img_height}, {self.img_width}), "
+                f"got {tuple(x.shape)}"
+            )
+        batch = x.shape[0]
+        patches = self.patchify(x)  # (B, V, L, pp)
+        # Batch the per-variable projections: (V, B*L, pp) @ (V, pp, D).
+        per_var = ops.reshape(
+            ops.transpose(patches, (1, 0, 2, 3)),
+            (self.num_vars, batch * self.num_patches, -1),
+        )
+        tokens = ops.add(ops.matmul(per_var, self.weight.data), self.bias.data)
+        tokens = ops.reshape(tokens, (self.num_vars, batch, self.num_patches, self.dim))
+        self._cache = (per_var, batch)
+        return ops.transpose(tokens, (1, 0, 2, 3))
+
+    def backward(self, grad_out):
+        per_var, batch = self._require_cache()
+        self._cache = None
+        grad_tokens = ops.reshape(
+            ops.transpose(grad_out, (1, 0, 2, 3)),
+            (self.num_vars, batch * self.num_patches, self.dim),
+        )
+        self.weight.add_grad(ops.matmul(ops.swapaxes(per_var, -1, -2), grad_tokens))
+        self.bias.add_grad(ops.sum_(grad_tokens, axis=1, keepdims=True))
+        grad_per_var = ops.matmul(grad_tokens, ops.swapaxes(self.weight.data, -1, -2))
+        grad_patches = ops.transpose(
+            ops.reshape(
+                grad_per_var,
+                (self.num_vars, batch, self.num_patches, self.patch_size**2),
+            ),
+            (1, 0, 2, 3),
+        )
+        return self.unpatchify(grad_patches, batch, self.num_vars)
+
+
+class VariableEmbedding(Module):
+    """Learned per-variable vectors added to ``(B, V, L, D)`` tokens."""
+
+    def __init__(self, num_vars: int, dim: int, rng=None, dtype=np.float32, meta: bool = False):
+        super().__init__()
+        self.num_vars = num_vars
+        self.dim = dim
+        if meta:
+            table = meta_init((1, num_vars, 1, dim), dtype)
+        else:
+            table = trunc_normal(spawn_rng(rng), (1, num_vars, 1, dim), std=0.02, dtype=dtype)
+        self.table = Parameter(table, "table")
+
+    def forward(self, tokens):
+        if tokens.ndim != 4 or tokens.shape[1] != self.num_vars or tokens.shape[-1] != self.dim:
+            raise ValueError(f"expected (B, {self.num_vars}, L, {self.dim}), got {tuple(tokens.shape)}")
+        self._cache = True
+        return ops.add(tokens, self.table.data)
+
+    def backward(self, grad_out):
+        self._require_cache()
+        self._cache = None
+        self.table.add_grad(ops.sum_(grad_out, axis=(0, 2), keepdims=True))
+        return grad_out
+
+
+class PositionalEmbedding(Module):
+    """Learned positional embedding added to ``(B, L, D)`` tokens."""
+
+    def __init__(self, num_tokens: int, dim: int, rng=None, dtype=np.float32, meta: bool = False):
+        super().__init__()
+        self.num_tokens = num_tokens
+        self.dim = dim
+        if meta:
+            table = meta_init((1, num_tokens, dim), dtype)
+        else:
+            table = trunc_normal(spawn_rng(rng), (1, num_tokens, dim), std=0.02, dtype=dtype)
+        self.table = Parameter(table, "table")
+
+    def forward(self, tokens):
+        if tokens.ndim != 3 or tokens.shape[1] != self.num_tokens or tokens.shape[2] != self.dim:
+            raise ValueError(
+                f"expected (B, {self.num_tokens}, {self.dim}), got {tuple(tokens.shape)}"
+            )
+        self._cache = True
+        return ops.add(tokens, self.table.data)
+
+    def backward(self, grad_out):
+        self._require_cache()
+        self._cache = None
+        self.table.add_grad(ops.sum_(grad_out, axis=0, keepdims=True))
+        return grad_out
+
+
+class LeadTimeEmbedding(Module):
+    """Project the forecast lead time (hours) into the token space.
+
+    Input tokens ``(B, L, D)`` plus per-sample lead times ``(B,)``;
+    the projected embedding is added to every token so one model can
+    serve 1-day to 30-day forecasts (how ClimaX/ORBIT handle multiple
+    lead times with one network).
+    """
+
+    def __init__(self, dim: int, rng=None, dtype=np.float32, meta: bool = False):
+        super().__init__()
+        self.dim = dim
+        self.proj = Linear(1, dim, rng=rng, dtype=dtype, meta=meta)
+
+    def forward(self, tokens, lead_time_hours):
+        if tokens.ndim != 3:
+            raise ValueError(f"expected (B, L, D) tokens, got {tuple(tokens.shape)}")
+        lead = ops.reshape(lead_time_hours, (tokens.shape[0], 1, 1))
+        # Normalize to ~O(1) scale: 720 h = the longest (30-day) lead.
+        embed = self.proj(ops.divide(lead, 720.0))
+        self._cache = tokens.shape[1]
+        return ops.add(tokens, embed)
+
+    def backward(self, grad_out):
+        seq = self._require_cache()
+        self._cache = None
+        grad_embed = ops.sum_(grad_out, axis=1, keepdims=True)
+        self.proj.backward(grad_embed)
+        return grad_out

@@ -1,0 +1,106 @@
+"""Stateless forward/backward function pairs.
+
+Each pair follows the convention ``fwd(x, ...) -> (y, cache)`` /
+``bwd(cache, grad_y) -> grad_x``.  All math goes through
+:mod:`repro.nn.ops`, so every function here works identically for real
+arrays and meta arrays (shape/FLOP accounting only).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.nn import ops
+
+_SQRT_2 = math.sqrt(2.0)
+_INV_SQRT_2PI = 1.0 / math.sqrt(2.0 * math.pi)
+
+
+# ---------------------------------------------------------------------------
+# GeLU (exact erf form, as used by ViT feed-forward sublayers)
+# ---------------------------------------------------------------------------
+
+
+def gelu_forward(x):
+    """``gelu(x) = 0.5 x (1 + erf(x / sqrt 2))``."""
+    e = ops.erf(ops.divide(x, _SQRT_2))
+    y = ops.multiply(ops.multiply(x, 0.5), ops.add(e, 1.0))
+    return y, (x, e)
+
+
+def gelu_backward(cache, grad_y):
+    """d gelu / dx = 0.5 (1 + erf(x/sqrt2)) + x * N(x; 0, 1)."""
+    x, e = cache
+    pdf = ops.multiply(ops.exp(ops.multiply(ops.square(x), -0.5)), _INV_SQRT_2PI)
+    local = ops.add(ops.multiply(ops.add(e, 1.0), 0.5), ops.multiply(x, pdf))
+    return ops.multiply(grad_y, local)
+
+
+# ---------------------------------------------------------------------------
+# Softmax over the last axis
+# ---------------------------------------------------------------------------
+
+
+def softmax_forward(x):
+    """Numerically stable softmax along the last axis."""
+    shifted = ops.subtract(x, ops.amax(x, axis=-1, keepdims=True))
+    expd = ops.exp(shifted)
+    probs = ops.divide(expd, ops.sum_(expd, axis=-1, keepdims=True))
+    return probs, probs
+
+
+def softmax_backward(cache, grad_y):
+    """``grad_x = p * (grad_y - sum(grad_y * p))`` along the last axis."""
+    probs = cache
+    inner = ops.sum_(ops.multiply(grad_y, probs), axis=-1, keepdims=True)
+    return ops.multiply(probs, ops.subtract(grad_y, inner))
+
+
+# ---------------------------------------------------------------------------
+# Layer normalization over the last axis (affine handled by the module)
+# ---------------------------------------------------------------------------
+
+
+def layernorm_forward(x, eps: float = 1e-5):
+    """Normalize the last axis to zero mean / unit variance."""
+    mu = ops.mean(x, axis=-1, keepdims=True)
+    centered = ops.subtract(x, mu)
+    variance = ops.mean(ops.square(centered), axis=-1, keepdims=True)
+    inv_std = ops.divide(1.0, ops.sqrt(ops.add(variance, eps)))
+    xhat = ops.multiply(centered, inv_std)
+    return xhat, (xhat, inv_std)
+
+
+def layernorm_backward(cache, grad_xhat):
+    """Gradient through the normalization (not the affine)."""
+    xhat, inv_std = cache
+    mean_g = ops.mean(grad_xhat, axis=-1, keepdims=True)
+    mean_gx = ops.mean(ops.multiply(grad_xhat, xhat), axis=-1, keepdims=True)
+    return ops.multiply(
+        inv_std,
+        ops.subtract(ops.subtract(grad_xhat, mean_g), ops.multiply(xhat, mean_gx)),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Scaled dot-product attention
+# ---------------------------------------------------------------------------
+
+
+def attention_forward(q, k, v, scale: float):
+    """``softmax(q k^T * scale) v`` on ``(..., seq, head_dim)`` operands."""
+    scores = ops.multiply(ops.matmul(q, ops.swapaxes(k, -1, -2)), scale)
+    probs, softmax_cache = softmax_forward(scores)
+    out = ops.matmul(probs, v)
+    return out, (q, k, v, probs, softmax_cache, scale)
+
+
+def attention_backward(cache, grad_out):
+    """Gradients for q, k, v of scaled dot-product attention."""
+    q, k, v, probs, softmax_cache, scale = cache
+    grad_probs = ops.matmul(grad_out, ops.swapaxes(v, -1, -2))
+    grad_v = ops.matmul(ops.swapaxes(probs, -1, -2), grad_out)
+    grad_scores = ops.multiply(softmax_backward(softmax_cache, grad_probs), scale)
+    grad_q = ops.matmul(grad_scores, k)
+    grad_k = ops.matmul(ops.swapaxes(grad_scores, -1, -2), q)
+    return grad_q, grad_k, grad_v

@@ -1,0 +1,78 @@
+"""Dynamic loss/gradient scaling for BF16 mixed precision.
+
+Reimplements the ``torch.amp.GradScaler`` mechanism the paper uses
+(Sec III-B, "Mixed-Precision"): the loss gradient is multiplied by a
+scale before backprop so small-magnitude gradients survive reduced
+precision; after backprop, gradients are unscaled and checked — a
+non-finite gradient skips the optimizer step and backs the scale off,
+while a run of clean steps grows it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.meta import is_meta
+from repro.nn.parameter import Parameter
+
+
+class DynamicGradScaler:
+    """Grow-on-success / back-off-on-overflow gradient scaling.
+
+    Parameters
+    ----------
+    init_scale:
+        Starting scale factor.
+    growth_factor / backoff_factor:
+        Multipliers applied on growth and on overflow.
+    growth_interval:
+        Number of consecutive finite-gradient steps before growing.
+    """
+
+    def __init__(
+        self,
+        init_scale: float = 2.0**16,
+        growth_factor: float = 2.0,
+        backoff_factor: float = 0.5,
+        growth_interval: int = 200,
+        min_scale: float = 1.0,
+    ):
+        if init_scale <= 0:
+            raise ValueError("init_scale must be positive")
+        if growth_factor <= 1.0 or not 0.0 < backoff_factor < 1.0:
+            raise ValueError("growth_factor must exceed 1 and backoff_factor be in (0, 1)")
+        self.scale = float(init_scale)
+        self.growth_factor = growth_factor
+        self.backoff_factor = backoff_factor
+        self.growth_interval = int(growth_interval)
+        self.min_scale = float(min_scale)
+        self._good_steps = 0
+        self.num_overflows = 0
+
+    def scale_loss_grad(self, grad):
+        """Multiply the seed gradient (dLoss/dOut) by the current scale."""
+        if is_meta(grad):
+            return grad
+        return grad * self.scale
+
+    def unscale_and_check(self, parameters: list[Parameter]) -> bool:
+        """Divide grads by the scale in place; return True when all finite.
+
+        On overflow the gradients are left as-is (they will be
+        discarded by the skipped step) and the scale backs off.
+        """
+        grads = [p.grad for p in parameters if p.grad is not None and not is_meta(p.grad)]
+        finite = all(np.isfinite(g).all() for g in grads)
+        if not finite:
+            self.num_overflows += 1
+            self._good_steps = 0
+            self.scale = max(self.min_scale, self.scale * self.backoff_factor)
+            return False
+        inv = 1.0 / self.scale
+        for grad in grads:
+            grad *= inv
+        self._good_steps += 1
+        if self._good_steps >= self.growth_interval:
+            self.scale *= self.growth_factor
+            self._good_steps = 0
+        return True

@@ -1,0 +1,40 @@
+"""Parameter initializers (real and meta mode)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.meta import MetaArray
+
+
+def trunc_normal(rng: np.random.Generator, shape, std: float = 0.02, dtype=np.float32):
+    """Truncated normal at +-2 std (the ViT default initializer)."""
+    values = rng.normal(0.0, std, size=tuple(shape))
+    limit = 2.0 * std
+    while True:
+        bad = np.abs(values) > limit
+        if not bad.any():
+            break
+        values[bad] = rng.normal(0.0, std, size=int(bad.sum()))
+    return values.astype(dtype)
+
+
+def xavier_uniform(rng: np.random.Generator, shape, dtype=np.float32):
+    """Glorot/Xavier uniform for 2-D weights ``(fan_in, fan_out)``."""
+    if len(shape) < 2:
+        raise ValueError(f"xavier_uniform needs >=2-D shape, got {shape}")
+    fan_in, fan_out = shape[-2], shape[-1]
+    bound = math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=tuple(shape)).astype(dtype)
+
+
+def zeros_init(shape, dtype=np.float32):
+    """All-zeros initializer (biases, final projections)."""
+    return np.zeros(tuple(shape), dtype)
+
+
+def meta_init(shape, dtype=np.float32) -> MetaArray:
+    """Meta-mode initializer: a shape/dtype stand-in, no data."""
+    return MetaArray(tuple(shape), dtype)

@@ -1,0 +1,49 @@
+"""Layer normalization with learned affine, explicit backward."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn import ops
+from repro.nn.init import meta_init
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+
+
+class LayerNorm(Module):
+    """Normalize the last axis, then apply ``gamma * xhat + beta``.
+
+    Also used (without trailing affine bias tricks) as the QK
+    layer-norm that ORBIT adds to attention queries and keys to contain
+    attention-logit growth (Sec III-B, following the ViT-22B recipe).
+    """
+
+    def __init__(self, dim: int, eps: float = 1e-5, dtype=np.float32, meta: bool = False):
+        super().__init__()
+        if dim < 1:
+            raise ValueError("dim must be positive")
+        self.dim = dim
+        self.eps = eps
+        if meta:
+            self.gamma = Parameter(meta_init((dim,), dtype), "gamma")
+            self.beta = Parameter(meta_init((dim,), dtype), "beta")
+        else:
+            self.gamma = Parameter(np.ones((dim,), dtype), "gamma")
+            self.beta = Parameter(np.zeros((dim,), dtype), "beta")
+
+    def forward(self, x):
+        if x.shape[-1] != self.dim:
+            raise ValueError(f"last axis {x.shape[-1]} != normalized dim {self.dim}")
+        xhat, norm_cache = F.layernorm_forward(x, eps=self.eps)
+        self._cache = (xhat, norm_cache)
+        return ops.add(ops.multiply(xhat, self.gamma.data), self.beta.data)
+
+    def backward(self, grad_out):
+        xhat, norm_cache = self._require_cache()
+        self._cache = None
+        reduce_axes = tuple(range(grad_out.ndim - 1))
+        self.gamma.add_grad(ops.sum_(ops.multiply(grad_out, xhat), axis=reduce_axes))
+        self.beta.add_grad(ops.sum_(grad_out, axis=reduce_axes))
+        grad_xhat = ops.multiply(grad_out, self.gamma.data)
+        return F.layernorm_backward(norm_cache, grad_xhat)

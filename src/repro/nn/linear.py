@@ -1,0 +1,68 @@
+"""Dense linear layer with explicit backward."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.nn import ops
+from repro.nn.init import meta_init, xavier_uniform, zeros_init
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+from repro.utils.seeding import spawn_rng
+
+
+class Linear(Module):
+    """``y = x @ W + b`` over the last axis.
+
+    Weight layout is ``(in_features, out_features)`` — the row/column
+    shard orientation used throughout the Hybrid-STOP derivation
+    (Eqns 1-3 of the paper operate on exactly this layout).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng=None,
+        dtype=np.float32,
+        meta: bool = False,
+    ):
+        super().__init__()
+        if in_features < 1 or out_features < 1:
+            raise ValueError("feature dimensions must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        if meta:
+            self.weight = Parameter(meta_init((in_features, out_features), dtype), "weight")
+            self.bias = Parameter(meta_init((out_features,), dtype), "bias") if bias else None
+        else:
+            rng = spawn_rng(rng)
+            self.weight = Parameter(
+                xavier_uniform(rng, (in_features, out_features), dtype), "weight"
+            )
+            self.bias = Parameter(zeros_init((out_features,), dtype), "bias") if bias else None
+
+    def forward(self, x):
+        if x.shape[-1] != self.in_features:
+            raise ValueError(
+                f"input feature dim {x.shape[-1]} != in_features {self.in_features}"
+            )
+        y = ops.matmul(x, self.weight.data)
+        if self.bias is not None:
+            y = ops.add(y, self.bias.data)
+        self._cache = x
+        return y
+
+    def backward(self, grad_out):
+        x = self._require_cache()
+        self._cache = None
+        batch = math.prod(x.shape[:-1])
+        x2d = ops.reshape(x, (batch, self.in_features))
+        g2d = ops.reshape(grad_out, (batch, self.out_features))
+        self.weight.add_grad(ops.matmul(ops.swapaxes(x2d, 0, 1), g2d))
+        if self.bias is not None:
+            self.bias.add_grad(ops.sum_(g2d, axis=0))
+        return ops.matmul(grad_out, ops.swapaxes(self.weight.data, 0, 1))

@@ -1,0 +1,48 @@
+"""Transformer feed-forward sublayer: ``GeLU(x A) B``.
+
+This is one of the two matrix-chain patterns (``y <- x A B``) that
+Hybrid-STOP shards; :class:`~repro.core.hybrid_linear.HybridSTOPMLP`
+must match this module's forward/backward exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.linear import Linear
+from repro.nn.module import Module
+from repro.utils.seeding import spawn_rng
+
+
+class MLP(Module):
+    """Two linear layers around a GeLU: ``y = GeLU(x @ A) @ B``."""
+
+    def __init__(
+        self,
+        dim: int,
+        hidden_dim: int | None = None,
+        rng=None,
+        dtype=np.float32,
+        meta: bool = False,
+    ):
+        super().__init__()
+        hidden_dim = 4 * dim if hidden_dim is None else hidden_dim
+        self.dim = dim
+        self.hidden_dim = hidden_dim
+        rng = spawn_rng(rng)
+        self.fc1 = Linear(dim, hidden_dim, rng=rng, dtype=dtype, meta=meta)
+        self.fc2 = Linear(hidden_dim, dim, rng=rng, dtype=dtype, meta=meta)
+
+    def forward(self, x):
+        hidden = self.fc1(x)
+        activated, gelu_cache = F.gelu_forward(hidden)
+        self._cache = gelu_cache
+        return self.fc2(activated)
+
+    def backward(self, grad_out):
+        gelu_cache = self._require_cache()
+        self._cache = None
+        grad_activated = self.fc2.backward(grad_out)
+        grad_hidden = F.gelu_backward(gelu_cache, grad_activated)
+        return self.fc1.backward(grad_hidden)

@@ -1,0 +1,256 @@
+"""Array primitives with meta-mode dispatch and FLOP accounting.
+
+Every numeric operation in the :mod:`repro.nn` layers and the
+parallelism engines goes through these functions so that
+
+* real-mode (``numpy.ndarray``) and meta-mode
+  (:class:`~repro.meta.MetaArray`) execution share one code path,
+* FLOPs are reported to the active
+  :class:`~repro.nn.context.ExecutionContext` (the basis of the
+  DeepSpeed-profiler-equivalent in :mod:`repro.perf`), and
+* emulated bfloat16 rounding is applied uniformly at matmuls — the
+  operation whose precision the MI250X matrix engines set.
+
+All functions are pure; none mutate their inputs.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy import special
+
+from repro.meta import MetaArray, is_meta, matmul_shape
+from repro.nn.context import active_precision, record_flops
+
+# ---------------------------------------------------------------------------
+# matmul
+# ---------------------------------------------------------------------------
+
+
+def matmul(a, b):
+    """Batched matrix product with bf16 emulation and FLOP accounting."""
+    if is_meta(a) or is_meta(b):
+        out_shape = matmul_shape(tuple(a.shape), tuple(b.shape))
+        flops = 2 * math.prod(out_shape) * a.shape[-1]
+        record_flops(flops, matmul=True)
+        policy = active_precision()
+        dtype = policy.meta_dtype if policy is not None and policy.is_bf16 else a.dtype
+        return MetaArray(out_shape, dtype)
+    policy = active_precision()
+    if policy is not None and policy.is_bf16:
+        from repro.nn.precision import round_to_bfloat16
+
+        a = round_to_bfloat16(a)
+        b = round_to_bfloat16(b)
+        out = a @ b
+        out = round_to_bfloat16(out)
+    else:
+        out = a @ b
+    record_flops(2 * out.size * a.shape[-1], matmul=True)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# elementwise / broadcasting helpers
+# ---------------------------------------------------------------------------
+
+
+def _binary(a, b, fn, flop_factor: float = 1.0):
+    if is_meta(a) or is_meta(b):
+        a_shape = tuple(a.shape) if hasattr(a, "shape") else ()
+        b_shape = tuple(b.shape) if hasattr(b, "shape") else ()
+        out_shape = np.broadcast_shapes(a_shape, b_shape)
+        dtype = a.dtype if is_meta(a) else b.dtype
+        record_flops(flop_factor * math.prod(out_shape))
+        return MetaArray(out_shape, dtype)
+    out = fn(a, b)
+    record_flops(flop_factor * np.size(out))
+    return out
+
+
+def add(a, b):
+    """Elementwise ``a + b`` with broadcasting."""
+    return _binary(a, b, np.add)
+
+
+def subtract(a, b):
+    """Elementwise ``a - b`` with broadcasting."""
+    return _binary(a, b, np.subtract)
+
+
+def multiply(a, b):
+    """Elementwise ``a * b`` with broadcasting."""
+    return _binary(a, b, np.multiply)
+
+
+def divide(a, b):
+    """Elementwise ``a / b`` with broadcasting."""
+    return _binary(a, b, np.divide)
+
+
+def maximum(a, b):
+    """Elementwise maximum."""
+    return _binary(a, b, np.maximum)
+
+
+def _unary(x, fn, flop_factor: float = 1.0):
+    if is_meta(x):
+        record_flops(flop_factor * x.size)
+        return MetaArray(x.shape, x.dtype)
+    out = fn(x)
+    record_flops(flop_factor * np.size(out))
+    return out
+
+
+def negative(x):
+    """Elementwise negation."""
+    return _unary(x, np.negative)
+
+
+def exp(x):
+    """Elementwise exponential."""
+    return _unary(x, np.exp)
+
+
+def tanh(x):
+    """Elementwise hyperbolic tangent."""
+    return _unary(x, np.tanh)
+
+
+def sqrt(x):
+    """Elementwise square root."""
+    return _unary(x, np.sqrt)
+
+
+def erf(x):
+    """Elementwise error function."""
+    return _unary(x, special.erf)
+
+
+def square(x):
+    """Elementwise square."""
+    return _unary(x, np.square)
+
+
+# ---------------------------------------------------------------------------
+# reductions
+# ---------------------------------------------------------------------------
+
+
+def _reduced_shape(shape: tuple[int, ...], axis, keepdims: bool) -> tuple[int, ...]:
+    if axis is None:
+        axes = tuple(range(len(shape)))
+    elif isinstance(axis, int):
+        axes = (axis % len(shape),)
+    else:
+        axes = tuple(a % len(shape) for a in axis)
+    if keepdims:
+        return tuple(1 if i in axes else s for i, s in enumerate(shape))
+    return tuple(s for i, s in enumerate(shape) if i not in axes)
+
+
+def _reduce(x, fn, axis, keepdims):
+    if is_meta(x):
+        record_flops(x.size)
+        return MetaArray(_reduced_shape(x.shape, axis, keepdims), x.dtype)
+    out = fn(x, axis=axis, keepdims=keepdims)
+    record_flops(np.size(x))
+    return out
+
+
+def sum_(x, axis=None, keepdims=False):
+    """Sum reduction."""
+    return _reduce(x, np.sum, axis, keepdims)
+
+
+def mean(x, axis=None, keepdims=False):
+    """Mean reduction."""
+    return _reduce(x, np.mean, axis, keepdims)
+
+
+def amax(x, axis=None, keepdims=False):
+    """Max reduction."""
+    return _reduce(x, np.max, axis, keepdims)
+
+
+def var(x, axis=None, keepdims=False):
+    """Variance reduction (population, ddof=0)."""
+    return _reduce(x, np.var, axis, keepdims)
+
+
+# ---------------------------------------------------------------------------
+# shape manipulation (zero FLOPs)
+# ---------------------------------------------------------------------------
+
+
+def reshape(x, shape):
+    """Reshape (supports one ``-1`` wildcard)."""
+    if is_meta(x):
+        return x.reshape(shape)
+    return np.reshape(x, shape)
+
+
+def transpose(x, axes):
+    """Permute axes."""
+    if is_meta(x):
+        return x.transpose(axes)
+    return np.transpose(x, axes)
+
+
+def swapaxes(x, a: int, b: int):
+    """Exchange two axes."""
+    if is_meta(x):
+        axes = list(range(x.ndim))
+        axes[a % x.ndim], axes[b % x.ndim] = axes[b % x.ndim], axes[a % x.ndim]
+        return x.transpose(axes)
+    return np.swapaxes(x, a, b)
+
+
+def concat(parts, axis: int = 0):
+    """Concatenate along ``axis``."""
+    parts = list(parts)
+    if not parts:
+        raise ValueError("concat of empty sequence")
+    if any(is_meta(p) for p in parts):
+        first = parts[0]
+        shape = list(first.shape)
+        shape[axis % first.ndim] = sum(p.shape[axis % first.ndim] for p in parts)
+        return MetaArray(tuple(shape), first.dtype)
+    return np.concatenate(parts, axis=axis)
+
+
+def split(x, sections: int, axis: int = 0) -> list:
+    """Split into ``sections`` equal parts along ``axis``."""
+    axis_len = x.shape[axis % x.ndim]
+    if axis_len % sections:
+        raise ValueError(f"axis of length {axis_len} not divisible into {sections} parts")
+    if is_meta(x):
+        shape = list(x.shape)
+        shape[axis % x.ndim] = axis_len // sections
+        part = MetaArray(tuple(shape), x.dtype)
+        return [part] * sections
+    return [np.ascontiguousarray(p) for p in np.split(x, sections, axis=axis)]
+
+
+def zeros_like(x):
+    """All-zeros array with x's shape and dtype."""
+    if is_meta(x):
+        return MetaArray(x.shape, x.dtype)
+    return np.zeros_like(x)
+
+
+def zeros(shape, dtype=np.float32, meta: bool = False):
+    """All-zeros array, real or meta."""
+    if meta:
+        return MetaArray(tuple(shape), dtype)
+    return np.zeros(shape, dtype)
+
+
+def broadcast_to(x, shape):
+    """Broadcast ``x`` to ``shape`` (real mode returns a copy for safe mutation)."""
+    if is_meta(x):
+        np.broadcast_shapes(tuple(x.shape), tuple(shape))
+        return MetaArray(tuple(shape), x.dtype)
+    return np.broadcast_to(x, shape).copy()

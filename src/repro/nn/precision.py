@@ -1,0 +1,90 @@
+"""BFLOAT16 emulation and mixed-precision policies.
+
+The paper trains in BF16 mixed precision (Sec III-B).  NumPy has no
+bfloat16 dtype, so we emulate its *numerics* by round-tripping float32
+values through the bfloat16 representation: keep the sign and 8
+exponent bits, round the 23-bit mantissa to 7 bits with
+round-to-nearest-even.  Compute still happens in float32 (as it does
+inside MI250X matrix pipes, which accumulate in fp32), but operands and
+results carry bfloat16 precision — reproducing gradient underflow/
+overflow, which the dynamic gradient scaler
+(:mod:`repro.nn.grad_scaler`) exists to fix.
+
+In meta mode, bfloat16 buffers are represented as ``float16`` arrays
+purely so that byte accounting sees a 2-byte itemsize.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.meta import MetaArray, is_meta
+
+#: Largest finite bfloat16 value.
+BF16_MAX = 3.3895313892515355e38
+#: Smallest positive normal bfloat16 value.
+BF16_TINY = 1.1754943508222875e-38
+
+
+def round_to_bfloat16(x: np.ndarray) -> np.ndarray:
+    """Round float32 values to the nearest bfloat16 (ties to even).
+
+    Returns a float32 array whose values are exactly representable in
+    bfloat16.  NaN payloads are preserved; values overflowing the
+    bfloat16 exponent range become infinities, like a hardware cast.
+    """
+    if is_meta(x):
+        return MetaArray(x.shape, np.float16)
+    x32 = np.ascontiguousarray(x, dtype=np.float32)
+    bits = x32.view(np.uint32)
+    lsb = (bits >> np.uint32(16)) & np.uint32(1)
+    rounded = bits + np.uint32(0x7FFF) + lsb  # wraps intentionally for round-up
+    out = (rounded & np.uint32(0xFFFF0000)).view(np.float32)
+    # Rounding NaN payload bits can only stay NaN, but be explicit:
+    out = np.where(np.isnan(x32), x32, out)
+    if np.ndim(x) == 0:
+        return np.float32(out.item())
+    return out
+
+
+@dataclass(frozen=True)
+class PrecisionPolicy:
+    """What precision computations and buffers use.
+
+    Parameters
+    ----------
+    compute_dtype:
+        ``"float32"`` (default) or ``"bfloat16"``.  With bfloat16,
+        matmul operands and results are rounded through bf16.
+    buffer_itemsize:
+        Bytes per element used for activation/communication buffers in
+        memory and communication accounting.
+    """
+
+    compute_dtype: str = "float32"
+    buffer_itemsize: int = 4
+
+    def __post_init__(self):
+        if self.compute_dtype not in ("float32", "bfloat16"):
+            raise ValueError(f"unsupported compute_dtype {self.compute_dtype!r}")
+
+    @property
+    def is_bf16(self) -> bool:
+        return self.compute_dtype == "bfloat16"
+
+    @property
+    def meta_dtype(self) -> np.dtype:
+        """Dtype used for meta arrays under this policy (itemsize accounting)."""
+        return np.dtype(np.float16) if self.is_bf16 else np.dtype(np.float32)
+
+    def cast(self, x):
+        """Apply the policy's precision to a value (no-op for float32)."""
+        if not self.is_bf16:
+            return x
+        return round_to_bfloat16(x)
+
+
+FP32 = PrecisionPolicy("float32", buffer_itemsize=4)
+BF16_MIXED = PrecisionPolicy("bfloat16", buffer_itemsize=2)

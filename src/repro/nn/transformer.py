@@ -1,0 +1,91 @@
+"""Pre-norm transformer blocks (the ViT training block of Fig 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import ops
+from repro.nn.attention import MultiHeadAttention
+from repro.nn.layernorm import LayerNorm
+from repro.nn.mlp import MLP
+from repro.nn.module import Module
+from repro.utils.seeding import spawn_rng
+
+
+class TransformerBlock(Module):
+    """``x + attn(ln1(x))`` then ``x + mlp(ln2(x))`` (pre-LN)."""
+
+    def __init__(
+        self,
+        dim: int,
+        num_heads: int,
+        mlp_ratio: float = 4.0,
+        qk_layernorm: bool = False,
+        rng=None,
+        dtype=np.float32,
+        meta: bool = False,
+    ):
+        super().__init__()
+        rng = spawn_rng(rng)
+        self.ln1 = LayerNorm(dim, dtype=dtype, meta=meta)
+        self.attn = MultiHeadAttention(
+            dim, num_heads, qk_layernorm=qk_layernorm, rng=rng, dtype=dtype, meta=meta
+        )
+        self.ln2 = LayerNorm(dim, dtype=dtype, meta=meta)
+        self.mlp = MLP(dim, int(dim * mlp_ratio), rng=rng, dtype=dtype, meta=meta)
+
+    def forward(self, x):
+        x = ops.add(x, self.attn(self.ln1(x)))
+        x = ops.add(x, self.mlp(self.ln2(x)))
+        self._cache = True
+        return x
+
+    def backward(self, grad_out):
+        self._require_cache()
+        self._cache = None
+        grad = ops.add(grad_out, self.ln2.backward(self.mlp.backward(grad_out)))
+        grad = ops.add(grad, self.ln1.backward(self.attn.backward(grad)))
+        return grad
+
+
+class TransformerStack(Module):
+    """A stack of :class:`TransformerBlock` with shared configuration."""
+
+    def __init__(
+        self,
+        dim: int,
+        depth: int,
+        num_heads: int,
+        mlp_ratio: float = 4.0,
+        qk_layernorm: bool = False,
+        rng=None,
+        dtype=np.float32,
+        meta: bool = False,
+    ):
+        super().__init__()
+        if depth < 1:
+            raise ValueError("depth must be positive")
+        rng = spawn_rng(rng)
+        self.blocks: list[TransformerBlock] = []
+        for index in range(depth):
+            block = TransformerBlock(
+                dim,
+                num_heads,
+                mlp_ratio=mlp_ratio,
+                qk_layernorm=qk_layernorm,
+                rng=rng,
+                dtype=dtype,
+                meta=meta,
+            )
+            self.register_module(f"block{index}", block)
+            self.blocks.append(block)
+
+    def forward(self, x):
+        for block in self.blocks:
+            x = block(x)
+        return x
+
+    def backward(self, grad_out):
+        for block in reversed(self.blocks):
+            grad_out = block.backward(grad_out)
+        return grad_out

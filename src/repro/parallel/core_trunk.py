@@ -1,0 +1,27 @@
+"""Adapter: extract a trunk template from a built ClimaXViT model."""
+
+from __future__ import annotations
+
+from repro.models.climax_vit import ClimaXViT
+from repro.nn.transformer import TransformerBlock
+
+
+class _TrunkTemplate:
+    """Duck-typed stand-in for a TransformerStack: just exposes ``blocks``."""
+
+    def __init__(self, blocks: list[TransformerBlock]):
+        self.blocks = blocks
+
+
+def make_trunk_template(model: ClimaXViT) -> _TrunkTemplate:
+    """The serial transformer blocks of a model, as a trunk template.
+
+    The blocks' parameters are *consumed* by the Hybrid-STOP trunk
+    (sharded); the serial model should not be executed afterwards.
+    """
+    blocks = []
+    for block in model.blocks:
+        if not isinstance(block, TransformerBlock):
+            raise TypeError(f"expected plain TransformerBlock, got {type(block)!r}")
+        blocks.append(block)
+    return _TrunkTemplate(blocks)

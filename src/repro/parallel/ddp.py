@@ -1,0 +1,133 @@
+"""Distributed Data Parallelism: full replicas, one gradient reduction.
+
+The outermost axis of the hierarchy (paper Fig 4): each DDP replica
+holds a complete copy of the model (or a complete Hybrid-STOP sharded
+instance), trains on its own data subset, and gradients are averaged
+across replicas with a single all-reduce per step — the least
+communication of the three axes, hence mapped to whole sub-clusters.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+
+from repro.cluster.cluster import VirtualCluster
+from repro.cluster.collectives import all_reduce
+from repro.meta import is_meta
+from repro.nn.module import Module
+
+
+def clone_module(module: Module) -> Module:
+    """Deep-copy a module, including its parameters (a fresh replica)."""
+    return copy.deepcopy(module)
+
+
+def clone_module_shared_params(module: Module) -> Module:
+    """Deep-copy the module *structure* while sharing Parameter objects.
+
+    Clones share weights and accumulate gradients into the same slots —
+    used to give each micro-batch its own activation caches without
+    duplicating parameters.
+    """
+    memo = {id(p): p for p in module.parameters()}
+    return copy.deepcopy(module, memo)
+
+
+class DDPEngine:
+    """Replicate a serial module over DDP groups on a cluster.
+
+    Parameters
+    ----------
+    serial:
+        Template module; replica 0 uses it directly, the others get
+        deep copies (identical initial weights).
+    cluster:
+        One replica per device when ``ranks_per_replica == 1``;
+        otherwise replicas are placed on every ``ranks_per_replica``-th
+        device (the replica's "lead" rank, used for gradient reduction
+        accounting).
+    """
+
+    def __init__(
+        self,
+        serial: Module,
+        cluster: VirtualCluster,
+        num_replicas: int,
+        compute_model=None,
+    ):
+        if num_replicas < 1:
+            raise ValueError("num_replicas must be positive")
+        if cluster.world_size % num_replicas:
+            raise ValueError(
+                f"world size {cluster.world_size} not divisible by {num_replicas} replicas"
+            )
+        self.cluster = cluster
+        self.compute_model = compute_model
+        self.replicas = [serial] + [clone_module(serial) for _ in range(num_replicas - 1)]
+        stride = cluster.world_size // num_replicas
+        self.lead_ranks = [d * stride for d in range(num_replicas)]
+        self.group = cluster.new_group(self.lead_ranks)
+
+    @property
+    def num_replicas(self) -> int:
+        return len(self.replicas)
+
+    def forward(self, xs: list, *extra_per_replica) -> list:
+        """One batch per replica; returns per-replica outputs."""
+        if len(xs) != self.num_replicas:
+            raise ValueError(f"expected {self.num_replicas} batches, got {len(xs)}")
+        ys = []
+        for d, (replica, x) in enumerate(zip(self.replicas, xs)):
+            extras = [arg[d] for arg in extra_per_replica]
+            from repro.nn.context import ExecutionContext, execution_context
+
+            ctx = ExecutionContext()
+            with execution_context(ctx):
+                ys.append(replica(x, *extras))
+            if self.compute_model is not None:
+                rank = self.lead_ranks[d]
+                self.cluster.timeline.record_compute(
+                    rank, self.compute_model.seconds_for(ctx.flops, rank), ctx.flops
+                )
+        return ys
+
+    def backward(self, grad_ys: list) -> list:
+        """Backprop each replica, then all-reduce gradients (sum)."""
+        grad_xs = [replica.backward(g) for replica, g in zip(self.replicas, grad_ys)]
+        self.allreduce_gradients()
+        return grad_xs
+
+    def allreduce_gradients(self) -> None:
+        """Sum gradients across replicas (the once-per-step DDP reduction)."""
+        if self.num_replicas == 1:
+            return
+        param_lists = [dict(r.named_parameters()) for r in self.replicas]
+        for name in param_lists[0]:
+            grads = [params[name].grad for params in param_lists]
+            if any(g is None for g in grads):
+                missing = [i for i, g in enumerate(grads) if g is None]
+                raise RuntimeError(f"replicas {missing} have no gradient for {name}")
+            reduced = all_reduce(self.group, grads, op="sum")
+            for params, grad in zip(param_lists, reduced):
+                # all_reduce hands every replica the same buffer; copy so a
+                # later in-place unscale on one replica can't alias others.
+                params[name].grad = grad if is_meta(grad) else np.array(grad, copy=True)
+
+    def zero_grad(self) -> None:
+        for replica in self.replicas:
+            replica.zero_grad()
+
+    def replica_state_in_sync(self) -> bool:
+        """True when all replicas hold identical parameters."""
+        reference = self.replicas[0].state_dict()
+        for replica in self.replicas[1:]:
+            state = replica.state_dict()
+            for name, value in reference.items():
+                other = state[name]
+                if hasattr(value, "shape") and not np.array_equal(
+                    np.asarray(value), np.asarray(other)
+                ):
+                    return False
+        return True

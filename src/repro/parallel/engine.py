@@ -1,0 +1,306 @@
+"""The full Hybrid-STOP training engine for the ORBIT model.
+
+Composes the three orthogonal axes of paper Fig 4 around a
+:class:`~repro.models.climax_vit.ClimaXViT`:
+
+* the transformer trunk (nearly all parameters) runs as a
+  :class:`~repro.core.hybrid_block.HybridSTOPTrunk` — tensor-parallel
+  column/row shards, FSDP flat shards, per-layer gather/free;
+* the dense front (patch/variable/positional/lead-time embeddings and
+  the cross-variable aggregator) and the prediction head are small and
+  replicated on every rank of a replica; each FSDP index gets its own
+  activation caches via structure clones that *share* the replica's
+  parameters, so micro-batch gradients accumulate naturally;
+* DDP replicas are deep copies trained on different data subsets whose
+  gradients are summed once per step (:meth:`allreduce_gradients`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.collectives import all_reduce
+from repro.meta import is_meta, nbytes_of
+from repro.models.climax_vit import ClimaXViT
+from repro.nn.checkpoint import CheckpointWrapper
+from repro.nn.context import ExecutionContext, execution_context
+from repro.nn.module import Module
+from repro.nn.transformer import TransformerBlock
+from repro.parallel.core_trunk import make_trunk_template
+from repro.parallel.ddp import clone_module, clone_module_shared_params
+from repro.parallel.plan import HybridParallelPlan
+
+
+class _DenseFront(Module):
+    """Embedding pipeline ahead of the trunk (replicated per rank)."""
+
+    def __init__(self, model: ClimaXViT):
+        super().__init__()
+        self.patch_embed = model.patch_embed
+        self.var_embed = model.var_embed
+        self.aggregate = model.aggregate
+        self.pos_embed = model.pos_embed
+        self.lead_embed = model.lead_embed
+
+    def forward(self, x, lead_time_hours):
+        tokens = self.patch_embed(x)
+        tokens = self.var_embed(tokens)
+        tokens = self.aggregate(tokens)
+        tokens = self.pos_embed(tokens)
+        self._cache = True
+        return self.lead_embed(tokens, lead_time_hours)
+
+    def backward(self, grad_tokens):
+        self._require_cache()
+        self._cache = None
+        grad = self.lead_embed.backward(grad_tokens)
+        grad = self.pos_embed.backward(grad)
+        grad = self.aggregate.backward(grad)
+        grad = self.var_embed.backward(grad)
+        return self.patch_embed.backward(grad)
+
+
+class _DenseHead(Module):
+    """Prediction head (replicated per rank)."""
+
+    def __init__(self, model: ClimaXViT):
+        super().__init__()
+        self.head = model.head
+
+    def forward(self, tokens):
+        self._cache = True
+        return self.head(tokens)
+
+    def backward(self, grad_pred):
+        self._require_cache()
+        self._cache = None
+        return self.head.backward(grad_pred)
+
+
+class HybridSTOPEngine:
+    """Train a ClimaX/ORBIT model with Hybrid-STOP hierarchical parallelism.
+
+    Parameters
+    ----------
+    model:
+        Serial model (must be built *without* activation checkpointing;
+        the engine owns recompute policy).
+    plan:
+        Group layout; ``plan.cluster`` supplies devices and timeline.
+    prefetch / layer_wrapping:
+        The Sec III-B communication optimizations.
+    compute_model:
+        Optional FLOPs-to-seconds model for walltime accounting.
+    """
+
+    def __init__(
+        self,
+        model: ClimaXViT,
+        plan: HybridParallelPlan,
+        prefetch: bool = False,
+        layer_wrapping: bool = True,
+        compute_model=None,
+    ):
+        if any(isinstance(b, CheckpointWrapper) for b in model.blocks):
+            raise ValueError(
+                "build the serial model with activation_checkpointing=False; "
+                "the engine controls recompute policy"
+            )
+        self.plan = plan
+        self.compute_model = compute_model
+        self.config = model.config
+        D, F, K = plan.ddp_size, plan.fsdp_size, plan.tp_size
+
+        self.fronts: list[list[_DenseFront]] = []
+        self.heads: list[list[_DenseHead]] = []
+        self.trunks = []
+        self._dense_allocs = []
+        for d in range(D):
+            replica_model = model if d == 0 else clone_module(model)
+            front = _DenseFront(replica_model)
+            head = _DenseHead(replica_model)
+            self.fronts.append(
+                [front] + [clone_module_shared_params(front) for _ in range(F - 1)]
+            )
+            self.heads.append(
+                [head] + [clone_module_shared_params(head) for _ in range(F - 1)]
+            )
+            trunk_template = make_trunk_template(replica_model)
+            from repro.core.hybrid_block import HybridSTOPTrunk
+
+            self.trunks.append(
+                HybridSTOPTrunk(
+                    trunk_template,
+                    plan,
+                    ddp_index=d,
+                    prefetch=prefetch,
+                    layer_wrapping=layer_wrapping,
+                    compute_model=compute_model,
+                    name=f"trunk{d}",
+                )
+            )
+            # Dense parameters are fully replicated on every rank of the replica.
+            dense_bytes = front.parameter_bytes() + head.parameter_bytes()
+            for f in range(F):
+                for k in range(K):
+                    device = plan.cluster.device(plan.rank(d, f, k))
+                    self._dense_allocs.append(
+                        (device, device.memory.allocate(dense_bytes, tag="params.dense"))
+                    )
+
+    # -- accounting helpers -------------------------------------------------------
+    def _ranked(self, d: int, f: int):
+        return _RankedCompute(self, self.plan.rank(d, f, 0))
+
+    def _record_dense_grad_sync(self, d: int) -> None:
+        """Cost of reducing replicated dense grads across the replica."""
+        dense_bytes = self.fronts[d][0].parameter_bytes() + self.heads[d][0].parameter_bytes()
+        replica_ranks = [
+            self.plan.rank(d, f, k)
+            for f in range(self.plan.fsdp_size)
+            for k in range(self.plan.tp_size)
+        ]
+        if len(replica_ranks) > 1:
+            seconds = self.plan.cluster.cost_model.all_reduce(replica_ranks, dense_bytes)
+            self.plan.cluster.timeline.record_comm(replica_ranks, seconds, dense_bytes)
+
+    # -- execution -----------------------------------------------------------------
+    def forward(self, xs: list, lead_times: list) -> list:
+        """``xs[d][f]`` is replica d / FSDP index f's micro-batch.
+
+        Returns predictions with the same nesting.
+        """
+        D, F = self.plan.ddp_size, self.plan.fsdp_size
+        if len(xs) != D or any(len(batch) != F for batch in xs):
+            raise ValueError(f"expected xs nested as [{D}][{F}]")
+        ys = []
+        for d in range(D):
+            tokens = []
+            for f in range(F):
+                with self._ranked(d, f):
+                    tokens.append(self.fronts[d][f](xs[d][f], lead_times[d][f]))
+            tokens = self.trunks[d].forward(tokens)
+            preds = []
+            for f in range(F):
+                with self._ranked(d, f):
+                    preds.append(self.heads[d][f](tokens[f]))
+            ys.append(preds)
+        return ys
+
+    def backward(self, grad_ys: list) -> list:
+        """Backprop; returns per-micro-batch input gradients."""
+        D, F = self.plan.ddp_size, self.plan.fsdp_size
+        grad_xs = []
+        for d in range(D):
+            grads = []
+            for f in range(F):
+                with self._ranked(d, f):
+                    grads.append(self.heads[d][f].backward(grad_ys[d][f]))
+            grads = self.trunks[d].backward(grads)
+            replica_grad_xs = []
+            for f in range(F):
+                with self._ranked(d, f):
+                    replica_grad_xs.append(self.fronts[d][f].backward(grads[f]))
+            grad_xs.append(replica_grad_xs)
+            self._record_dense_grad_sync(d)
+        return grad_xs
+
+    # -- gradient synchronization ----------------------------------------------------
+    def allreduce_gradients(self) -> None:
+        """DDP reduction: sum gradients across replicas (trunk shards + dense)."""
+        D = self.plan.ddp_size
+        if D == 1:
+            return
+        # Trunk: reduce shard-by-shard over the matching device positions.
+        per_replica = [trunk.sharded_parameters() for trunk in self.trunks]
+        for params in zip(*per_replica):
+            num_shards = params[0].num_shards
+            for j in range(num_shards):
+                ranks = [p.devices[j].rank for p in params]
+                group = self.plan.cluster.new_group(ranks)
+                grads = [p.grad_shards[j] for p in params]
+                reduced = all_reduce(group, grads, op="sum")
+                for p, grad in zip(params, reduced):
+                    p.grad_shards[j] = grad if is_meta(grad) else np.array(grad, copy=True)
+        # Dense modules: reduce each parameter across replica leads.
+        lead_group = self.plan.cluster.new_group(
+            [self.plan.rank(d, 0, 0) for d in range(D)]
+        )
+        dense_per_replica = [
+            dict(self.fronts[d][0].named_parameters())
+            | {f"head.{n}": p for n, p in self.heads[d][0].named_parameters()}
+            for d in range(D)
+        ]
+        for name in dense_per_replica[0]:
+            grads = [dense_per_replica[d][name].grad for d in range(D)]
+            if any(g is None for g in grads):
+                raise RuntimeError(f"dense parameter {name} missing a replica gradient")
+            reduced = all_reduce(lead_group, grads, op="sum")
+            for d in range(D):
+                grad = reduced[d]
+                dense_per_replica[d][name].grad = (
+                    grad if is_meta(grad) else np.array(grad, copy=True)
+                )
+
+    # -- checkpoint interoperability ---------------------------------------------
+    def gathered_state_dict(self, replica: int = 0) -> dict:
+        """The serial model's state dict, reassembled from the shards.
+
+        The keys match :meth:`ClimaXViT.state_dict`, so a distributed
+        pre-training run can be saved with
+        :func:`repro.train.checkpoint.save_checkpoint` on a serial model
+        loaded from this dict, then fine-tuned anywhere.
+        """
+        state: dict = {}
+        state.update({n: p.data for n, p in self.fronts[replica][0].named_parameters()})
+        state.update({n: p.data for n, p in self.heads[replica][0].named_parameters()})
+        trunk = self.trunks[replica]
+        for index, block in enumerate(trunk.blocks):
+            prefix = f"block{index}"
+            state[f"{prefix}.ln1.gamma"] = block.ln1.gamma.full()
+            state[f"{prefix}.ln1.beta"] = block.ln1.beta.full()
+            state[f"{prefix}.ln2.gamma"] = block.ln2.gamma.full()
+            state[f"{prefix}.ln2.beta"] = block.ln2.beta.full()
+            for name, value in block.attn.gathered_state().items():
+                state[f"{prefix}.attn.{name}"] = value
+            for name, value in block.mlp.gathered_state().items():
+                state[f"{prefix}.mlp.{name}"] = value
+        return state
+
+    # -- parameter access ----------------------------------------------------------
+    def dense_parameters(self, replica: int = 0) -> list:
+        """Dense (replicated) Parameters of one replica."""
+        return self.fronts[replica][0].parameters() + self.heads[replica][0].parameters()
+
+    def sharded_parameters(self, replica: int = 0) -> list:
+        """Trunk ShardedParameters of one replica."""
+        return self.trunks[replica].sharded_parameters()
+
+    def zero_grad(self) -> None:
+        for d in range(self.plan.ddp_size):
+            self.fronts[d][0].zero_grad()
+            self.heads[d][0].zero_grad()
+            self.trunks[d].zero_grad()
+
+
+class _RankedCompute:
+    """Attribute enclosed dense-module compute to one rank."""
+
+    def __init__(self, engine: HybridSTOPEngine, rank: int):
+        self.engine = engine
+        self.rank = rank
+        self.ctx = ExecutionContext()
+        self._mgr = None
+
+    def __enter__(self):
+        self._mgr = execution_context(self.ctx)
+        self._mgr.__enter__()
+        return self
+
+    def __exit__(self, *exc):
+        self._mgr.__exit__(*exc)
+        engine = self.engine
+        if engine.compute_model is not None:
+            seconds = engine.compute_model.seconds_for(self.ctx.flops, self.rank)
+            engine.plan.cluster.timeline.record_compute(self.rank, seconds, self.ctx.flops)
+        return False

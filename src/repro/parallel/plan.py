@@ -1,0 +1,129 @@
+"""Hierarchical parallel group layout (paper Fig 4).
+
+The three orthogonal axes and their placement on the machine:
+
+* **tensor-parallel** groups communicate per-layer activations
+  (fine-grained, latency-sensitive) and are therefore mapped to
+  *consecutive ranks inside one node* to ride the Infinity Fabric;
+* **FSDP** groups communicate parameter shards (coarser) and are
+  mapped *across nodes* — with the default layout, members of an FSDP
+  group sit at the same slot of different tensor-parallel groups;
+* **DDP** groups communicate once per step (gradient reduction) and
+  span sub-clusters.
+
+Global rank layout (default, ``tp_innermost=True``)::
+
+    rank(d, f, k) = d * F * K + f * K + k
+
+so the K members of a tensor-parallel group are consecutive (in-node
+whenever K <= gpus_per_node), and FSDP members are strided by K.
+``tp_innermost=False`` swaps the two — the pessimal mapping used by the
+hierarchy ablation.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.cluster import VirtualCluster
+from repro.cluster.process_group import ProcessGroup
+
+
+class HybridParallelPlan:
+    """Factorize a cluster into (DDP, FSDP, tensor-parallel) groups.
+
+    Parameters
+    ----------
+    cluster:
+        The virtual cluster; its world size must equal
+        ``ddp_size * fsdp_size * tp_size``.
+    tp_size / fsdp_size / ddp_size:
+        Sizes of the three orthogonal axes (K, F, D in the paper's
+        notation).
+    tp_innermost:
+        Default True: tensor-parallel ranks consecutive (in-node).
+        False places FSDP innermost instead (ablation of Fig 4).
+    """
+
+    def __init__(
+        self,
+        cluster: VirtualCluster,
+        tp_size: int = 1,
+        fsdp_size: int = 1,
+        ddp_size: int = 1,
+        tp_innermost: bool = True,
+    ):
+        if min(tp_size, fsdp_size, ddp_size) < 1:
+            raise ValueError("group sizes must be positive")
+        if tp_size * fsdp_size * ddp_size != cluster.world_size:
+            raise ValueError(
+                f"tp({tp_size}) * fsdp({fsdp_size}) * ddp({ddp_size}) = "
+                f"{tp_size * fsdp_size * ddp_size} != world size {cluster.world_size}"
+            )
+        self.cluster = cluster
+        self.tp_size = tp_size
+        self.fsdp_size = fsdp_size
+        self.ddp_size = ddp_size
+        self.tp_innermost = tp_innermost
+        self._tp_groups: dict[tuple[int, int], ProcessGroup] = {}
+        self._fsdp_groups: dict[tuple[int, int], ProcessGroup] = {}
+        self._ddp_groups: dict[tuple[int, int], ProcessGroup] = {}
+
+    # -- rank arithmetic -----------------------------------------------------
+    def rank(self, ddp: int, fsdp: int, tp: int) -> int:
+        """Global rank of grid coordinate ``(d, f, k)``."""
+        self._check(ddp, fsdp, tp)
+        per_replica = self.tp_size * self.fsdp_size
+        if self.tp_innermost:
+            return ddp * per_replica + fsdp * self.tp_size + tp
+        return ddp * per_replica + tp * self.fsdp_size + fsdp
+
+    def coords(self, rank: int) -> tuple[int, int, int]:
+        """Inverse of :meth:`rank`: ``(ddp, fsdp, tp)`` of a global rank."""
+        per_replica = self.tp_size * self.fsdp_size
+        ddp, rem = divmod(rank, per_replica)
+        if self.tp_innermost:
+            fsdp, tp = divmod(rem, self.tp_size)
+        else:
+            tp, fsdp = divmod(rem, self.fsdp_size)
+        return ddp, fsdp, tp
+
+    def _check(self, ddp: int, fsdp: int, tp: int) -> None:
+        if not (0 <= ddp < self.ddp_size and 0 <= fsdp < self.fsdp_size and 0 <= tp < self.tp_size):
+            raise ValueError(
+                f"grid coordinate ({ddp}, {fsdp}, {tp}) outside "
+                f"({self.ddp_size}, {self.fsdp_size}, {self.tp_size})"
+            )
+
+    # -- groups ---------------------------------------------------------------
+    def tp_group(self, ddp: int, fsdp: int) -> ProcessGroup:
+        """Tensor-parallel group: fixed (d, f), all k."""
+        key = (ddp, fsdp)
+        if key not in self._tp_groups:
+            ranks = [self.rank(ddp, fsdp, k) for k in range(self.tp_size)]
+            self._tp_groups[key] = self.cluster.new_group(ranks)
+        return self._tp_groups[key]
+
+    def fsdp_group(self, ddp: int, tp: int) -> ProcessGroup:
+        """FSDP group: fixed (d, k), all f."""
+        key = (ddp, tp)
+        if key not in self._fsdp_groups:
+            ranks = [self.rank(ddp, f, tp) for f in range(self.fsdp_size)]
+            self._fsdp_groups[key] = self.cluster.new_group(ranks)
+        return self._fsdp_groups[key]
+
+    def ddp_group(self, fsdp: int, tp: int) -> ProcessGroup:
+        """DDP group: fixed (f, k), all d."""
+        key = (fsdp, tp)
+        if key not in self._ddp_groups:
+            ranks = [self.rank(d, fsdp, tp) for d in range(self.ddp_size)]
+            self._ddp_groups[key] = self.cluster.new_group(ranks)
+        return self._ddp_groups[key]
+
+    def fsdp_devices(self, ddp: int, tp: int) -> list:
+        """Devices hosting one FSDP group, in group order."""
+        return [self.cluster.device(r) for r in self.fsdp_group(ddp, tp).ranks]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"HybridParallelPlan(ddp={self.ddp_size}, fsdp={self.fsdp_size}, "
+            f"tp={self.tp_size}, tp_innermost={self.tp_innermost})"
+        )

@@ -1,0 +1,87 @@
+"""Megatron-style tensor parallelism (the head-limited baseline).
+
+Plain tensor parallelism shards attention by *whole heads* and the MLP
+by hidden columns/rows, keeps shards fully resident (no FSDP flat
+sharding, no gathers), and all-reduces activations per sublayer.  Its
+scalability is therefore capped by the attention head count — the
+limitation paper Fig 5 contrasts Hybrid-STOP against.
+
+Implementation note: a Megatron block is exactly a Hybrid-STOP block
+with FSDP degree 1 (singleton gathers are free and the flat "shards"
+are the whole tensor-parallel shard), so this wraps
+:class:`~repro.core.hybrid_block.HybridSTOPBlock` with the whole-head
+constraint enforced.
+"""
+
+from __future__ import annotations
+
+from repro.core.hybrid_block import HybridSTOPBlock, HybridSTOPTrunk
+from repro.nn.transformer import TransformerBlock, TransformerStack
+from repro.parallel.plan import HybridParallelPlan
+
+
+class TensorParallelismLimitError(ValueError):
+    """Raised when a tensor-parallel degree exceeds the attention head count."""
+
+
+def _check_head_limit(num_heads: int, tp_size: int) -> None:
+    if tp_size > num_heads:
+        raise TensorParallelismLimitError(
+            f"tensor parallelism is limited by the number of attention heads: "
+            f"requested degree {tp_size} > {num_heads} heads (Hybrid-STOP's "
+            "sub-head sharding removes this limit)"
+        )
+    if num_heads % tp_size:
+        raise TensorParallelismLimitError(
+            f"num_heads {num_heads} not divisible by tensor-parallel degree {tp_size}"
+        )
+
+
+class TensorParallelBlock:
+    """One transformer block under whole-head tensor parallelism."""
+
+    def __init__(self, serial: TransformerBlock, plan: HybridParallelPlan, **kwargs):
+        if plan.fsdp_size != 1:
+            raise ValueError("plain tensor parallelism takes an FSDP-free plan (fsdp_size=1)")
+        _check_head_limit(serial.attn.num_heads, plan.tp_size)
+        self._block = HybridSTOPBlock(serial, plan, **kwargs)
+
+    def forward(self, x):
+        return self._block.forward([x])[0]
+
+    def backward(self, grad_y):
+        return self._block.backward([grad_y])[0]
+
+    def gathered_grads(self) -> dict:
+        return self._block.gathered_grads()
+
+    def sharded_parameters(self):
+        return self._block.sharded_parameters()
+
+    def zero_grad(self) -> None:
+        self._block.zero_grad()
+
+
+class TensorParallelTrunk:
+    """A transformer stack under whole-head tensor parallelism."""
+
+    def __init__(self, serial: TransformerStack, plan: HybridParallelPlan, **kwargs):
+        if plan.fsdp_size != 1:
+            raise ValueError("plain tensor parallelism takes an FSDP-free plan (fsdp_size=1)")
+        _check_head_limit(serial.blocks[0].attn.num_heads, plan.tp_size)
+        self._trunk = HybridSTOPTrunk(serial, plan, **kwargs)
+
+    def forward(self, x):
+        return self._trunk.forward([x])[0]
+
+    def backward(self, grad_y):
+        return self._trunk.backward([grad_y])[0]
+
+    def gathered_grads(self) -> dict:
+        return self._trunk.gathered_grads()
+
+    def sharded_parameters(self):
+        return self._trunk.sharded_parameters()
+
+    def zero_grad(self) -> None:
+        self._trunk.zero_grad()

@@ -1,0 +1,54 @@
+"""FLOP profiler — the DeepSpeed-profiler equivalent (paper Sec IV).
+
+Wraps an :class:`~repro.nn.context.ExecutionContext` so any real- or
+meta-mode region can be measured::
+
+    profiler = FlopsProfiler()
+    with profiler.profile():
+        model(x, lead)
+    profiler.total_flops
+
+Like the paper's measurement, recomputed forward passes (activation
+checkpointing) count as executed FLOPs.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.nn.context import ExecutionContext, execution_context
+
+
+class FlopsProfiler:
+    """Accumulates FLOPs (and wall time) over profiled regions."""
+
+    def __init__(self):
+        self.total_flops = 0.0
+        self.matmul_flops = 0.0
+        self.elapsed_s = 0.0
+        self.num_regions = 0
+
+    @contextmanager
+    def profile(self) -> Iterator[ExecutionContext]:
+        """Measure one region; accumulates into the profiler totals."""
+        ctx = ExecutionContext()
+        start = time.perf_counter()
+        with execution_context(ctx):
+            yield ctx
+        self.elapsed_s += time.perf_counter() - start
+        self.total_flops += ctx.flops
+        self.matmul_flops += ctx.matmul_flops
+        self.num_regions += 1
+
+    @property
+    def achieved_flops_per_second(self) -> float:
+        """Measured throughput of the profiled regions (host compute)."""
+        return self.total_flops / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    def reset(self) -> None:
+        self.total_flops = 0.0
+        self.matmul_flops = 0.0
+        self.elapsed_s = 0.0
+        self.num_regions = 0

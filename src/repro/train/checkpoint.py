@@ -1,0 +1,36 @@
+"""Model checkpoint persistence (single .npz per checkpoint)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+def save_checkpoint(module: Module, path, metadata: dict | None = None) -> None:
+    """Write every parameter (plus JSON metadata) to an ``.npz`` file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    state = module.state_dict()
+    arrays = {f"param::{name}": np.asarray(value) for name, value in state.items()}
+    arrays["metadata"] = np.frombuffer(
+        json.dumps(metadata or {}).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(path, **arrays)
+
+
+def load_checkpoint(module: Module, path) -> dict:
+    """Load parameters saved by :func:`save_checkpoint`; returns the metadata."""
+    path = Path(path)
+    with np.load(path) as archive:
+        state = {
+            key[len("param::"):]: archive[key]
+            for key in archive.files
+            if key.startswith("param::")
+        }
+        metadata = json.loads(bytes(archive["metadata"]).decode("utf-8"))
+    module.load_state_dict(state)
+    return metadata

@@ -1,0 +1,115 @@
+"""Distributed training loop over the Hybrid-STOP engine.
+
+Wires a :class:`~repro.parallel.engine.HybridSTOPEngine` to the wMSE
+loss and a shard-aware AdamW: the global batch is split across the
+(DDP x FSDP) grid, per-micro-batch gradients are scaled so their sum
+equals the serial global-batch gradient, and the optimizer updates both
+the replicated dense parameters and the flat shards in place — the full
+training step of paper Fig 3/Fig 4, end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.loader import Batch
+from repro.parallel.engine import HybridSTOPEngine
+from repro.train.loss import latitude_weighted_mse
+from repro.train.optimizer import AdamW, sharded_views
+from repro.train.schedule import WarmupCosineSchedule
+
+
+class DistributedTrainer:
+    """Train a Hybrid-STOP engine on loader batches.
+
+    Parameters
+    ----------
+    engine:
+        The distributed model instance.
+    lat_weights:
+        Latitude weights for the wMSE loss.
+    lr / weight_decay / schedule:
+        Optimizer settings; one AdamW instance covers every replica's
+        dense parameters and every parameter shard (updates are
+        deterministic, so replicas stay synchronized).
+    """
+
+    def __init__(
+        self,
+        engine: HybridSTOPEngine,
+        lat_weights: np.ndarray,
+        lr: float = 1e-3,
+        weight_decay: float = 0.0,
+        schedule: WarmupCosineSchedule | None = None,
+        precision=None,
+    ):
+        self.engine = engine
+        self.lat_weights = lat_weights
+        self.schedule = schedule
+        #: optional :class:`~repro.nn.precision.PrecisionPolicy`; with
+        #: BF16 the engine's matmuls round through bfloat16 exactly as
+        #: the serial trainer's do.  (Dynamic gradient scaling for the
+        #: sharded path is intentionally not wired here: shard-aware
+        #: unscaling belongs to the optimizer views, not the trainer.)
+        self.precision = precision
+        handles = []
+        for d in range(engine.plan.ddp_size):
+            handles.extend(engine.dense_parameters(d))
+            handles.extend(sharded_views(engine.sharded_parameters(d)))
+        self.optimizer = AdamW(handles, lr=lr, weight_decay=weight_decay)
+        self.step_count = 0
+
+    # -- batch splitting ----------------------------------------------------------
+    def _split(self, array: np.ndarray) -> list[list[np.ndarray]]:
+        D, F = self.engine.plan.ddp_size, self.engine.plan.fsdp_size
+        shards = D * F
+        if array.shape[0] % shards:
+            raise ValueError(
+                f"global batch {array.shape[0]} not divisible over "
+                f"ddp({D}) x fsdp({F}) = {shards} micro-batches"
+            )
+        micro = array.shape[0] // shards
+        flat = [array[i * micro : (i + 1) * micro] for i in range(shards)]
+        return [flat[d * F : (d + 1) * F] for d in range(D)]
+
+    # -- one step ---------------------------------------------------------------------
+    def train_step(self, batch: Batch) -> float:
+        """One synchronous optimizer step over a global batch."""
+        xs = self._split(batch.x)
+        leads = self._split(batch.lead_time_hours)
+        ys = self._split(batch.y)
+        D, F = self.engine.plan.ddp_size, self.engine.plan.fsdp_size
+        global_batch = batch.x.shape[0]
+        micro = global_batch // (D * F)
+
+        from repro.nn.context import ExecutionContext, execution_context
+
+        with execution_context(ExecutionContext(precision=self.precision)):
+            predictions = self.engine.forward(xs, leads)
+            losses = []
+            grads = []
+            for d in range(D):
+                row = []
+                for f in range(F):
+                    loss, grad = latitude_weighted_mse(
+                        predictions[d][f], ys[d][f], self.lat_weights
+                    )
+                    losses.append(loss)
+                    # Micro-batch gradients are means over `micro` samples;
+                    # rescale so the reduced sum is the global-batch mean.
+                    row.append(grad * (micro / global_batch))
+                grads.append(row)
+            self.engine.zero_grad()
+            self.engine.backward(grads)
+        self.engine.allreduce_gradients()
+        lr = self.schedule(self.step_count) if self.schedule else None
+        self.optimizer.step(lr=lr)
+        self.step_count += 1
+        return float(np.mean(losses))
+
+    def train(self, batches, num_steps: int) -> list[float]:
+        """Run ``num_steps`` steps from a batch iterator; returns losses."""
+        if num_steps < 1:
+            raise ValueError("num_steps must be positive")
+        iterator = iter(batches)
+        return [self.train_step(next(iterator)) for _ in range(num_steps)]

@@ -1,0 +1,110 @@
+"""Fine-tuning with convergence detection (Figs 9 and 10).
+
+The paper fine-tunes pre-trained ORBIT models on ERA5, predicting all
+four target variables as a single task, and (for Fig 10) counts how
+many samples each model size needs before the validation wACC
+converges for the 30-day task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.eval.baselines import ModelForecaster
+from repro.eval.forecast import ForecastEvaluator
+from repro.train.trainer import Trainer
+
+
+@dataclass
+class FinetuneResult:
+    """Outcome of a fine-tuning run."""
+
+    #: (samples processed, validation mean wACC) per evaluation.
+    history: list[tuple[int, float]] = field(default_factory=list)
+    samples_to_converge: int | None = None
+    converged: bool = False
+
+    @property
+    def best_wacc(self) -> float:
+        return max((w for _, w in self.history), default=float("-inf"))
+
+    @property
+    def samples_processed(self) -> int:
+        return self.history[-1][0] if self.history else 0
+
+
+class Finetuner:
+    """Fine-tune a model, stopping when validation wACC converges.
+
+    Parameters
+    ----------
+    trainer:
+        A configured :class:`~repro.train.trainer.Trainer` over the
+        fine-tuning loader.
+    evaluator:
+        Validation :class:`~repro.eval.forecast.ForecastEvaluator`.
+    normalizer:
+        Used to wrap the model as a physical-space forecaster.
+    eval_lead_steps:
+        Lead used for the convergence metric (the paper uses the
+        30-day task for Fig 10).
+    """
+
+    def __init__(
+        self,
+        trainer: Trainer,
+        evaluator: ForecastEvaluator,
+        normalizer,
+        eval_lead_steps: int,
+        model_name: str = "orbit",
+    ):
+        self.trainer = trainer
+        self.evaluator = evaluator
+        self.forecaster = ModelForecaster(trainer.model, normalizer, name=model_name)
+        self.eval_lead_steps = eval_lead_steps
+
+    def validation_wacc(self) -> float:
+        """Mean wACC over target variables at the convergence lead."""
+        scores = self.evaluator.evaluate(self.forecaster, self.eval_lead_steps)
+        return scores.mean_wacc()
+
+    def run(
+        self,
+        max_steps: int,
+        eval_interval: int,
+        patience: int = 2,
+        tolerance: float = 0.005,
+    ) -> FinetuneResult:
+        """Train until wACC stops improving (or ``max_steps``).
+
+        Convergence: ``patience`` consecutive evaluations without an
+        improvement larger than ``tolerance`` over the best seen.
+        """
+        if max_steps < 1 or eval_interval < 1:
+            raise ValueError("max_steps and eval_interval must be positive")
+        result = FinetuneResult()
+        samples = 0
+        best = float("-inf")
+        stale = 0
+        steps_done = 0
+        while steps_done < max_steps:
+            for _ in range(min(eval_interval, max_steps - steps_done)):
+                _, batch_size = self.trainer.train_step()
+                samples += batch_size
+                steps_done += 1
+            wacc = self.validation_wacc()
+            result.history.append((samples, wacc))
+            if wacc > best + tolerance:
+                best = wacc
+                stale = 0
+                result.samples_to_converge = samples
+            else:
+                stale += 1
+                if stale >= patience:
+                    result.converged = True
+                    break
+        if result.samples_to_converge is None:
+            result.samples_to_converge = samples
+        return result

@@ -1,0 +1,30 @@
+"""Latitude-weighted mean squared error (the paper's pre-training loss)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def latitude_weighted_mse(
+    prediction: np.ndarray,
+    target: np.ndarray,
+    lat_weights: np.ndarray,
+) -> tuple[float, np.ndarray]:
+    """wMSE over ``(B, C, H, W)`` fields, plus its gradient.
+
+    The latitude weights (shape broadcastable to ``(H, W)``, unit mean)
+    correct the equal-area bias of the lat-lon grid toward the poles
+    (paper Sec IV, "Performance Metrics").
+
+    Returns ``(loss, grad)`` where ``grad`` is d(loss)/d(prediction).
+    """
+    if prediction.shape != target.shape:
+        raise ValueError(f"shape mismatch: {prediction.shape} vs {target.shape}")
+    if prediction.ndim != 4:
+        raise ValueError(f"expected (B, C, H, W), got {prediction.shape}")
+    weights = np.broadcast_to(lat_weights, prediction.shape[-2:])
+    diff = prediction.astype(np.float64) - target.astype(np.float64)
+    weighted_sq = weights * diff**2
+    loss = float(weighted_sq.mean())
+    grad = (2.0 * weights * diff / diff.size).astype(np.float64)
+    return loss, grad

@@ -1,0 +1,41 @@
+"""Learning-rate schedules."""
+
+from __future__ import annotations
+
+import math
+
+
+class WarmupCosineSchedule:
+    """Linear warmup followed by cosine decay to a floor.
+
+    The standard large-model pre-training schedule; ``__call__`` maps a
+    step index to a learning rate.
+    """
+
+    def __init__(
+        self,
+        base_lr: float,
+        warmup_steps: int,
+        total_steps: int,
+        min_lr_fraction: float = 0.1,
+    ):
+        if base_lr <= 0:
+            raise ValueError("base_lr must be positive")
+        if warmup_steps < 0 or total_steps <= warmup_steps:
+            raise ValueError("need 0 <= warmup_steps < total_steps")
+        if not 0 <= min_lr_fraction <= 1:
+            raise ValueError("min_lr_fraction must be in [0, 1]")
+        self.base_lr = base_lr
+        self.warmup_steps = warmup_steps
+        self.total_steps = total_steps
+        self.min_lr = base_lr * min_lr_fraction
+
+    def __call__(self, step: int) -> float:
+        if step < 0:
+            raise ValueError("step must be non-negative")
+        if self.warmup_steps > 0 and step < self.warmup_steps:
+            return self.base_lr * (step + 1) / self.warmup_steps
+        progress = (step - self.warmup_steps) / max(1, self.total_steps - self.warmup_steps)
+        progress = min(progress, 1.0)
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.min_lr + (self.base_lr - self.min_lr) * cosine

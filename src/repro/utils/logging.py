@@ -1,0 +1,28 @@
+"""Library logging setup.
+
+The library never configures the root logger; it attaches a
+``NullHandler`` to its own namespace so applications stay in control,
+and offers :func:`get_logger` for namespaced child loggers.
+"""
+
+from __future__ import annotations
+
+import logging
+
+_ROOT_NAME = "repro"
+
+logging.getLogger(_ROOT_NAME).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Return a logger under the ``repro`` namespace.
+
+    Parameters
+    ----------
+    name:
+        Optional dotted suffix, e.g. ``"parallel.fsdp"``. ``None``
+        returns the package root logger.
+    """
+    if name is None:
+        return logging.getLogger(_ROOT_NAME)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")

@@ -1,0 +1,161 @@
+"""Equivalence tests: HybridSTOPAttention vs serial MultiHeadAttention."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import VirtualCluster
+from repro.core import HybridSTOPAttention
+from repro.nn.attention import MultiHeadAttention
+from repro.parallel import HybridParallelPlan
+
+
+def make_setup(tp=2, fsdp=2, dim=8, heads=4, batch=2, seq=3, seed=0, qk_layernorm=False):
+    rng = np.random.default_rng(seed)
+    serial = MultiHeadAttention(dim, heads, qk_layernorm=qk_layernorm, rng=seed, dtype=np.float64)
+    if qk_layernorm:
+        # Non-trivial affine so LN gradients are exercised.
+        serial.ln_q.gamma.data = rng.normal(1.0, 0.3, size=serial.ln_q.gamma.shape)
+        serial.ln_k.beta.data = rng.normal(0.0, 0.3, size=serial.ln_k.beta.shape)
+    cluster = VirtualCluster(num_gpus=tp * fsdp, gpus_per_node=8)
+    plan = HybridParallelPlan(cluster, tp_size=tp, fsdp_size=fsdp)
+    hybrid = HybridSTOPAttention(serial, plan)
+    xs = [rng.normal(size=(batch, seq, dim)) for _ in range(fsdp)]
+    grad_ys = [rng.normal(size=(batch, seq, dim)) for _ in range(fsdp)]
+    return serial, hybrid, xs, grad_ys, cluster
+
+
+def serial_reference(serial, xs, grad_ys):
+    x_all = np.concatenate(xs, axis=0)
+    g_all = np.concatenate(grad_ys, axis=0)
+    y_all = serial(x_all)
+    serial.zero_grad()
+    gx_all = serial.backward(g_all)
+    return (
+        np.split(y_all, len(xs), axis=0),
+        np.split(gx_all, len(xs), axis=0),
+        {name: p.grad for name, p in serial.named_parameters()},
+    )
+
+
+NAME_MAP = {
+    "wq.weight": "wq.weight", "wq.bias": "wq.bias",
+    "wk.weight": "wk.weight", "wk.bias": "wk.bias",
+    "wv.weight": "wv.weight", "wv.bias": "wv.bias",
+    "wo.weight": "wo.weight", "wo.bias": "wo.bias",
+    "ln_q.gamma": "ln_q.gamma", "ln_q.beta": "ln_q.beta",
+    "ln_k.gamma": "ln_k.gamma", "ln_k.beta": "ln_k.beta",
+}
+
+
+class TestHeadParallelRegime:
+    """Tensor-parallel degree <= head count (whole heads per rank)."""
+
+    @pytest.mark.parametrize("tp,fsdp", [(1, 1), (2, 1), (4, 1), (2, 2), (4, 2)])
+    def test_forward_matches_serial(self, tp, fsdp):
+        serial, hybrid, xs, _, _ = make_setup(tp=tp, fsdp=fsdp)
+        ys = hybrid.forward(xs)
+        for x, y in zip(xs, ys):
+            expected = serial(x)
+            serial.clear_cache()
+            np.testing.assert_allclose(y, expected, rtol=1e-9, atol=1e-12)
+
+    @pytest.mark.parametrize("tp,fsdp", [(1, 1), (2, 2), (4, 2)])
+    def test_backward_matches_serial(self, tp, fsdp):
+        serial, hybrid, xs, grad_ys, _ = make_setup(tp=tp, fsdp=fsdp, seed=1)
+        ys_ref, gxs_ref, grads_ref = serial_reference(serial, xs, grad_ys)
+        ys = hybrid.forward(xs)
+        gxs = hybrid.backward(grad_ys)
+        for f in range(fsdp):
+            np.testing.assert_allclose(ys[f], ys_ref[f], rtol=1e-9, atol=1e-12)
+            np.testing.assert_allclose(gxs[f], gxs_ref[f], rtol=1e-8, atol=1e-11)
+        gathered = hybrid.gathered_grads()
+        for name, ref in grads_ref.items():
+            np.testing.assert_allclose(gathered[name], ref, rtol=1e-8, atol=1e-11, err_msg=name)
+
+    @pytest.mark.parametrize("tp,fsdp", [(2, 1), (2, 2)])
+    def test_qk_layernorm_equivalence(self, tp, fsdp):
+        serial, hybrid, xs, grad_ys, _ = make_setup(
+            tp=tp, fsdp=fsdp, seed=2, qk_layernorm=True
+        )
+        ys_ref, gxs_ref, grads_ref = serial_reference(serial, xs, grad_ys)
+        ys = hybrid.forward(xs)
+        gxs = hybrid.backward(grad_ys)
+        for f in range(fsdp):
+            np.testing.assert_allclose(ys[f], ys_ref[f], rtol=1e-8, atol=1e-11)
+            np.testing.assert_allclose(gxs[f], gxs_ref[f], rtol=1e-7, atol=1e-10)
+        gathered = hybrid.gathered_grads()
+        for name, ref in grads_ref.items():
+            np.testing.assert_allclose(gathered[name], ref, rtol=1e-7, atol=1e-10, err_msg=name)
+
+    def test_gathered_state_matches_serial(self):
+        serial, hybrid, _, _, _ = make_setup(qk_layernorm=True, tp=2, fsdp=2)
+        state = hybrid.gathered_state()
+        for name, param in serial.named_parameters():
+            np.testing.assert_array_equal(state[name], param.data, err_msg=name)
+
+
+class TestSubHeadRegime:
+    """Tensor-parallel degree > head count — the Hybrid-STOP capability
+    plain tensor parallelism lacks (paper Fig 5 rationale)."""
+
+    @pytest.mark.parametrize("tp,heads", [(4, 2), (8, 2), (8, 4)])
+    def test_forward_matches_serial(self, tp, heads):
+        serial, hybrid, xs, _, _ = make_setup(tp=tp, fsdp=1, dim=16, heads=heads, seed=3)
+        ys = hybrid.forward(xs)
+        expected = serial(xs[0])
+        np.testing.assert_allclose(ys[0], expected, rtol=1e-9, atol=1e-12)
+
+    @pytest.mark.parametrize("tp,fsdp,heads", [(4, 1, 2), (4, 2, 2)])
+    def test_backward_matches_serial(self, tp, fsdp, heads):
+        serial, hybrid, xs, grad_ys, _ = make_setup(
+            tp=tp, fsdp=fsdp, dim=16, heads=heads, seed=4
+        )
+        ys_ref, gxs_ref, grads_ref = serial_reference(serial, xs, grad_ys)
+        ys = hybrid.forward(xs)
+        gxs = hybrid.backward(grad_ys)
+        for f in range(fsdp):
+            np.testing.assert_allclose(ys[f], ys_ref[f], rtol=1e-9, atol=1e-12)
+            np.testing.assert_allclose(gxs[f], gxs_ref[f], rtol=1e-8, atol=1e-11)
+        gathered = hybrid.gathered_grads()
+        for name, ref in grads_ref.items():
+            np.testing.assert_allclose(gathered[name], ref, rtol=1e-8, atol=1e-11, err_msg=name)
+
+    def test_subhead_with_qk_layernorm_rejected(self):
+        serial = MultiHeadAttention(16, 2, qk_layernorm=True, rng=0, dtype=np.float64)
+        cluster = VirtualCluster(num_gpus=4)
+        plan = HybridParallelPlan(cluster, tp_size=4, fsdp_size=1)
+        with pytest.raises(NotImplementedError):
+            HybridSTOPAttention(serial, plan)
+
+    def test_indivisible_subhead_rejected(self):
+        serial = MultiHeadAttention(6, 2, rng=0)  # head_dim 3, s would be 2
+        cluster = VirtualCluster(num_gpus=4)
+        plan = HybridParallelPlan(cluster, tp_size=4, fsdp_size=1)
+        with pytest.raises(ValueError):
+            HybridSTOPAttention(serial, plan)
+
+
+class TestValidation:
+    def test_heads_not_divisible_by_tp_rejected(self):
+        serial = MultiHeadAttention(12, 3, rng=0)
+        cluster = VirtualCluster(num_gpus=2)
+        plan = HybridParallelPlan(cluster, tp_size=2, fsdp_size=1)
+        with pytest.raises(ValueError):
+            HybridSTOPAttention(serial, plan)
+
+    def test_backward_without_forward(self):
+        _, hybrid, _, grad_ys, _ = make_setup()
+        with pytest.raises(RuntimeError):
+            hybrid.backward(grad_ys)
+
+    def test_wrong_microbatch_count(self):
+        _, hybrid, xs, _, _ = make_setup(fsdp=2)
+        with pytest.raises(ValueError):
+            hybrid.forward(xs[:1])
+
+    def test_transient_gathers_released(self):
+        _, hybrid, xs, grad_ys, cluster = make_setup(tp=2, fsdp=2)
+        hybrid.forward(xs)
+        hybrid.backward(grad_ys)
+        for rank in range(4):
+            assert cluster.device(rank).memory.category_current("gathered") == 0

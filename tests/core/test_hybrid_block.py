@@ -1,0 +1,127 @@
+"""Equivalence tests: HybridSTOPBlock / HybridSTOPTrunk vs serial."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import VirtualCluster
+from repro.core import HybridSTOPBlock, HybridSTOPTrunk
+from repro.memory import OutOfDeviceMemoryError
+from repro.nn.transformer import TransformerBlock, TransformerStack
+from repro.parallel import HybridParallelPlan
+
+
+def make_block_setup(tp=2, fsdp=2, dim=8, heads=2, depth=None, batch=2, seq=3, seed=0,
+                     qk_layernorm=True, **trunk_kwargs):
+    rng = np.random.default_rng(seed)
+    cluster = VirtualCluster(num_gpus=tp * fsdp, gpus_per_node=8)
+    plan = HybridParallelPlan(cluster, tp_size=tp, fsdp_size=fsdp)
+    if depth is None:
+        serial = TransformerBlock(dim, heads, qk_layernorm=qk_layernorm, rng=seed, dtype=np.float64)
+        hybrid = HybridSTOPBlock(serial, plan)
+    else:
+        serial = TransformerStack(dim, depth, heads, qk_layernorm=qk_layernorm, rng=seed,
+                                  dtype=np.float64)
+        hybrid = HybridSTOPTrunk(serial, plan, **trunk_kwargs)
+    xs = [rng.normal(size=(batch, seq, dim)) for _ in range(fsdp)]
+    grad_ys = [rng.normal(size=(batch, seq, dim)) for _ in range(fsdp)]
+    return serial, hybrid, xs, grad_ys, cluster
+
+
+def serial_reference(serial, xs, grad_ys):
+    x_all = np.concatenate(xs, axis=0)
+    g_all = np.concatenate(grad_ys, axis=0)
+    y_all = serial(x_all)
+    serial.zero_grad()
+    gx_all = serial.backward(g_all)
+    return (
+        np.split(y_all, len(xs), axis=0),
+        np.split(gx_all, len(xs), axis=0),
+        {name: p.grad for name, p in serial.named_parameters()},
+    )
+
+
+class TestBlock:
+    @pytest.mark.parametrize("tp,fsdp", [(1, 1), (2, 2)])
+    def test_forward_backward_match_serial(self, tp, fsdp):
+        serial, hybrid, xs, grad_ys, _ = make_block_setup(tp=tp, fsdp=fsdp)
+        ys_ref, gxs_ref, grads_ref = serial_reference(serial, xs, grad_ys)
+        ys = hybrid.forward(xs)
+        gxs = hybrid.backward(grad_ys)
+        for f in range(fsdp):
+            np.testing.assert_allclose(ys[f], ys_ref[f], rtol=1e-8, atol=1e-11)
+            np.testing.assert_allclose(gxs[f], gxs_ref[f], rtol=1e-7, atol=1e-10)
+        gathered = hybrid.gathered_grads()
+        for name, ref in grads_ref.items():
+            np.testing.assert_allclose(gathered[name], ref, rtol=1e-7, atol=1e-10, err_msg=name)
+
+    def test_layernorm_grads_not_scaled_by_tp(self):
+        """LN params are replicated per tensor-parallel group; their grads
+        must match serial exactly (no K-fold double counting)."""
+        serial, hybrid, xs, grad_ys, _ = make_block_setup(tp=4, fsdp=1, dim=8, heads=4, seed=5)
+        _, _, grads_ref = serial_reference(serial, xs, grad_ys)
+        hybrid.forward(xs)
+        hybrid.backward(grad_ys)
+        gathered = hybrid.gathered_grads()
+        np.testing.assert_allclose(gathered["ln1.gamma"], grads_ref["ln1.gamma"], rtol=1e-8)
+        np.testing.assert_allclose(gathered["ln2.beta"], grads_ref["ln2.beta"], rtol=1e-8)
+
+
+class TestTrunk:
+    def test_depth2_equivalence(self):
+        serial, hybrid, xs, grad_ys, _ = make_block_setup(tp=2, fsdp=2, depth=2, seed=7)
+        ys_ref, gxs_ref, grads_ref = serial_reference(serial, xs, grad_ys)
+        ys = hybrid.forward(xs)
+        gxs = hybrid.backward(grad_ys)
+        for f in range(2):
+            np.testing.assert_allclose(ys[f], ys_ref[f], rtol=1e-7, atol=1e-10)
+            np.testing.assert_allclose(gxs[f], gxs_ref[f], rtol=1e-6, atol=1e-9)
+        gathered = hybrid.gathered_grads()
+        for name, ref in grads_ref.items():
+            np.testing.assert_allclose(gathered[name], ref, rtol=1e-6, atol=1e-9, err_msg=name)
+
+    def test_layer_wrapping_off_registers_all_layers(self):
+        _, hybrid, xs, grad_ys, cluster = make_block_setup(
+            tp=2, fsdp=2, depth=3, seed=8, layer_wrapping=False
+        )
+        hybrid.forward(xs)
+        # While forward caches are alive the wholesale allocation persists.
+        assert cluster.device(0).memory.category_current("gathered.all_layers") > 0
+        hybrid.backward(grad_ys)
+        assert cluster.device(0).memory.category_current("gathered.all_layers") == 0
+
+    def test_layer_wrapping_on_keeps_peak_low(self):
+        """Peak gathered bytes with wrapping ~ one layer; without ~ all layers."""
+        _, wrapped, xs, grad_ys, cluster_w = make_block_setup(
+            tp=2, fsdp=2, depth=4, seed=9, layer_wrapping=True
+        )
+        wrapped.forward(xs)
+        wrapped.backward(grad_ys)
+        peak_wrapped = max(
+            cluster_w.device(r).memory.category_peak("gathered") for r in range(4)
+        )
+
+        _, unwrapped, xs2, grad_ys2, cluster_u = make_block_setup(
+            tp=2, fsdp=2, depth=4, seed=9, layer_wrapping=False
+        )
+        unwrapped.forward(xs2)
+        peak_unwrapped = max(
+            cluster_u.device(r).memory.category_peak("gathered") for r in range(4)
+        )
+        assert peak_unwrapped > 2 * peak_wrapped
+
+    def test_no_layer_wrapping_can_oom(self):
+        """The Table I first column: without layer wrapping the wholesale
+        gather exceeds device memory while the wrapped run fits."""
+        cluster = VirtualCluster(num_gpus=4, gpus_per_node=8, gpu_memory_bytes=400_000)
+        plan = HybridParallelPlan(cluster, tp_size=2, fsdp_size=2)
+        serial = TransformerStack(32, 6, 2, rng=0, dtype=np.float64)
+        hybrid = HybridSTOPTrunk(serial, plan, layer_wrapping=False)
+        xs = [np.zeros((1, 4, 32)) for _ in range(2)]
+        with pytest.raises(OutOfDeviceMemoryError):
+            hybrid.forward(xs)
+
+        cluster2 = VirtualCluster(num_gpus=4, gpus_per_node=8, gpu_memory_bytes=400_000)
+        plan2 = HybridParallelPlan(cluster2, tp_size=2, fsdp_size=2)
+        serial2 = TransformerStack(32, 6, 2, rng=0, dtype=np.float64)
+        wrapped = HybridSTOPTrunk(serial2, plan2, layer_wrapping=True)
+        wrapped.forward([np.zeros((1, 4, 32)) for _ in range(2)])  # fits

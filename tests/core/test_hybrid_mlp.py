@@ -1,0 +1,150 @@
+"""Equivalence tests: HybridSTOPMLP vs the serial MLP."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import VirtualCluster
+from repro.core import HybridSTOPMLP
+from repro.nn.mlp import MLP
+from repro.parallel import HybridParallelPlan, PeakFractionCompute
+
+
+def make_setup(tp=2, fsdp=2, dim=6, hidden=8, batch=3, seq=4, seed=0, prefetch=False,
+               compute_model=False):
+    rng = np.random.default_rng(seed)
+    serial = MLP(dim, hidden, rng=seed, dtype=np.float64)
+    cluster = VirtualCluster(num_gpus=tp * fsdp, gpus_per_node=8)
+    plan = HybridParallelPlan(cluster, tp_size=tp, fsdp_size=fsdp)
+    cm = PeakFractionCompute(cluster) if compute_model else None
+    hybrid = HybridSTOPMLP(serial, plan, compute_model=cm)
+    xs = [rng.normal(size=(batch, seq, dim)) for _ in range(fsdp)]
+    grad_ys = [rng.normal(size=(batch, seq, dim)) for _ in range(fsdp)]
+    return serial, hybrid, xs, grad_ys, cluster
+
+
+def serial_reference(serial, xs, grad_ys):
+    """Run the serial MLP over the concatenated global batch."""
+    x_all = np.concatenate(xs, axis=0)
+    g_all = np.concatenate(grad_ys, axis=0)
+    y_all = serial(x_all)
+    serial.zero_grad()
+    gx_all = serial.backward(g_all)
+    ys = np.split(y_all, len(xs), axis=0)
+    gxs = np.split(gx_all, len(xs), axis=0)
+    grads = {name: p.grad for name, p in serial.named_parameters()}
+    return ys, gxs, grads
+
+
+@pytest.mark.parametrize("tp,fsdp", [(1, 1), (2, 1), (1, 2), (2, 2), (4, 2), (2, 4)])
+def test_forward_matches_serial(tp, fsdp):
+    serial, hybrid, xs, _, _ = make_setup(tp=tp, fsdp=fsdp, hidden=8 * tp)
+    ys = hybrid.forward(xs)
+    for f, (x, y) in enumerate(zip(xs, ys)):
+        expected = serial(x)
+        serial.clear_cache()
+        np.testing.assert_allclose(y, expected, rtol=1e-10, err_msg=f"fsdp rank {f}")
+
+
+@pytest.mark.parametrize("tp,fsdp", [(1, 1), (2, 2), (4, 2)])
+def test_backward_matches_serial(tp, fsdp):
+    serial, hybrid, xs, grad_ys, _ = make_setup(tp=tp, fsdp=fsdp, hidden=8 * tp, seed=1)
+    ys_ref, gxs_ref, grads_ref = serial_reference(serial, xs, grad_ys)
+
+    ys = hybrid.forward(xs)
+    gxs = hybrid.backward(grad_ys)
+    for f in range(fsdp):
+        np.testing.assert_allclose(ys[f], ys_ref[f], rtol=1e-10)
+        np.testing.assert_allclose(gxs[f], gxs_ref[f], rtol=1e-9)
+
+    gathered = hybrid.gathered_grads()
+    for name in ("fc1.weight", "fc1.bias", "fc2.weight", "fc2.bias"):
+        np.testing.assert_allclose(gathered[name], grads_ref[name], rtol=1e-9, err_msg=name)
+
+
+def test_gathered_state_matches_serial_parameters():
+    serial, hybrid, _, _, _ = make_setup()
+    state = hybrid.gathered_state()
+    for name, param in serial.named_parameters():
+        np.testing.assert_array_equal(state[name], param.data, err_msg=name)
+
+
+def test_parameters_stay_sharded_in_memory():
+    """No device ever holds more than its shard + one gathered layer shard."""
+    _, hybrid, xs, grad_ys, cluster = make_setup(tp=2, fsdp=2, dim=8, hidden=16)
+    hybrid.forward(xs)
+    total_param_bytes = sum(p.shard_nbytes * p.num_shards for p in hybrid.sharded_parameters())
+    for rank in range(4):
+        persistent = cluster.device(rank).memory.category_current("params")
+        assert persistent < total_param_bytes  # strictly sharded
+        # Transient gathered buffers were all released after forward.
+        assert cluster.device(rank).memory.category_current("gathered") == 0
+
+
+def test_peak_memory_below_full_model():
+    """The Hybrid-STOP property: peak memory per GPU stays far below the
+    full parameter set (FSDP without layer wrapping would gather it all)."""
+    serial, hybrid, xs, grad_ys, cluster = make_setup(tp=2, fsdp=2, dim=16, hidden=32, seed=2)
+    hybrid.forward(xs)
+    hybrid.backward(grad_ys)
+    full_bytes = sum(p.data.nbytes for p in serial.parameters())
+    for rank in range(4):
+        peak = cluster.device(rank).memory.peak_bytes
+        assert peak < full_bytes
+
+
+def test_backward_without_forward_raises():
+    _, hybrid, _, grad_ys, _ = make_setup()
+    with pytest.raises(RuntimeError):
+        hybrid.backward(grad_ys)
+
+
+def test_wrong_microbatch_count_rejected():
+    _, hybrid, xs, _, _ = make_setup(fsdp=2)
+    with pytest.raises(ValueError):
+        hybrid.forward(xs[:1])
+
+
+def test_indivisible_hidden_rejected():
+    serial = MLP(4, 6, rng=0)
+    cluster = VirtualCluster(num_gpus=4)
+    plan = HybridParallelPlan(cluster, tp_size=4, fsdp_size=1)
+    with pytest.raises(ValueError):
+        HybridSTOPMLP(serial, plan)
+
+
+def test_grad_accumulation_across_microsteps():
+    serial, hybrid, xs, grad_ys, _ = make_setup(seed=3)
+    hybrid.forward(xs)
+    hybrid.backward(grad_ys)
+    once = {k: v.copy() for k, v in hybrid.gathered_grads().items()}
+    hybrid.forward(xs)
+    hybrid.backward(grad_ys)
+    twice = hybrid.gathered_grads()
+    for name in once:
+        np.testing.assert_allclose(twice[name], 2 * once[name], rtol=1e-12)
+
+
+def test_compute_time_recorded_per_rank():
+    _, hybrid, xs, grad_ys, cluster = make_setup(compute_model=True)
+    hybrid.forward(xs)
+    hybrid.backward(grad_ys)
+    for rank in range(cluster.world_size):
+        led = cluster.timeline.ledger(rank)
+        assert led.compute_s > 0
+        assert led.flops > 0
+
+
+def test_prefetch_hides_gather_cost():
+    """With prefetch, gathers overlap compute; exposed comm drops."""
+    _, h_plain, xs, grad_ys, c_plain = make_setup(compute_model=True, prefetch=False,
+                                                  dim=32, hidden=64, batch=8, seq=16)
+    h_plain.prefetch = False
+    h_plain.forward(xs)
+    exposed_plain = sum(c_plain.timeline.ledger(r).exposed_comm_s for r in range(4))
+
+    _, h_pre, xs2, _, c_pre = make_setup(compute_model=True, prefetch=True,
+                                         dim=32, hidden=64, batch=8, seq=16)
+    h_pre.prefetch = True
+    h_pre.forward(xs2)
+    exposed_pre = sum(c_pre.timeline.ledger(r).exposed_comm_s for r in range(4))
+    assert exposed_pre < exposed_plain

@@ -1,0 +1,169 @@
+"""Tests for shard layouts and the matrix-chain identities (Eqns 1-3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import VirtualCluster
+from repro.core import (
+    chain_backward_reference,
+    chain_forward_reference,
+    chain_forward_sharded,
+    chain_grad_input_sharded,
+    column_shards,
+    flat_pad_shard,
+    flat_unshard,
+    row_shards,
+    ShardedParameter,
+)
+from repro.meta import MetaArray, is_meta
+from repro.nn import functional as F
+
+
+class TestShardLayouts:
+    def test_column_shards_roundtrip(self):
+        m = np.arange(24.0).reshape(4, 6)
+        shards = column_shards(m, 3)
+        assert all(s.shape == (4, 2) for s in shards)
+        np.testing.assert_array_equal(np.concatenate(shards, axis=-1), m)
+
+    def test_row_shards_roundtrip(self):
+        m = np.arange(24.0).reshape(6, 4)
+        shards = row_shards(m, 2)
+        assert all(s.shape == (3, 4) for s in shards)
+        np.testing.assert_array_equal(np.concatenate(shards, axis=-2), m)
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(ValueError):
+            column_shards(np.zeros((2, 5)), 2)
+        with pytest.raises(ValueError):
+            row_shards(np.zeros((5, 2)), 2)
+
+    def test_meta_shards(self):
+        shards = column_shards(MetaArray((4, 6)), 3)
+        assert len(shards) == 3 and shards[0].shape == (4, 2)
+
+    def test_flat_pad_shard_roundtrip_exact(self):
+        m = np.arange(12.0).reshape(3, 4)
+        shards = flat_pad_shard(m, 4)
+        np.testing.assert_array_equal(flat_unshard(shards, (3, 4)), m)
+
+    def test_flat_pad_shard_roundtrip_with_padding(self):
+        m = np.arange(10.0)
+        shards = flat_pad_shard(m, 4)  # 10 -> pad to 12
+        assert all(s.shape == (3,) for s in shards)
+        np.testing.assert_array_equal(flat_unshard(shards, (10,)), m)
+
+    def test_flat_pad_shard_meta(self):
+        shards = flat_pad_shard(MetaArray((3, 5)), 4)
+        assert shards[0].shape == (4,)
+        assert is_meta(flat_unshard(shards, (3, 5)))
+
+    @given(rows=st.integers(1, 7), cols=st.integers(1, 7), num=st.integers(1, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_property_flat_roundtrip(self, rows, cols, num):
+        m = np.random.default_rng(0).normal(size=(rows, cols))
+        np.testing.assert_array_equal(flat_unshard(flat_pad_shard(m, num), (rows, cols)), m)
+
+
+class TestShardedParameter:
+    def test_full_reassembles(self):
+        m = np.arange(20.0).reshape(4, 5)
+        param = ShardedParameter(m, 3, "w")
+        np.testing.assert_array_equal(param.full(), m)
+
+    def test_grad_accumulation(self):
+        param = ShardedParameter(np.zeros((2, 2)), 2, "w")
+        ones = flat_pad_shard(np.ones((2, 2)), 2)
+        param.set_grad_shards(ones)
+        param.set_grad_shards(ones)
+        np.testing.assert_array_equal(param.full_grad(), 2 * np.ones((2, 2)))
+        param.zero_grad()
+        assert param.full_grad() is None
+
+    def test_device_allocation_and_free(self):
+        cluster = VirtualCluster(num_gpus=2)
+        devices = [cluster.device(0), cluster.device(1)]
+        param = ShardedParameter(np.zeros((4, 4), np.float32), 2, "w", devices=devices)
+        assert cluster.device(0).memory.current_bytes == 32  # 8 floats
+        param.free()
+        assert cluster.device(0).memory.current_bytes == 0
+
+    def test_wrong_device_count_rejected(self):
+        cluster = VirtualCluster(num_gpus=2)
+        with pytest.raises(ValueError):
+            ShardedParameter(np.zeros(4), 2, "w", devices=[cluster.device(0)])
+
+    def test_wrong_grad_shard_count_rejected(self):
+        param = ShardedParameter(np.zeros(4), 2, "w")
+        with pytest.raises(ValueError):
+            param.set_grad_shards([np.zeros(2)])
+
+
+class TestMatmulChainIdentities:
+    """Direct property tests of paper Eqns (1)-(3)."""
+
+    @given(
+        m=st.integers(1, 5),
+        inner=st.integers(1, 4),
+        hidden_mult=st.integers(1, 4),
+        out=st.integers(1, 5),
+        shards=st.sampled_from([1, 2, 4]),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_eqn2_sharded_forward_equals_serial(self, m, inner, hidden_mult, out, shards, seed):
+        rng = np.random.default_rng(seed)
+        hidden = hidden_mult * shards
+        x = rng.normal(size=(m, inner))
+        a = rng.normal(size=(inner, hidden))
+        b = rng.normal(size=(hidden, out))
+        cluster = VirtualCluster(num_gpus=shards, gpus_per_node=8)
+        y_sharded, _ = chain_forward_sharded(
+            x, column_shards(a, shards), row_shards(b, shards), cluster.world
+        )
+        np.testing.assert_allclose(y_sharded, chain_forward_reference(x, a, b), rtol=1e-10)
+
+    @given(shards=st.sampled_from([1, 2, 3]), seed=st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_eqn3_sharded_input_grad_equals_serial(self, shards, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(4, 5))
+        a = rng.normal(size=(5, 6 * shards))
+        b = rng.normal(size=(6 * shards, 3))
+        grad_y = rng.normal(size=(4, 3))
+        cluster = VirtualCluster(num_gpus=shards, gpus_per_node=8)
+        grad_x = chain_grad_input_sharded(
+            grad_y, column_shards(a, shards), row_shards(b, shards), cluster.world
+        )
+        expected, _, _ = chain_backward_reference(x, a, b, grad_y)
+        np.testing.assert_allclose(grad_x, expected, rtol=1e-10)
+
+    def test_elementwise_nonlinearity_commutes_with_column_split(self):
+        """GeLU(x A) column blocks equal GeLU of the blocks — the property
+        that lets Hybrid-STOP cover the feed-forward sublayer."""
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(4, 5))
+        a = rng.normal(size=(5, 8))
+        full = F.gelu_forward(x @ a)[0]
+        blocks = [F.gelu_forward(x @ a_k)[0] for a_k in column_shards(a, 4)]
+        np.testing.assert_allclose(np.concatenate(blocks, axis=-1), full, rtol=1e-12)
+
+    def test_sharded_forward_with_gelu_equals_serial(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(3, 5))
+        a = rng.normal(size=(5, 8))
+        b = rng.normal(size=(8, 2))
+        cluster = VirtualCluster(num_gpus=4, gpus_per_node=8)
+        phi = lambda h: F.gelu_forward(h)[0]
+        y, hiddens = chain_forward_sharded(
+            x, column_shards(a, 4), row_shards(b, 4), cluster.world, phi=phi
+        )
+        np.testing.assert_allclose(y, chain_forward_reference(x, a, b, phi=phi), rtol=1e-10)
+        assert len(hiddens) == 4 and hiddens[0].shape == (3, 2)
+
+    def test_shard_count_mismatch_rejected(self):
+        cluster = VirtualCluster(num_gpus=2)
+        with pytest.raises(ValueError):
+            chain_forward_sharded(np.zeros((2, 2)), [np.zeros((2, 2))], [np.zeros((2, 2))], cluster.world)

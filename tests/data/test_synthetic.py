@@ -1,0 +1,136 @@
+"""Tests for the latent-dynamics climate generator."""
+
+import numpy as np
+import pytest
+
+from repro.data import ClimateSystemModel, LatentSpec, LatLonGrid, default_registry
+
+GRID = LatLonGrid(16, 32)
+REG = default_registry(91).subset([
+    "land_sea_mask", "orography", "soil_type",
+    "2m_temperature", "10m_u_component_of_wind",
+    "temperature_850", "geopotential_500", "specific_humidity_700",
+])
+
+
+@pytest.fixture(scope="module")
+def system():
+    return ClimateSystemModel(GRID, REG, seed=7)
+
+
+class TestDeterminism:
+    def test_same_seed_same_fields(self):
+        a = ClimateSystemModel(GRID, REG, seed=1).snapshot(5)
+        b = ClimateSystemModel(GRID, REG, seed=1).snapshot(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seed_different_weather(self):
+        a = ClimateSystemModel(GRID, REG, seed=1).snapshot(5)
+        b = ClimateSystemModel(GRID, REG, seed=2).snapshot(5)
+        assert not np.allclose(a, b)
+
+    def test_random_access_matches_sequential(self, system):
+        fresh = ClimateSystemModel(GRID, REG, seed=7)
+        far = fresh.latents_at(300)  # random access crossing a checkpoint
+        seq = ClimateSystemModel(GRID, REG, seed=7)
+        for t in range(0, 300):
+            seq.latents_at(t)
+        np.testing.assert_allclose(far, seq.latents_at(300), rtol=1e-12)
+
+
+class TestStatistics:
+    def test_snapshot_shape_and_dtype(self, system):
+        snap = system.snapshot(0)
+        assert snap.shape == (len(REG), 16, 32)
+        assert snap.dtype == np.float32
+
+    def test_fields_are_finite(self, system):
+        assert np.isfinite(system.snapshot(10)).all()
+
+    def test_static_fields_constant_in_time(self, system):
+        f0 = system.field("orography", 0)
+        f9 = system.field("orography", 9)
+        np.testing.assert_array_equal(f0, f9)
+
+    def test_dynamic_fields_change_in_time(self, system):
+        assert not np.allclose(system.field("2m_temperature", 0),
+                               system.field("2m_temperature", 8))
+
+    def test_realistic_magnitudes(self, system):
+        t2m = system.field("2m_temperature", 0)
+        assert 180 < t2m.mean() < 330  # kelvin, roughly Earth-like
+
+    def test_temperature_warmer_at_equator(self, system):
+        """The latitudinal climatology must have the right sign."""
+        t2m = np.mean([system.field("2m_temperature", t) for t in range(0, 64, 8)], axis=0)
+        equator = t2m[7:9].mean()
+        poles = (t2m[0].mean() + t2m[-1].mean()) / 2
+        assert equator > poles
+
+    def test_seasonal_cycle_present(self):
+        """Opposite seasons differ in the hemispheric temperature contrast."""
+        system = ClimateSystemModel(GRID, REG, seed=3)
+        winter = system.climatology_field("2m_temperature", 365)   # ~day 91
+        summer = system.climatology_field("2m_temperature", 1095)  # ~day 274
+        north_contrast_w = winter[:8].mean() - winter[8:].mean()
+        north_contrast_s = summer[:8].mean() - summer[8:].mean()
+        assert abs(north_contrast_w - north_contrast_s) > 1.0  # kelvin
+
+    def test_temporal_persistence(self, system):
+        """Adjacent steps are much more similar than distant ones —
+        the property that makes short-lead forecasting easier."""
+        a = system.field("2m_temperature", 100)
+        b = system.field("2m_temperature", 101)
+        c = system.field("2m_temperature", 200)
+        clim_a = system.climatology_field("2m_temperature", 100)
+        clim_b = system.climatology_field("2m_temperature", 101)
+        clim_c = system.climatology_field("2m_temperature", 200)
+        near = np.corrcoef((a - clim_a).ravel(), (b - clim_b).ravel())[0, 1]
+        far = np.corrcoef((a - clim_a).ravel(), (c - clim_c).ravel())[0, 1]
+        # On this coarse test grid advection dephases high modes quickly,
+        # so adjacent-step correlation lands near 0.8 (higher on 256 lon).
+        assert near > 0.7
+        assert abs(far) < near - 0.2
+
+    def test_cross_variable_correlation_via_shared_latents(self, system):
+        """Different dynamic variables are statistically related."""
+        rng_corr = []
+        for t in range(0, 160, 16):
+            t850 = system.field("temperature_850", t) - system.climatology_field("temperature_850", t)
+            t2m = system.field("2m_temperature", t) - system.climatology_field("2m_temperature", t)
+            rng_corr.append(abs(np.corrcoef(t850.ravel(), t2m.ravel())[0, 1]))
+        assert max(rng_corr) > 0.05  # not independent
+
+
+class TestNumericalSurrogate:
+    def test_short_lead_nearly_perfect(self, system):
+        truth = system.field("2m_temperature", 101)
+        forecast = system.numerical_forecast(100, 1, names=["2m_temperature"])[0]
+        clim = system.climatology_field("2m_temperature", 101)
+        err_forecast = np.abs(forecast - truth).mean()
+        err_clim = np.abs(clim - truth).mean()
+        assert err_forecast < err_clim
+
+    def test_skill_decays_with_lead(self, system):
+        errors = []
+        for lead in (1, 20, 120):
+            truth = system.field("2m_temperature", 100 + lead)
+            forecast = system.numerical_forecast(100, lead, names=["2m_temperature"])[0]
+            errors.append(float(np.abs(forecast - truth).mean()))
+        assert errors[0] < errors[1] < errors[2] * 1.5
+
+    def test_statics_pass_through(self, system):
+        out = system.numerical_forecast(0, 4, names=["orography"])
+        np.testing.assert_allclose(out[0], system.field("orography", 0))
+
+
+class TestValidation:
+    def test_negative_time_rejected(self, system):
+        with pytest.raises(ValueError):
+            system.latents_at(-1)
+
+    def test_bad_spec_rejected(self):
+        with pytest.raises(ValueError):
+            LatentSpec(persistence=1.5)
+        with pytest.raises(ValueError):
+            LatentSpec(num_modes_lat=0)

@@ -1,0 +1,178 @@
+"""Tests for the analytic memory model (drives Fig 5 / Fig 6 / Table I)."""
+
+import dataclasses
+
+import pytest
+
+from repro.memory import MemoryModel, Parallelism, TrainingSetup
+from repro.models import ORBIT_113B, ORBIT_10B, PROXY_MODELS
+
+
+@pytest.fixture(scope="module")
+def model():
+    return MemoryModel()
+
+
+class TestComponents:
+    def test_components_sum_to_total(self, model):
+        setup = model.default_setup(Parallelism.HYBRID_STOP, ORBIT_113B, 512)
+        comps = model.components(setup)
+        assert sum(comps.values()) == pytest.approx(model.per_gpu_bytes(setup))
+
+    def test_bf16_halves_buffers(self, model):
+        setup = model.default_setup(Parallelism.HYBRID_STOP, ORBIT_113B, 512)
+        fp32 = dataclasses.replace(setup, bf16=False)
+        c16 = model.components(setup)
+        c32 = model.components(fp32)
+        assert c32["front_activations"] == 2 * c16["front_activations"]
+        assert c32["gathered_params"] == 2 * c16["gathered_params"]
+
+    def test_checkpointing_reduces_trunk_activations(self, model):
+        setup = model.default_setup(Parallelism.HYBRID_STOP, ORBIT_113B, 512)
+        no_ckpt = dataclasses.replace(setup, activation_checkpointing=False)
+        assert (
+            model.components(setup)["trunk_activations"]
+            < model.components(no_ckpt)["trunk_activations"]
+        )
+
+    def test_layer_wrapping_reduces_gathered(self, model):
+        setup = model.default_setup(Parallelism.HYBRID_STOP, ORBIT_113B, 512)
+        unwrapped = dataclasses.replace(setup, layer_wrapping=False)
+        assert (
+            model.components(setup)["gathered_params"]
+            < model.components(unwrapped)["gathered_params"]
+        )
+
+    def test_more_channels_cost_more(self, model):
+        """The 91-channel memory pressure of Fig 7b."""
+        s48 = model.default_setup(Parallelism.HYBRID_STOP, ORBIT_113B, 512)
+        s91 = dataclasses.replace(s48, config=ORBIT_113B.with_channels(91))
+        assert model.per_gpu_bytes(s91) > model.per_gpu_bytes(s48)
+
+    def test_tensor_and_ddp_have_no_gathered(self, model):
+        for par in (Parallelism.TENSOR, Parallelism.DDP):
+            setup = model.default_setup(par, PROXY_MODELS["proxy-115m"], 8)
+            assert model.components(setup)["gathered_params"] == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrainingSetup(ORBIT_10B, 4, Parallelism.HYBRID_STOP, tp_size=4, fsdp_size=4)
+        with pytest.raises(ValueError):
+            TrainingSetup(ORBIT_10B, 0, Parallelism.DDP)
+
+
+class TestFig5Anchors:
+    """Calibration anchors from paper Fig 5 (512 GPUs, batch 2, 48 ch)."""
+
+    def test_fsdp_caps_near_20b(self, model):
+        params, _ = model.max_model_size(Parallelism.FSDP, 512, ORBIT_113B)
+        assert 15e9 < params < 30e9
+
+    def test_tensor_caps_below_hybrid(self, model):
+        tensor, _ = model.max_model_size(Parallelism.TENSOR, 512, ORBIT_113B)
+        hybrid, _ = model.max_model_size(Parallelism.HYBRID_STOP, 512, ORBIT_113B)
+        assert 55e9 < tensor <= 110e9
+        assert 130e9 < hybrid <= 200e9
+        assert hybrid > tensor
+
+    def test_ordering_at_every_scale(self, model):
+        for num_gpus in (8, 64, 512):
+            fsdp, _ = model.max_model_size(Parallelism.FSDP, num_gpus, ORBIT_113B)
+            tensor, _ = model.max_model_size(Parallelism.TENSOR, num_gpus, ORBIT_113B)
+            hybrid, _ = model.max_model_size(Parallelism.HYBRID_STOP, num_gpus, ORBIT_113B)
+            assert hybrid >= max(tensor, fsdp)
+        # Past the 64-GPU point tensor parallelism also beats FSDP (Fig 5).
+        fsdp, _ = model.max_model_size(Parallelism.FSDP, 512, ORBIT_113B)
+        tensor, _ = model.max_model_size(Parallelism.TENSOR, 512, ORBIT_113B)
+        assert tensor > fsdp
+
+    def test_single_gpu_parity(self, model):
+        """At one GPU no scheme has an advantage (Fig 5 leftmost points)."""
+        caps = [
+            model.max_model_size(par, 1, ORBIT_113B)[0]
+            for par in (Parallelism.FSDP, Parallelism.TENSOR, Parallelism.HYBRID_STOP)
+        ]
+        assert max(caps) < 2.0 * min(caps)
+
+    def test_hybrid_grows_with_gpus(self, model):
+        sizes = [
+            model.max_model_size(Parallelism.HYBRID_STOP, n, ORBIT_113B)[0]
+            for n in (8, 64, 512)
+        ]
+        assert sizes == sorted(sizes)
+        assert sizes[-1] > 5 * sizes[0]
+
+    def test_tensor_saturates_at_head_count(self, model):
+        """Beyond num_heads GPUs, plain TP gains nothing (the Fig 5 plateau)."""
+        at_heads, _ = model.max_model_size(Parallelism.TENSOR, 64, ORBIT_113B)
+        beyond, _ = model.max_model_size(Parallelism.TENSOR, 512, ORBIT_113B)
+        assert beyond == at_heads
+
+
+class TestFig6Anchors:
+    def test_fsdp_alone_ooms_at_113b(self, model):
+        """Fig 6: FSDP alone (K=1) runs out of memory for 113B."""
+        setup = TrainingSetup(
+            ORBIT_113B, 512, Parallelism.HYBRID_STOP, tp_size=1, fsdp_size=512, micro_batch=3
+        )
+        assert not model.fits(setup)
+
+    def test_balanced_hybrid_fits_113b(self, model):
+        setup = TrainingSetup(
+            ORBIT_113B, 512, Parallelism.HYBRID_STOP, tp_size=8, fsdp_size=64, micro_batch=3
+        )
+        assert model.fits(setup)
+
+    def test_memory_increases_with_fsdp_share(self, model):
+        """Fig 6b: memory mildly increases as FSDP grows / TP shrinks."""
+        mems = []
+        for tp in (256, 64, 8, 2):
+            setup = TrainingSetup(
+                ORBIT_113B, 512, Parallelism.HYBRID_STOP,
+                tp_size=tp, fsdp_size=512 // tp, micro_batch=2,
+            )
+            mems.append(model.per_gpu_bytes(setup))
+        assert mems == sorted(mems)
+        assert mems[-1] < 1.5 * mems[0]  # "mild" increase
+
+
+class TestCrossValidationWithEngine:
+    def test_persistent_share_matches_engine(self):
+        """The estimator's persistent-state sharding matches what the real
+        engine allocates for trunk shards (same 1/(K*F) scaling)."""
+        import numpy as np
+
+        from repro.cluster import VirtualCluster
+        from repro.core import HybridSTOPTrunk
+        from repro.nn.transformer import TransformerStack
+        from repro.parallel import HybridParallelPlan
+
+        cluster = VirtualCluster(num_gpus=4, gpus_per_node=8)
+        plan = HybridParallelPlan(cluster, tp_size=2, fsdp_size=2)
+        serial = TransformerStack(16, 2, 2, rng=0, dtype=np.float32)
+        total_bytes = sum(p.data.nbytes for p in serial.parameters())
+        HybridSTOPTrunk(serial, plan)
+        engine_per_gpu = cluster.device(0).memory.category_current("params")
+        # Each device holds ~1/(K*F) of the trunk (padding adds slack).
+        assert engine_per_gpu == pytest.approx(total_bytes / 4, rel=0.05)
+
+
+class TestPipelineExtension:
+    """Sec II's pipeline-parallelism limitation, in the memory model."""
+
+    def test_pipeline_plateaus_at_layer_count(self, model):
+        """Beyond one stage per layer, extra GPUs buy nothing."""
+        at_depth, _ = model.max_model_size(Parallelism.PIPELINE, 64, ORBIT_113B)
+        beyond, _ = model.max_model_size(Parallelism.PIPELINE, 512, ORBIT_113B)
+        far_beyond, _ = model.max_model_size(Parallelism.PIPELINE, 4096, ORBIT_113B)
+        assert at_depth == beyond == far_beyond
+
+    def test_hybrid_overtakes_pipeline_at_scale(self, model):
+        pipeline, _ = model.max_model_size(Parallelism.PIPELINE, 512, ORBIT_113B)
+        hybrid, _ = model.max_model_size(Parallelism.HYBRID_STOP, 512, ORBIT_113B)
+        assert hybrid > 1.5 * pipeline
+
+    def test_pipeline_stage_memory_scales_with_stages(self, model):
+        two = TrainingSetup(ORBIT_10B, 8, Parallelism.PIPELINE, tp_size=2)
+        eight = TrainingSetup(ORBIT_10B, 8, Parallelism.PIPELINE, tp_size=8)
+        assert model.per_gpu_bytes(eight) < model.per_gpu_bytes(two)

@@ -1,0 +1,147 @@
+"""Gradient and semantics tests for the functional fwd/bwd pairs."""
+
+import numpy as np
+import pytest
+
+from repro.meta import MetaArray, is_meta
+from repro.nn import functional as F
+
+from tests.nn.gradcheck import numerical_gradient
+
+
+def _check_pair(fwd, x, extra_args=(), rtol=1e-6, atol=1e-9):
+    """Gradcheck a (fwd, bwd) pair against finite differences."""
+    rng = np.random.default_rng(0)
+    y0, _ = fwd(x, *extra_args)
+    probe = rng.normal(size=y0.shape)
+    return y0, probe
+
+
+class TestGelu:
+    def test_known_values(self):
+        y, _ = F.gelu_forward(np.array([0.0]))
+        assert y[0] == 0.0
+        y, _ = F.gelu_forward(np.array([100.0]))
+        np.testing.assert_allclose(y[0], 100.0)  # gelu(x) -> x for large x
+        y, _ = F.gelu_forward(np.array([-100.0]))
+        np.testing.assert_allclose(y[0], 0.0, atol=1e-12)
+
+    def test_gradcheck(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(4, 5))
+        y, cache = F.gelu_forward(x)
+        probe = rng.normal(size=y.shape)
+        analytic = F.gelu_backward(cache, probe)
+
+        def loss():
+            out, _ = F.gelu_forward(x)
+            return float(np.sum(out * probe))
+
+        numerical = numerical_gradient(loss, x)
+        np.testing.assert_allclose(analytic, numerical, rtol=1e-6, atol=1e-9)
+
+    def test_meta_shapes(self):
+        y, cache = F.gelu_forward(MetaArray((2, 3)))
+        assert is_meta(y) and y.shape == (2, 3)
+        g = F.gelu_backward(cache, MetaArray((2, 3)))
+        assert g.shape == (2, 3)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        rng = np.random.default_rng(4)
+        p, _ = F.softmax_forward(rng.normal(size=(3, 7)))
+        np.testing.assert_allclose(p.sum(axis=-1), 1.0)
+
+    def test_stable_for_large_logits(self):
+        p, _ = F.softmax_forward(np.array([1e4, 1e4 + 1.0]))
+        assert np.isfinite(p).all()
+        np.testing.assert_allclose(p.sum(), 1.0)
+
+    def test_gradcheck(self):
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=(3, 6))
+        p, cache = F.softmax_forward(x)
+        probe = rng.normal(size=p.shape)
+        analytic = F.softmax_backward(cache, probe)
+
+        def loss():
+            out, _ = F.softmax_forward(x)
+            return float(np.sum(out * probe))
+
+        np.testing.assert_allclose(analytic, numerical_gradient(loss, x), rtol=1e-5, atol=1e-9)
+
+    def test_grad_orthogonal_to_ones(self):
+        # Softmax output is shift-invariant, so the gradient must have
+        # zero component along the all-ones direction.
+        rng = np.random.default_rng(6)
+        x = rng.normal(size=(2, 5))
+        p, cache = F.softmax_forward(x)
+        g = F.softmax_backward(cache, rng.normal(size=p.shape))
+        np.testing.assert_allclose(g.sum(axis=-1), 0.0, atol=1e-12)
+
+
+class TestLayerNorm:
+    def test_normalizes(self):
+        rng = np.random.default_rng(7)
+        xhat, _ = F.layernorm_forward(rng.normal(2.0, 3.0, size=(4, 16)))
+        np.testing.assert_allclose(xhat.mean(axis=-1), 0.0, atol=1e-7)
+        np.testing.assert_allclose(xhat.var(axis=-1), 1.0, rtol=1e-3)
+
+    def test_gradcheck(self):
+        rng = np.random.default_rng(8)
+        x = rng.normal(size=(3, 8))
+        xhat, cache = F.layernorm_forward(x)
+        probe = rng.normal(size=xhat.shape)
+        analytic = F.layernorm_backward(cache, probe)
+
+        def loss():
+            out, _ = F.layernorm_forward(x)
+            return float(np.sum(out * probe))
+
+        np.testing.assert_allclose(analytic, numerical_gradient(loss, x), rtol=1e-4, atol=1e-8)
+
+
+class TestAttention:
+    def test_output_shape(self):
+        rng = np.random.default_rng(9)
+        q = rng.normal(size=(2, 3, 4, 5))
+        k = rng.normal(size=(2, 3, 6, 5))
+        v = rng.normal(size=(2, 3, 6, 5))
+        out, _ = F.attention_forward(q, k, v, scale=5**-0.5)
+        assert out.shape == (2, 3, 4, 5)
+
+    def test_uniform_attention_averages_values(self):
+        # Identical keys => uniform attention => output is the mean value.
+        q = np.ones((1, 1, 1, 2))
+        k = np.ones((1, 1, 4, 2))
+        v = np.arange(8.0).reshape(1, 1, 4, 2)
+        out, _ = F.attention_forward(q, k, v, scale=1.0)
+        np.testing.assert_allclose(out[0, 0, 0], v[0, 0].mean(axis=0))
+
+    def test_gradcheck_all_operands(self):
+        rng = np.random.default_rng(10)
+        q = rng.normal(size=(1, 2, 3, 4))
+        k = rng.normal(size=(1, 2, 5, 4))
+        v = rng.normal(size=(1, 2, 5, 4))
+        scale = 4**-0.5
+        out, cache = F.attention_forward(q, k, v, scale)
+        probe = rng.normal(size=out.shape)
+        gq, gk, gv = F.attention_backward(cache, probe)
+
+        def loss():
+            y, _ = F.attention_forward(q, k, v, scale)
+            return float(np.sum(y * probe))
+
+        np.testing.assert_allclose(gq, numerical_gradient(loss, q), rtol=1e-5, atol=1e-8)
+        np.testing.assert_allclose(gk, numerical_gradient(loss, k), rtol=1e-5, atol=1e-8)
+        np.testing.assert_allclose(gv, numerical_gradient(loss, v), rtol=1e-5, atol=1e-8)
+
+    def test_meta_mode(self):
+        q = MetaArray((2, 4, 8, 16))
+        k = MetaArray((2, 4, 8, 16))
+        v = MetaArray((2, 4, 8, 16))
+        out, cache = F.attention_forward(q, k, v, scale=0.25)
+        assert out.shape == (2, 4, 8, 16)
+        gq, gk, gv = F.attention_backward(cache, MetaArray((2, 4, 8, 16)))
+        assert gq.shape == q.shape and gk.shape == k.shape and gv.shape == v.shape

@@ -1,0 +1,228 @@
+"""Gradient checks and behaviour tests for every nn layer."""
+
+import numpy as np
+import pytest
+
+from repro.meta import MetaArray, is_meta
+from repro.nn import (
+    CrossVariableAggregation,
+    LayerNorm,
+    LeadTimeEmbedding,
+    Linear,
+    MLP,
+    MultiHeadAttention,
+    PatchEmbedding,
+    PositionalEmbedding,
+    TransformerBlock,
+    TransformerStack,
+    VariableEmbedding,
+)
+
+from tests.nn.gradcheck import check_module_gradients
+
+RNG = np.random.default_rng(42)
+
+
+def randn(*shape):
+    return RNG.normal(size=shape)  # float64 for tight gradcheck tolerances
+
+
+class TestLinear:
+    def test_gradcheck(self):
+        lin = Linear(3, 4, rng=0, dtype=np.float64)
+        check_module_gradients(lin, randn(5, 3))
+
+    def test_gradcheck_batched_input(self):
+        lin = Linear(3, 2, rng=1, dtype=np.float64)
+        check_module_gradients(lin, randn(2, 4, 3))
+
+    def test_no_bias(self):
+        lin = Linear(3, 4, bias=False, rng=0, dtype=np.float64)
+        assert lin.bias is None
+        check_module_gradients(lin, randn(5, 3))
+
+    def test_wrong_feature_dim_rejected(self):
+        with pytest.raises(ValueError):
+            Linear(3, 4, rng=0)(np.ones((2, 5)))
+
+    def test_meta_forward_backward_shapes(self):
+        lin = Linear(8, 16, meta=True)
+        y = lin(MetaArray((4, 8)))
+        assert y.shape == (4, 16)
+        gx = lin.backward(MetaArray((4, 16)))
+        assert gx.shape == (4, 8)
+        assert lin.weight.grad.shape == (8, 16)
+
+    def test_invalid_dims_rejected(self):
+        with pytest.raises(ValueError):
+            Linear(0, 4)
+
+
+class TestLayerNorm:
+    def test_gradcheck(self):
+        ln = LayerNorm(6, dtype=np.float64)
+        # Non-trivial affine so gamma gradients are exercised.
+        ln.gamma.data = randn(6)
+        ln.beta.data = randn(6)
+        check_module_gradients(ln, randn(4, 6), rtol=1e-4, atol=1e-7)
+
+    def test_output_statistics_with_default_affine(self):
+        ln = LayerNorm(32, dtype=np.float64)
+        y = ln(randn(8, 32) * 5 + 3)
+        np.testing.assert_allclose(y.mean(axis=-1), 0.0, atol=1e-10)
+        np.testing.assert_allclose(y.var(axis=-1), 1.0, rtol=1e-3)
+
+    def test_wrong_dim_rejected(self):
+        with pytest.raises(ValueError):
+            LayerNorm(8)(np.ones((2, 4)))
+
+    def test_meta_mode(self):
+        ln = LayerNorm(8, meta=True)
+        y = ln(MetaArray((2, 8)))
+        assert y.shape == (2, 8)
+        assert ln.backward(MetaArray((2, 8))).shape == (2, 8)
+
+
+class TestMLP:
+    def test_gradcheck(self):
+        mlp = MLP(4, hidden_dim=6, rng=0, dtype=np.float64)
+        check_module_gradients(mlp, randn(3, 4), rtol=1e-4, atol=1e-7)
+
+    def test_default_hidden_is_4x(self):
+        assert MLP(8, rng=0).hidden_dim == 32
+
+    def test_meta_mode(self):
+        mlp = MLP(8, meta=True)
+        assert mlp(MetaArray((2, 8))).shape == (2, 8)
+        assert mlp.backward(MetaArray((2, 8))).shape == (2, 8)
+
+
+class TestMultiHeadAttention:
+    @pytest.mark.parametrize("qk_layernorm", [False, True])
+    def test_gradcheck(self, qk_layernorm):
+        attn = MultiHeadAttention(6, 2, qk_layernorm=qk_layernorm, rng=0, dtype=np.float64)
+        check_module_gradients(attn, randn(2, 3, 6), rtol=1e-4, atol=1e-7)
+
+    def test_indivisible_heads_rejected(self):
+        with pytest.raises(ValueError):
+            MultiHeadAttention(7, 2)
+
+    def test_input_shape_validated(self):
+        with pytest.raises(ValueError):
+            MultiHeadAttention(8, 2, rng=0)(np.ones((2, 8)))
+
+    def test_meta_mode(self):
+        attn = MultiHeadAttention(16, 4, qk_layernorm=True, meta=True)
+        y = attn(MetaArray((2, 10, 16)))
+        assert y.shape == (2, 10, 16)
+        assert attn.backward(MetaArray((2, 10, 16))).shape == (2, 10, 16)
+
+    def test_qk_layernorm_bounds_logits(self):
+        # With QK-LN, q/k rows are unit-variance, so logits stay O(sqrt(d));
+        # without it, scaling the input scales logits quadratically.
+        x = randn(1, 8, 16) * 50.0
+        plain = MultiHeadAttention(16, 2, qk_layernorm=False, rng=0, dtype=np.float64)
+        normed = MultiHeadAttention(16, 2, qk_layernorm=True, rng=0, dtype=np.float64)
+        assert normed.max_attention_logit(x) < plain.max_attention_logit(x)
+
+
+class TestCrossVariableAggregation:
+    def test_gradcheck(self):
+        agg = CrossVariableAggregation(4, 2, rng=0, dtype=np.float64)
+        check_module_gradients(agg, randn(2, 3, 2, 4), rtol=1e-4, atol=1e-7)
+
+    def test_collapses_variable_axis(self):
+        agg = CrossVariableAggregation(8, 2, rng=0)
+        y = agg(np.random.default_rng(0).normal(size=(2, 5, 3, 8)).astype(np.float32))
+        assert y.shape == (2, 3, 8)
+
+    def test_meta_mode(self):
+        agg = CrossVariableAggregation(8, 2, meta=True)
+        y = agg(MetaArray((2, 5, 3, 8)))
+        assert y.shape == (2, 3, 8)
+        assert agg.backward(MetaArray((2, 3, 8))).shape == (2, 5, 3, 8)
+
+
+class TestPatchEmbedding:
+    def test_gradcheck(self):
+        embed = PatchEmbedding(2, 4, 4, 2, 3, rng=0, dtype=np.float64)
+        check_module_gradients(embed, randn(2, 2, 4, 4), rtol=1e-5, atol=1e-8)
+
+    def test_token_shape(self):
+        embed = PatchEmbedding(num_vars=5, img_height=8, img_width=16, patch_size=4, dim=12, rng=0)
+        tokens = embed(np.zeros((3, 5, 8, 16), np.float32))
+        assert tokens.shape == (3, 5, 8, 12)  # L = 2 * 4 = 8
+
+    def test_patchify_unpatchify_roundtrip(self):
+        embed = PatchEmbedding(1, 8, 8, 2, 4, rng=0)
+        x = np.arange(64.0).reshape(1, 1, 8, 8)
+        patches = embed.patchify(x)
+        back = embed.unpatchify(patches, 1, 1)
+        np.testing.assert_array_equal(back, x)
+
+    def test_patchify_preserves_locality(self):
+        # The first patch must contain exactly the top-left p x p block.
+        embed = PatchEmbedding(1, 4, 4, 2, 4, rng=0)
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        patches = embed.patchify(x)
+        np.testing.assert_array_equal(patches[0, 0, 0], [0, 1, 4, 5])
+
+    def test_indivisible_image_rejected(self):
+        with pytest.raises(ValueError):
+            PatchEmbedding(1, 5, 4, 2, 4)
+
+    def test_meta_mode(self):
+        embed = PatchEmbedding(91, 32, 64, 8, 16, meta=True)
+        tokens = embed(MetaArray((2, 91, 32, 64)))
+        assert tokens.shape == (2, 91, 32, 16)
+        assert embed.backward(MetaArray((2, 91, 32, 16))).shape == (2, 91, 32, 64)
+
+
+class TestSmallEmbeddings:
+    def test_variable_embedding_gradcheck(self):
+        ve = VariableEmbedding(3, 4, rng=0, dtype=np.float64)
+        check_module_gradients(ve, randn(2, 3, 5, 4))
+
+    def test_positional_embedding_gradcheck(self):
+        pe = PositionalEmbedding(5, 4, rng=0, dtype=np.float64)
+        check_module_gradients(pe, randn(2, 5, 4))
+
+    def test_lead_time_embedding_changes_tokens(self):
+        lte = LeadTimeEmbedding(8, rng=0)
+        tokens = np.zeros((2, 3, 8), np.float32)
+        day1 = lte(tokens, np.array([24.0, 24.0], np.float32))
+        lte.clear_cache()
+        day30 = lte(tokens, np.array([720.0, 720.0], np.float32))
+        assert not np.allclose(day1, day30)
+
+    def test_lead_time_embedding_backward(self):
+        lte = LeadTimeEmbedding(4, rng=0, dtype=np.float64)
+        tokens = randn(2, 3, 4)
+        lte(tokens, np.array([24.0, 48.0]))
+        grad = lte.backward(np.ones((2, 3, 4)))
+        assert grad.shape == tokens.shape
+        assert lte.proj.weight.grad is not None
+
+
+class TestTransformer:
+    def test_block_gradcheck(self):
+        block = TransformerBlock(4, 2, mlp_ratio=2.0, rng=0, dtype=np.float64)
+        check_module_gradients(block, randn(2, 3, 4), rtol=1e-4, atol=1e-7)
+
+    def test_block_gradcheck_qk_layernorm(self):
+        block = TransformerBlock(4, 2, mlp_ratio=2.0, qk_layernorm=True, rng=0, dtype=np.float64)
+        check_module_gradients(block, randn(2, 3, 4), rtol=1e-4, atol=1e-7)
+
+    def test_stack_gradcheck(self):
+        stack = TransformerStack(4, depth=2, num_heads=2, mlp_ratio=2.0, rng=0, dtype=np.float64)
+        check_module_gradients(stack, randn(1, 3, 4), rtol=1e-4, atol=1e-6)
+
+    def test_stack_depth_validated(self):
+        with pytest.raises(ValueError):
+            TransformerStack(4, depth=0, num_heads=2)
+
+    def test_meta_mode_stack(self):
+        stack = TransformerStack(16, depth=3, num_heads=4, qk_layernorm=True, meta=True)
+        y = stack(MetaArray((2, 8, 16)))
+        assert is_meta(y) and y.shape == (2, 8, 16)
+        assert stack.backward(MetaArray((2, 8, 16))).shape == (2, 8, 16)

@@ -1,0 +1,107 @@
+"""Tests for bfloat16 emulation and precision policies."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.meta import MetaArray
+from repro.nn.precision import (
+    BF16_MAX,
+    BF16_MIXED,
+    FP32,
+    PrecisionPolicy,
+    round_to_bfloat16,
+)
+
+
+def bf16_representable(x: np.ndarray) -> np.ndarray:
+    """True where the float32 value has zero low-16 mantissa bits."""
+    bits = np.ascontiguousarray(x, dtype=np.float32).view(np.uint32)
+    return (bits & np.uint32(0xFFFF)) == 0
+
+
+class TestRounding:
+    def test_exact_values_unchanged(self):
+        x = np.array([0.0, 1.0, -2.0, 0.5, 256.0], dtype=np.float32)
+        np.testing.assert_array_equal(round_to_bfloat16(x), x)
+
+    def test_output_always_representable(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=1000).astype(np.float32) * 10.0**rng.integers(-20, 20, 1000)
+        out = round_to_bfloat16(x)
+        assert bf16_representable(out).all()
+
+    def test_relative_error_bounded(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=1000).astype(np.float32)
+        out = round_to_bfloat16(x)
+        rel = np.abs(out - x) / np.abs(x)
+        assert rel.max() <= 2.0**-8  # half ULP of a 7-bit mantissa
+
+    def test_idempotent(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=100).astype(np.float32)
+        once = round_to_bfloat16(x)
+        np.testing.assert_array_equal(round_to_bfloat16(once), once)
+
+    def test_ties_round_to_even(self):
+        # 1 + 2^-8 is exactly halfway between 1.0 and 1 + 2^-7:
+        # round-to-even picks 1.0 (even mantissa).
+        halfway = np.array([1.0 + 2.0**-8], dtype=np.float32)
+        assert round_to_bfloat16(halfway)[0] == np.float32(1.0)
+        # 1 + 3 * 2^-8 is halfway between 1+2^-7 and 1+2^-6: even is 1+2^-6.
+        halfway_up = np.array([1.0 + 3 * 2.0**-8], dtype=np.float32)
+        assert round_to_bfloat16(halfway_up)[0] == np.float32(1.0 + 2.0**-6)
+
+    def test_infinities_preserved(self):
+        x = np.array([np.inf, -np.inf], dtype=np.float32)
+        np.testing.assert_array_equal(round_to_bfloat16(x), x)
+
+    def test_nan_preserved(self):
+        assert np.isnan(round_to_bfloat16(np.array([np.nan], dtype=np.float32)))[0]
+
+    def test_overflow_to_inf(self):
+        # Just above BF16_MAX rounds up past the largest finite bf16.
+        over = np.array([BF16_MAX * (1 + 2.0**-8)], dtype=np.float32)
+        assert np.isinf(round_to_bfloat16(over))[0]
+
+    def test_scalar_input(self):
+        out = round_to_bfloat16(np.float32(1.0 + 2.0**-12))
+        assert np.ndim(out) == 0
+        assert out == np.float32(1.0)
+
+    def test_meta_input_changes_itemsize(self):
+        out = round_to_bfloat16(MetaArray((4, 4), np.float32))
+        assert out.dtype.itemsize == 2
+
+    @given(st.floats(-1e30, 1e30, allow_nan=False))
+    def test_property_rounding_is_nearest(self, value):
+        value = float(np.float32(value))
+        x = np.array([value], dtype=np.float32)
+        out = round_to_bfloat16(x)[0]
+        # Distance to the rounded value never exceeds one bf16 ULP.
+        ulp = max(abs(value), 2.0**-126) * 2.0**-7
+        assert abs(out - value) <= ulp
+
+
+class TestPolicy:
+    def test_fp32_cast_is_identity(self):
+        x = np.array([1.0 + 2.0**-12], dtype=np.float32)
+        assert FP32.cast(x) is x
+
+    def test_bf16_cast_rounds(self):
+        x = np.array([1.0 + 2.0**-12], dtype=np.float32)
+        assert BF16_MIXED.cast(x)[0] == np.float32(1.0)
+
+    def test_meta_dtype(self):
+        assert FP32.meta_dtype.itemsize == 4
+        assert BF16_MIXED.meta_dtype.itemsize == 2
+
+    def test_invalid_dtype_rejected(self):
+        with pytest.raises(ValueError):
+            PrecisionPolicy("float16")
+
+    def test_buffer_itemsize(self):
+        assert FP32.buffer_itemsize == 4
+        assert BF16_MIXED.buffer_itemsize == 2

@@ -1,0 +1,135 @@
+"""Tests for GPipe-style pipeline parallelism (the Sec II comparison)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import VirtualCluster
+from repro.nn.transformer import TransformerStack
+from repro.parallel import PeakFractionCompute
+from repro.parallel.pipeline import PipelineLimitError, PipelineParallelTrunk
+
+
+def make_setup(num_stages=2, depth=4, dim=8, micro_batches=3, seed=0, compute=False):
+    rng = np.random.default_rng(seed)
+    serial = TransformerStack(dim, depth, 2, rng=seed, dtype=np.float64)
+    reference = TransformerStack(dim, depth, 2, rng=seed, dtype=np.float64)
+    cluster = VirtualCluster(num_gpus=num_stages, gpus_per_node=8)
+    pipeline = PipelineParallelTrunk(
+        serial, cluster, num_stages,
+        compute_model=PeakFractionCompute(cluster) if compute else None,
+    )
+    xs = [rng.normal(size=(2, 3, dim)) for _ in range(micro_batches)]
+    grads = [rng.normal(size=(2, 3, dim)) for _ in range(micro_batches)]
+    return reference, pipeline, xs, grads, cluster
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("num_stages", [1, 2, 4])
+    def test_forward_matches_serial(self, num_stages):
+        reference, pipeline, xs, _, _ = make_setup(num_stages=num_stages)
+        outputs = pipeline.forward(xs)
+        for x, y in zip(xs, outputs):
+            expected = reference(x)
+            reference.clear_cache()
+            np.testing.assert_allclose(y, expected, rtol=1e-10)
+
+    def test_backward_matches_serial(self):
+        reference, pipeline, xs, grads, _ = make_setup(num_stages=2, seed=1)
+        pipeline.forward(xs)
+        grad_inputs = pipeline.backward(grads)
+
+        x_all = np.concatenate(xs, axis=0)
+        g_all = np.concatenate(grads, axis=0)
+        reference(x_all)
+        reference.zero_grad()
+        gx_ref = reference.backward(g_all)
+        np.testing.assert_allclose(
+            np.concatenate(grad_inputs, axis=0), gx_ref, rtol=1e-8, atol=1e-11
+        )
+        ref_grads = dict(reference.named_parameters())
+        pipe_params = pipeline.parameters()
+        # Pipeline blocks are the serial model's blocks in order.
+        for (name, ref_param), pipe_param in zip(ref_grads.items(), pipe_params):
+            np.testing.assert_allclose(
+                pipe_param.grad, ref_param.grad, rtol=1e-8, atol=1e-11, err_msg=name
+            )
+
+
+class TestLimitsAndLayout:
+    def test_layer_count_limit(self):
+        """The paper's Sec II point: stages cannot exceed layers."""
+        serial = TransformerStack(8, 2, 2, rng=0)
+        cluster = VirtualCluster(num_gpus=4)
+        with pytest.raises(PipelineLimitError):
+            PipelineParallelTrunk(serial, cluster, num_stages=3)
+
+    def test_needs_enough_ranks(self):
+        serial = TransformerStack(8, 4, 2, rng=0)
+        cluster = VirtualCluster(num_gpus=2)
+        with pytest.raises(ValueError):
+            PipelineParallelTrunk(serial, cluster, num_stages=4)
+
+    def test_uneven_partition(self):
+        _, pipeline, _, _, _ = make_setup(num_stages=3, depth=4)
+        sizes = [len(stage) for stage in pipeline.stages]
+        assert sizes == [2, 1, 1]
+        assert sum(sizes) == 4
+
+    def test_parameters_distributed_across_devices(self):
+        _, pipeline, _, _, cluster = make_setup(num_stages=2, depth=4)
+        for stage in range(2):
+            stage_bytes = sum(p.nbytes for p in pipeline.stage_parameters(stage))
+            assert cluster.device(stage).memory.current_bytes == stage_bytes
+
+    def test_boundary_traffic_recorded(self):
+        _, pipeline, xs, grads, cluster = make_setup(num_stages=2)
+        pipeline.forward(xs)
+        pipeline.backward(grads)
+        assert cluster.timeline.ledger(0).comm_bytes > 0
+        assert cluster.timeline.ledger(1).comm_bytes > 0
+
+
+class TestSchedule:
+    def test_bubble_fraction(self):
+        _, pipeline, _, _, _ = make_setup(num_stages=4, depth=4)
+        assert pipeline.bubble_fraction(1) == pytest.approx(3 / 4)
+        assert pipeline.bubble_fraction(12) == pytest.approx(3 / 15)
+        with pytest.raises(ValueError):
+            pipeline.bubble_fraction(0)
+
+    def test_more_micro_batches_amortize_the_bubble(self):
+        _, pipeline, _, _, _ = make_setup(num_stages=4, depth=4)
+        assert pipeline.bubble_fraction(16) < pipeline.bubble_fraction(2)
+
+    def test_schedule_walltime_exceeds_ideal(self):
+        _, pipeline, xs, _, cluster = make_setup(num_stages=2, compute=True)
+        pipeline.forward(xs)
+        wall = pipeline.schedule_walltime(len(xs))
+        ideal = max(
+            cluster.timeline.ledger(s).compute_s for s in range(2)
+        )
+        assert wall > ideal  # the bubble costs something
+
+    def test_schedule_needs_compute_model(self):
+        _, pipeline, xs, _, _ = make_setup(num_stages=2, compute=False)
+        pipeline.forward(xs)
+        with pytest.raises(RuntimeError):
+            pipeline.schedule_walltime(3)
+
+
+class TestErrors:
+    def test_backward_without_forward(self):
+        _, pipeline, _, grads, _ = make_setup()
+        with pytest.raises(RuntimeError):
+            pipeline.backward(grads)
+
+    def test_gradient_count_mismatch(self):
+        _, pipeline, xs, grads, _ = make_setup()
+        pipeline.forward(xs)
+        with pytest.raises(ValueError):
+            pipeline.backward(grads[:1])
+
+    def test_empty_micro_batches(self):
+        _, pipeline, _, _, _ = make_setup()
+        with pytest.raises(ValueError):
+            pipeline.forward([])

@@ -1,0 +1,98 @@
+"""Cross-validation: the analytic walltime model vs the executed engine.
+
+The perf model prices communication with the same
+:class:`~repro.cluster.costmodel.CollectiveCostModel` the engine's
+collectives use, so at small scale the two must agree on *structure*:
+which configuration communicates more, and roughly how much.  (Compute
+constants differ by design — the engine's flat-efficiency recorder vs
+the model's batch-dependent sustained rate — so the check is on
+communication volume and ordering, not absolute walltime.)
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import VirtualCluster
+from repro.core import HybridSTOPTrunk
+from repro.memory.estimator import Parallelism, TrainingSetup
+from repro.models import OrbitConfig
+from repro.models.flops import parameter_breakdown
+from repro.nn.transformer import TransformerStack
+from repro.parallel import HybridParallelPlan
+
+CFG = OrbitConfig(
+    "xval",
+    embed_dim=64,
+    depth=2,
+    num_heads=4,
+    in_vars=4,
+    out_vars=4,
+    img_height=16,
+    img_width=32,
+    patch_size=8,
+)
+
+
+def engine_comm_bytes(tp: int, fsdp: int) -> float:
+    """Total communication bytes one engine step actually moves."""
+    cluster = VirtualCluster(num_gpus=tp * fsdp, gpus_per_node=tp * fsdp)
+    plan = HybridParallelPlan(cluster, tp_size=tp, fsdp_size=fsdp)
+    serial = TransformerStack(CFG.embed_dim, CFG.depth, CFG.num_heads, rng=0, dtype=np.float32)
+    trunk = HybridSTOPTrunk(serial, plan)
+    rng = np.random.default_rng(0)
+    seq = CFG.num_patches
+    xs = [rng.normal(size=(2, seq, CFG.embed_dim)).astype(np.float32) for _ in range(fsdp)]
+    gys = [rng.normal(size=(2, seq, CFG.embed_dim)).astype(np.float32) for _ in range(fsdp)]
+    trunk.forward(xs)
+    trunk.backward(gys)
+    return sum(cluster.timeline.ledger(r).comm_bytes for r in range(cluster.world_size))
+
+
+class TestCommVolumeStructure:
+    def test_gather_volume_scales_with_fsdp_presence(self):
+        """FSDP > 1 adds shard-gather traffic the F=1 config lacks."""
+        with_fsdp = engine_comm_bytes(tp=2, fsdp=2)
+        without_fsdp = engine_comm_bytes(tp=4, fsdp=1)
+        assert with_fsdp > without_fsdp
+
+    def test_engine_gather_traffic_matches_three_shard_movements(self):
+        """The perf model assumes 3 layer-shard movements per layer per
+        step (forward gather, backward gather, gradient reduce-scatter);
+        the engine's measured gather traffic is the same order."""
+        tp, fsdp = 2, 2
+        cluster = VirtualCluster(num_gpus=4, gpus_per_node=4)
+        plan = HybridParallelPlan(cluster, tp_size=tp, fsdp_size=fsdp)
+        serial = TransformerStack(CFG.embed_dim, CFG.depth, CFG.num_heads, rng=0,
+                                  dtype=np.float32)
+        trunk = HybridSTOPTrunk(serial, plan)
+        trunk_bytes = sum(
+            p.shard_nbytes * p.num_shards for p in trunk.sharded_parameters()
+        )  # one TP rank's shard of every layer, as stored
+        rng = np.random.default_rng(0)
+        seq = CFG.num_patches
+        xs = [rng.normal(size=(1, seq, CFG.embed_dim)).astype(np.float32) for _ in range(2)]
+        trunk.forward(xs)
+        trunk.backward([x.copy() for x in xs])
+        gathered = cluster.timeline.ledger(0).comm_bytes
+        # Per rank: >= 3x its shard traffic moved (gathers + reduce-scatter
+        # + activation all-reduces); and within an order of magnitude.
+        per_rank_shard = trunk_bytes / tp
+        assert gathered > 2 * per_rank_shard
+        assert gathered < 40 * per_rank_shard
+
+    def test_perf_model_ordering_matches_engine(self):
+        """Both agree: more tensor parallelism (beyond the node) costs
+        more communication time than the balanced split."""
+        from repro.perf import PerformanceModel
+
+        pm = PerformanceModel()
+        s_balanced = TrainingSetup(
+            CFG, 8, Parallelism.HYBRID_STOP, tp_size=2, fsdp_size=4, micro_batch=2
+        )
+        s_tp_heavy = TrainingSetup(
+            CFG, 8, Parallelism.HYBRID_STOP, tp_size=4, fsdp_size=2, micro_batch=2
+        )
+        model_balanced = pm.step_time(s_balanced)
+        model_heavy = pm.step_time(s_tp_heavy)
+        # The model's TP all-reduce share grows with tensor-parallel size.
+        assert model_heavy.tp_allreduce_s > model_balanced.tp_allreduce_s

@@ -1,0 +1,56 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_fig7_channel_choices(self):
+        assert build_parser().parse_args(["fig7", "--channels", "91"]).channels == 91
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig7", "--channels", "50"])
+
+
+class TestAnalyticCommands:
+    """The analytic commands run in well under a second."""
+
+    def test_fig5(self, capsys):
+        assert main(["fig5", "--max-gpus", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 5" in out and "hybrid_stop" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out and "OOM" in out
+
+    def test_fig6(self, capsys):
+        assert main(["fig6"]) == 0
+        assert "Fig 6" in capsys.readouterr().out
+
+    def test_fig7(self, capsys):
+        assert main(["fig7", "--channels", "91"]) == 0
+        assert "91 channels" in capsys.readouterr().out
+
+
+class TestTrainingCommands:
+    def test_fig8_small(self, capsys):
+        assert main(["fig8", "--steps", "4"]) == 0
+        assert "Fig 8" in capsys.readouterr().out
+
+
+class TestAllCommand:
+    def test_writes_every_analytic_table(self, tmp_path, capsys):
+        assert main(["all", "--out", str(tmp_path / "results")]) == 0
+        written = sorted(p.name for p in (tmp_path / "results").iterdir())
+        assert written == ["fig5.txt", "fig6.txt", "fig7_48ch.txt", "fig7_91ch.txt", "table1.txt"]
+        assert "Table I" in (tmp_path / "results" / "table1.txt").read_text()
