@@ -9,6 +9,7 @@ Usage::
     python -m repro fig8 --steps 80      # pre-training loss (real training)
     python -m repro fig9                 # wACC comparison (real training)
     python -m repro fig10                # fine-tuning data efficiency
+    python -m repro trace                # traced step: Chrome trace + report
 """
 
 from __future__ import annotations
@@ -51,6 +52,20 @@ def build_parser() -> argparse.ArgumentParser:
         "all", help="run every analytic table/figure and write them to a directory"
     )
     everything.add_argument("--out", default="results")
+
+    trace = sub.add_parser(
+        "trace",
+        help="run one traced Hybrid-STOP step; write a Chrome trace and step report",
+    )
+    trace.add_argument("--gpus", type=int, default=16, help="world size (default: 2 nodes)")
+    trace.add_argument("--gpus-per-node", type=int, default=8)
+    trace.add_argument("--tp", type=int, default=4, help="tensor-parallel group size")
+    trace.add_argument("--fsdp", type=int, default=2, help="FSDP group size")
+    trace.add_argument("--ddp", type=int, default=2, help="DDP replica count")
+    trace.add_argument("--micro-batch", type=int, default=2)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--no-prefetch", action="store_true", help="disable gather prefetch")
+    trace.add_argument("--out", default="results/trace", help="output directory")
 
     return parser
 
@@ -115,6 +130,23 @@ def main(argv: list[str] | None = None) -> int:
             (out / filename).write_text(text + "\n")
             print(f"wrote {out / filename}")
         print("(training figures: run fig8/fig9/fig10 subcommands separately)")
+    elif args.command == "trace":
+        from repro.obs import run_traced_step, step_report
+
+        run = run_traced_step(
+            num_gpus=args.gpus,
+            gpus_per_node=args.gpus_per_node,
+            tp_size=args.tp,
+            fsdp_size=args.fsdp,
+            ddp_size=args.ddp,
+            micro_batch=args.micro_batch,
+            seed=args.seed,
+            prefetch=not args.no_prefetch,
+            out_dir=args.out,
+        )
+        print(step_report(run.tracer, cluster=run.cluster))
+        for label, written in sorted(run.files.items()):
+            print(f"wrote {written} ({label})")
     else:  # pragma: no cover - argparse enforces choices
         raise AssertionError(args.command)
     return 0

@@ -9,6 +9,7 @@ from repro.cluster.device import VirtualGPU
 from repro.cluster.process_group import ProcessGroup
 from repro.cluster.timeline import Timeline
 from repro.cluster.topology import FrontierTopology, LinkSpec
+from repro.obs.tracer import NULL_TRACER
 
 
 class VirtualCluster:
@@ -26,6 +27,10 @@ class VirtualCluster:
         When False, devices get unlimited trackers (analytic what-if runs).
     intra_node / inter_node:
         Optional :class:`~repro.cluster.topology.LinkSpec` overrides.
+    tracer:
+        Optional :class:`~repro.obs.tracer.Tracer` receiving one span
+        per recorded compute/communication event.  Defaults to the
+        no-op tracer (zero events, no overhead).
 
     Examples
     --------
@@ -43,6 +48,7 @@ class VirtualCluster:
         track_device_memory: bool = True,
         intra_node: LinkSpec | None = None,
         inter_node: LinkSpec | None = None,
+        tracer=None,
     ):
         topo_kwargs = {}
         if intra_node is not None:
@@ -51,7 +57,8 @@ class VirtualCluster:
             topo_kwargs["inter_node"] = inter_node
         self.topology = FrontierTopology(num_gpus, gpus_per_node, **topo_kwargs)
         self.cost_model = CollectiveCostModel(self.topology)
-        self.timeline = Timeline(num_gpus)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.timeline = Timeline(num_gpus, tracer=self.tracer)
         device_kwargs = {}
         if gpu_memory_bytes is not None:
             device_kwargs["memory_capacity"] = gpu_memory_bytes
@@ -74,9 +81,15 @@ class VirtualCluster:
         """Create a process group over the given global ranks."""
         return ProcessGroup(self, ranks)
 
+    def attach_tracer(self, tracer) -> None:
+        """Install (or replace) the tracer receiving timeline events."""
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.timeline.tracer = self.tracer
+
     def reset(self) -> None:
-        """Clear the timeline and all device memory (between simulated runs)."""
+        """Clear the timeline, trace, and device memory (between runs)."""
         self.timeline.reset()
+        self.tracer.clear()
         for device in self.devices:
             device.memory.free_all()
             device.memory.reset_peak()

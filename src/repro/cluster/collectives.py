@@ -61,8 +61,12 @@ def _reduce(stack: np.ndarray, op: str) -> np.ndarray:
     raise ValueError(f"unknown reduce op {op!r}; expected one of {_REDUCE_OPS}")
 
 
-def _record(group: ProcessGroup, seconds: float, nbytes: float, overlappable: bool) -> None:
-    group.cluster.timeline.record_comm(group.ranks, seconds, nbytes, overlappable=overlappable)
+def _record(
+    group: ProcessGroup, seconds: float, nbytes: float, overlappable: bool, op: str
+) -> None:
+    group.cluster.timeline.record_comm(
+        group.ranks, seconds, nbytes, overlappable=overlappable, op=op
+    )
 
 
 def all_gather(
@@ -75,7 +79,7 @@ def all_gather(
     meta = _check_buffers(group, shards)
     total_bytes = sum(nbytes_of(s) for s in shards)
     seconds = group.cluster.cost_model.all_gather(group.ranks, total_bytes)
-    _record(group, seconds, total_bytes, overlappable)
+    _record(group, seconds, total_bytes, overlappable, "all_gather")
     if group.size == 1:
         return [shards[0]]
     if meta:
@@ -108,7 +112,7 @@ def reduce_scatter(
         )
     total_bytes = nbytes_of(buffers[0])
     seconds = group.cluster.cost_model.reduce_scatter(group.ranks, total_bytes)
-    _record(group, seconds, total_bytes, overlappable)
+    _record(group, seconds, total_bytes, overlappable, "reduce_scatter")
     shard_len = shape[axis] // group.size
     if meta:
         out_shape = list(shape)
@@ -135,7 +139,7 @@ def all_reduce(
         raise ValueError(f"all_reduce buffers must share a shape, got {shapes}")
     total_bytes = nbytes_of(buffers[0])
     seconds = group.cluster.cost_model.all_reduce(group.ranks, total_bytes)
-    _record(group, seconds, total_bytes, overlappable)
+    _record(group, seconds, total_bytes, overlappable, "all_reduce")
     if meta:
         return [buffers[0]] * group.size
     if group.size == 1:
@@ -150,7 +154,7 @@ def broadcast(group: ProcessGroup, buffer, root: int = 0, overlappable: bool = F
         raise ValueError(f"root {root} outside group of size {group.size}")
     total_bytes = nbytes_of(buffer)
     seconds = group.cluster.cost_model.broadcast(group.ranks, total_bytes)
-    _record(group, seconds, total_bytes, overlappable)
+    _record(group, seconds, total_bytes, overlappable, "broadcast")
     return [buffer] * group.size
 
 
@@ -167,7 +171,7 @@ def scatter(
         raise ValueError(f"root {root} outside group of size {group.size}")
     total_bytes = sum(nbytes_of(s) for s in shards)
     seconds = group.cluster.cost_model.scatter(group.ranks, total_bytes)
-    _record(group, seconds, total_bytes, overlappable)
+    _record(group, seconds, total_bytes, overlappable, "scatter")
     return list(shards)
 
 
@@ -184,7 +188,7 @@ def gather(
         raise ValueError(f"root {root} outside group of size {group.size}")
     total_bytes = sum(nbytes_of(s) for s in shards)
     seconds = group.cluster.cost_model.gather(group.ranks, total_bytes)
-    _record(group, seconds, total_bytes, overlappable)
+    _record(group, seconds, total_bytes, overlappable, "gather")
     if meta:
         first = shards[0]
         shape = list(first.shape)
@@ -204,11 +208,11 @@ def all_to_all(group: ProcessGroup, blocks: Sequence[Sequence], overlappable: bo
             raise ValueError(f"block row {i} has {len(row)} entries, expected {group.size}")
     per_rank_bytes = max(sum(nbytes_of(b) for b in row) for row in blocks)
     seconds = group.cluster.cost_model.all_to_all(group.ranks, per_rank_bytes)
-    _record(group, seconds, per_rank_bytes, overlappable)
+    _record(group, seconds, per_rank_bytes, overlappable, "all_to_all")
     return [[blocks[i][j] for i in range(group.size)] for j in range(group.size)]
 
 
 def barrier(group: ProcessGroup) -> None:
     """Synchronize the group (costed as a tiny all-reduce)."""
     seconds = group.cluster.cost_model.all_reduce(group.ranks, 4)
-    _record(group, seconds, 0, overlappable=False)
+    _record(group, seconds, 0, False, "barrier")

@@ -11,12 +11,22 @@ effects the timeline must capture:
 
 Every rank accumulates totals; the simulated walltime of a phase is the
 maximum over participating ranks (bulk-synchronous semantics).
+
+The timeline is also the tracing choke point: every recorded unit of
+time passes through :meth:`Timeline.record_compute` or
+:meth:`Timeline.record_comm`, so an attached
+:class:`~repro.obs.tracer.Tracer` receives one span per event with the
+exact pre-record busy clock and the hidden/exposed split.  The default
+handle is the no-op :data:`~repro.obs.tracer.NULL_TRACER`, which keeps
+the untraced path allocation-free.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Iterable
+
+from repro.obs.tracer import NULL_TRACER
 
 
 @dataclass
@@ -41,10 +51,11 @@ class RankLedger:
 class Timeline:
     """Compute/communication accounting across all ranks of a cluster."""
 
-    def __init__(self, num_ranks: int):
+    def __init__(self, num_ranks: int, tracer=None):
         if num_ranks < 1:
             raise ValueError("num_ranks must be positive")
         self._ledgers = [RankLedger() for _ in range(num_ranks)]
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     @property
     def num_ranks(self) -> int:
@@ -55,14 +66,22 @@ class Timeline:
         return self._ledgers[rank]
 
     # -- recording ---------------------------------------------------------
-    def record_compute(self, rank: int, seconds: float, flops: float = 0.0) -> None:
-        """Log compute work on ``rank``; it also grows the overlap budget."""
+    def record_compute(
+        self, rank: int, seconds: float, flops: float = 0.0, op: str = "compute"
+    ) -> None:
+        """Log compute work on ``rank``; it also grows the overlap budget.
+
+        ``op`` names the span an attached tracer records (e.g. the
+        sharded layer the FLOPs belong to).
+        """
         if seconds < 0:
             raise ValueError("compute seconds must be non-negative")
         led = self._ledgers[rank]
+        t0 = led.walltime_s
         led.compute_s += seconds
         led.flops += flops
         led.overlap_budget_s += seconds
+        self.tracer.on_compute(rank, t0, seconds, flops, op)
 
     def record_comm(
         self,
@@ -70,6 +89,7 @@ class Timeline:
         seconds: float,
         nbytes: float,
         overlappable: bool = False,
+        op: str = "comm",
     ) -> None:
         """Log one collective of ``seconds`` across ``ranks``.
 
@@ -77,20 +97,27 @@ class Timeline:
         under each rank's accumulated compute slack; only the excess is
         exposed.  Non-overlappable collectives (e.g. the blocking
         all-reduce closing a micro-batch) are fully exposed.
+
+        ``op`` names the collective for an attached tracer, which
+        receives one span per participating rank carrying the
+        per-rank hidden/exposed split.
         """
         if seconds < 0:
             raise ValueError("comm seconds must be non-negative")
+        ranks = tuple(ranks)
         for rank in ranks:
             led = self._ledgers[rank]
+            t0 = led.walltime_s
             led.comm_s += seconds
             led.comm_bytes += nbytes
             if overlappable:
                 hidden = min(seconds, led.overlap_budget_s)
                 led.overlap_budget_s -= hidden
-                led.exposed_comm_s += seconds - hidden
             else:
-                led.exposed_comm_s += seconds
+                hidden = 0.0
                 led.overlap_budget_s = 0.0
+            led.exposed_comm_s += seconds - hidden
+            self.tracer.on_comm(rank, t0, seconds, hidden, nbytes, op, ranks)
 
     # -- summaries ---------------------------------------------------------
     def walltime_s(self, ranks: Iterable[int] | None = None) -> float:

@@ -76,7 +76,7 @@ class HybridModuleBase:
         if self.compute_model is not None:
             rank = self.rank(fsdp, tp)
             seconds = self.compute_model.seconds_for(ctx.flops, rank)
-            self.plan.cluster.timeline.record_compute(rank, seconds, ctx.flops)
+            self.plan.cluster.timeline.record_compute(rank, seconds, ctx.flops, op=self.name)
 
     def _require_cache(self):
         if self._cache is None:

@@ -23,12 +23,20 @@ class GatheredParam:
     Holds the reassembled array plus the per-device allocations backing
     it; call :meth:`release` (or use as a context manager) when the
     layer is done with it (layer wrapping frees after every layer).
+    Releases are marked on the owning cluster's tracer so a trace shows
+    the gathered-shard lifetime, not just the gather.
     """
 
-    def __init__(self, data, allocations, devices):
+    def __init__(self, data, allocations, devices, *, tracer=None, timeline=None,
+                 ranks=(), name="param", nbytes=0.0):
         self.data = data
         self._allocations = allocations
         self._devices = devices
+        self._tracer = tracer
+        self._timeline = timeline
+        self._ranks = tuple(ranks)
+        self._name = name
+        self._nbytes = nbytes
         self.released = False
 
     def release(self) -> None:
@@ -37,6 +45,8 @@ class GatheredParam:
         for device, alloc in zip(self._devices, self._allocations):
             device.memory.free(alloc)
         self.released = True
+        if self._tracer is not None:
+            self._tracer.mark_free(self._timeline, self._ranks, self._name, self._nbytes)
 
     def __enter__(self):
         return self
@@ -64,7 +74,9 @@ def gather_param(
         raise ValueError(
             f"{param.name}: {param.num_shards} shards but group size {group.size}"
         )
-    gathered = all_gather(group, param.shards, overlappable=overlappable)
+    tracer = group.cluster.tracer
+    with tracer.scope("gather", param.name, kind="gather"):
+        gathered = all_gather(group, param.shards, overlappable=overlappable)
     nbytes = nbytes_of(gathered[0])
     devices, allocations = [], []
     if track_memory:
@@ -74,7 +86,11 @@ def gather_param(
         ]
     # All ranks receive identical gathered content; one array is shared.
     full = flat_unshard([gathered[0]], param.logical_shape)
-    return GatheredParam(full, allocations, devices)
+    return GatheredParam(
+        full, allocations, devices,
+        tracer=tracer, timeline=group.cluster.timeline, ranks=group.ranks,
+        name=param.name, nbytes=nbytes,
+    )
 
 
 def reduce_scatter_grads(
@@ -103,7 +119,8 @@ def reduce_scatter_grads(
             )
         shards = flat_pad_shard(grad, group.size)
         flat_per_rank.append(ops.concat(shards, axis=0))
-    shard_lists = reduce_scatter(group, flat_per_rank, op="sum", overlappable=overlappable)
+    with group.cluster.tracer.scope("grad", param.name):
+        shard_lists = reduce_scatter(group, flat_per_rank, op="sum", overlappable=overlappable)
     param.set_grad_shards(shard_lists)
 
 

@@ -1,0 +1,57 @@
+"""Observability for the simulated Hybrid-STOP stack.
+
+Three layers, designed so traces are *exact* and *cheap*:
+
+* :mod:`~repro.obs.tracer` — span events (compute / collective /
+  gather / optimizer / checkpoint / io) keyed to the simulated clock,
+  with overlap disposition.  :data:`~repro.obs.tracer.NULL_TRACER` is
+  the module-level no-op used when tracing is disabled.
+* :mod:`~repro.obs.metrics` — counters, gauges, histograms.
+* :mod:`~repro.obs.export` / :mod:`~repro.obs.analysis` — Chrome
+  ``chrome://tracing`` JSON, a plain-text step report, machine-readable
+  dicts, and the span aggregations that tie the trace back to the
+  :class:`~repro.cluster.timeline.Timeline` ledgers.
+
+:func:`~repro.obs.capture.run_traced_step` (the ``repro trace``
+subcommand) runs a small configured step end to end and exports both
+artifacts.
+"""
+
+from repro.obs.metrics import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+)
+from repro.obs.tracer import NULL_TRACER, SPAN_KINDS, NullTracer, Span, Tracer
+from repro.obs.export import (
+    step_report,
+    to_chrome_trace,
+    to_dict,
+    write_chrome_trace,
+    write_step_report,
+)
+from repro.obs.capture import TraceRun, run_traced_step
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NULL_TRACER",
+    "NullMetrics",
+    "NullTracer",
+    "SPAN_KINDS",
+    "Span",
+    "TraceRun",
+    "Tracer",
+    "run_traced_step",
+    "step_report",
+    "to_chrome_trace",
+    "to_dict",
+    "write_chrome_trace",
+    "write_step_report",
+]

@@ -1,0 +1,107 @@
+"""Aggregations over recorded spans.
+
+These back both the plain-text step report and the invariant tests: a
+trace is useful exactly because these sums are *defined* to equal the
+:class:`~repro.cluster.timeline.Timeline` ledgers.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Iterable, Sequence
+
+from repro.obs.tracer import Span
+
+#: Kinds whose spans carry simulated time (markers are excluded).
+TIMED_KINDS = ("compute", "collective", "gather")
+COMM_KINDS = ("collective", "gather")
+
+
+def compute_seconds_by_rank(spans: Iterable[Span]) -> dict[int, float]:
+    """Per-rank sum of compute span durations, in recorded order.
+
+    Accumulated with ``+=`` exactly as the ledger accumulates, so the
+    result is bitwise-equal to ``ledger.compute_s``.
+    """
+    totals: dict[int, float] = defaultdict(float)
+    for span in spans:
+        if span.kind == "compute":
+            totals[span.rank] += span.dur
+    return dict(totals)
+
+
+def exposed_comm_seconds_by_rank(spans: Iterable[Span]) -> dict[int, float]:
+    """Per-rank sum of exposed collective/gather time (bitwise-matches
+    ``ledger.exposed_comm_s``)."""
+    totals: dict[int, float] = defaultdict(float)
+    for span in spans:
+        if span.kind in COMM_KINDS:
+            totals[span.rank] += span.busy_s
+    return dict(totals)
+
+
+def comm_seconds_by_rank(spans: Iterable[Span]) -> dict[int, float]:
+    """Per-rank total modeled communication time (hidden + exposed)."""
+    totals: dict[int, float] = defaultdict(float)
+    for span in spans:
+        if span.kind in COMM_KINDS:
+            totals[span.rank] += span.dur
+    return dict(totals)
+
+
+def hidden_comm_seconds_by_rank(spans: Iterable[Span]) -> dict[int, float]:
+    """Per-rank overlap-hidden communication time."""
+    totals: dict[int, float] = defaultdict(float)
+    for span in spans:
+        if span.kind in COMM_KINDS:
+            totals[span.rank] += span.hidden_s
+    return dict(totals)
+
+
+def busy_seconds_by_rank(spans: Iterable[Span]) -> dict[int, float]:
+    """Per-rank busy time: compute plus exposed communication."""
+    totals: dict[int, float] = defaultdict(float)
+    for span in spans:
+        if span.kind in TIMED_KINDS:
+            totals[span.rank] += span.busy_s
+    return dict(totals)
+
+
+def top_operations(
+    spans: Sequence[Span], limit: int = 10, key: str = "exposed"
+) -> list[dict]:
+    """Operations ranked by aggregate exposed (or total) time.
+
+    Answers "which collective on which path dominated?": spans are
+    grouped by ``(kind, name)`` and summed across ranks.
+    """
+    if key not in ("exposed", "total"):
+        raise ValueError(f"key must be 'exposed' or 'total', got {key!r}")
+    grouped: dict[tuple[str, str], dict] = {}
+    for span in spans:
+        if span.kind not in TIMED_KINDS:
+            continue
+        entry = grouped.setdefault(
+            (span.kind, span.name),
+            {"kind": span.kind, "name": span.name, "count": 0,
+             "exposed_s": 0.0, "total_s": 0.0, "hidden_s": 0.0, "nbytes": 0.0},
+        )
+        entry["count"] += 1
+        entry["exposed_s"] += span.busy_s
+        entry["total_s"] += span.dur
+        entry["hidden_s"] += span.hidden_s
+        entry["nbytes"] += span.nbytes
+    ranked = sorted(
+        grouped.values(),
+        key=lambda e: (e["exposed_s"] if key == "exposed" else e["total_s"]),
+        reverse=True,
+    )
+    return ranked[:limit]
+
+
+def exposed_comm_ratio(spans: Sequence[Span]) -> float:
+    """Exposed communication as a fraction of total busy time."""
+    busy = math.fsum(busy_seconds_by_rank(spans).values())
+    exposed = math.fsum(exposed_comm_seconds_by_rank(spans).values())
+    return exposed / busy if busy > 0 else 0.0

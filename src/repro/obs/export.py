@@ -1,0 +1,153 @@
+"""Trace exporters: Chrome tracing JSON, plain-text report, raw dict.
+
+The Chrome format (``chrome://tracing`` / Perfetto "JSON Array
+Format") lays the trace out as one *process* per rank with three
+*thread* lanes — compute, comm, and markers — so overlap-hidden
+communication is visible under the compute it hid beneath.  Timestamps
+are the simulated busy clock in microseconds.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs import analysis
+from repro.obs.tracer import Span, Tracer
+
+_LANES = {"compute": "compute", "collective": "comm", "gather": "comm"}
+
+
+def _event(span: Span) -> dict:
+    tid = _LANES.get(span.kind, "markers")
+    args = {
+        "scope": span.scope,
+        "nbytes": span.nbytes,
+        "flops": span.flops,
+        "hidden_s": span.hidden_s,
+        "exposed_s": span.busy_s,
+        "disposition": span.disposition,
+    }
+    if span.group is not None:
+        args["group"] = list(span.group)
+    args.update(span.attrs)
+    event = {
+        "name": span.name,
+        "cat": span.kind,
+        "pid": span.rank,
+        "tid": tid,
+        "ts": span.t0 * 1e6,
+        "args": args,
+    }
+    if span.dur > 0.0:
+        event["ph"] = "X"
+        event["dur"] = span.dur * 1e6
+    else:
+        event["ph"] = "i"
+        event["s"] = "t"
+    return event
+
+
+def to_chrome_trace(tracer: Tracer) -> dict:
+    """The trace as a ``chrome://tracing``-loadable dict."""
+    events: list[dict] = []
+    ranks = sorted({span.rank for span in tracer.spans})
+    for rank in ranks:
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": rank,
+                "args": {"name": f"rank {rank}"},
+            }
+        )
+    events.extend(_event(span) for span in tracer.spans)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(tracer: Tracer, path) -> Path:
+    """Serialize :func:`to_chrome_trace` to ``path``; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(to_chrome_trace(tracer), indent=1) + "\n")
+    return path
+
+
+def to_dict(tracer: Tracer) -> dict:
+    """Machine-readable trace: span dicts plus the metrics snapshot."""
+    return {
+        "spans": [span.to_dict() for span in tracer.spans],
+        "metrics": tracer.metrics.as_dict(),
+    }
+
+
+def step_report(tracer: Tracer, cluster=None, top: int = 10) -> str:
+    """Human-readable per-step breakdown.
+
+    Per-rank busy decomposition, walltime, exposed-comm ratio, the
+    top operations by exposed time, and (when a cluster is given)
+    per-device memory high-water marks.
+    """
+    from repro.experiments.common import format_table
+
+    spans = tracer.spans
+    compute = analysis.compute_seconds_by_rank(spans)
+    exposed = analysis.exposed_comm_seconds_by_rank(spans)
+    hidden = analysis.hidden_comm_seconds_by_rank(spans)
+    comm = analysis.comm_seconds_by_rank(spans)
+    ranks = sorted(set(compute) | set(comm))
+
+    rows = []
+    for rank in ranks:
+        row = [
+            rank,
+            f"{compute.get(rank, 0.0):.6f}",
+            f"{comm.get(rank, 0.0):.6f}",
+            f"{exposed.get(rank, 0.0):.6f}",
+            f"{hidden.get(rank, 0.0):.6f}",
+            f"{compute.get(rank, 0.0) + exposed.get(rank, 0.0):.6f}",
+        ]
+        if cluster is not None:
+            row.append(f"{cluster.device(rank).memory.peak_bytes / 2**20:.2f} MiB")
+        rows.append(row)
+    headers = ["rank", "compute_s", "comm_s", "exposed_s", "hidden_s", "busy_s"]
+    if cluster is not None:
+        headers.append("peak_mem")
+    lines = [format_table(headers, rows, title="Per-rank time breakdown")]
+
+    busy = [compute.get(r, 0.0) + exposed.get(r, 0.0) for r in ranks]
+    walltime = max(busy, default=0.0)
+    lines.append("")
+    lines.append(f"walltime (max busy rank): {walltime:.6f} s")
+    lines.append(f"exposed-comm ratio:       {analysis.exposed_comm_ratio(spans):.4f}")
+    lines.append(f"spans recorded:           {len(spans)}")
+
+    ops = analysis.top_operations(spans, limit=top)
+    if ops:
+        op_rows = [
+            [
+                entry["name"],
+                entry["kind"],
+                entry["count"],
+                f"{entry['exposed_s']:.6f}",
+                f"{entry['hidden_s']:.6f}",
+                f"{entry['nbytes'] / 2**20:.2f} MiB",
+            ]
+            for entry in ops
+        ]
+        lines.append("")
+        lines.append(
+            format_table(
+                ["op", "kind", "count", "exposed_s", "hidden_s", "bytes"],
+                op_rows,
+                title=f"Top {len(op_rows)} operations by exposed time",
+            )
+        )
+    return "\n".join(lines)
+
+
+def write_step_report(tracer: Tracer, path, cluster=None) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(step_report(tracer, cluster=cluster) + "\n")
+    return path

@@ -108,6 +108,7 @@ class HybridSTOPEngine:
             )
         self.plan = plan
         self.compute_model = compute_model
+        self.tracer = plan.cluster.tracer
         self.config = model.config
         D, F, K = plan.ddp_size, plan.fsdp_size, plan.tp_size
 
@@ -149,8 +150,8 @@ class HybridSTOPEngine:
                     )
 
     # -- accounting helpers -------------------------------------------------------
-    def _ranked(self, d: int, f: int):
-        return _RankedCompute(self, self.plan.rank(d, f, 0))
+    def _ranked(self, d: int, f: int, op: str = "dense"):
+        return _RankedCompute(self, self.plan.rank(d, f, 0), op)
 
     def _record_dense_grad_sync(self, d: int) -> None:
         """Cost of reducing replicated dense grads across the replica."""
@@ -162,7 +163,9 @@ class HybridSTOPEngine:
         ]
         if len(replica_ranks) > 1:
             seconds = self.plan.cluster.cost_model.all_reduce(replica_ranks, dense_bytes)
-            self.plan.cluster.timeline.record_comm(replica_ranks, seconds, dense_bytes)
+            self.plan.cluster.timeline.record_comm(
+                replica_ranks, seconds, dense_bytes, op="dense_grad_sync"
+            )
 
     # -- execution -----------------------------------------------------------------
     def forward(self, xs: list, lead_times: list) -> list:
@@ -174,35 +177,37 @@ class HybridSTOPEngine:
         if len(xs) != D or any(len(batch) != F for batch in xs):
             raise ValueError(f"expected xs nested as [{D}][{F}]")
         ys = []
-        for d in range(D):
-            tokens = []
-            for f in range(F):
-                with self._ranked(d, f):
-                    tokens.append(self.fronts[d][f](xs[d][f], lead_times[d][f]))
-            tokens = self.trunks[d].forward(tokens)
-            preds = []
-            for f in range(F):
-                with self._ranked(d, f):
-                    preds.append(self.heads[d][f](tokens[f]))
-            ys.append(preds)
+        with self.tracer.scope("engine.forward"):
+            for d in range(D):
+                tokens = []
+                for f in range(F):
+                    with self._ranked(d, f, op="dense.front"):
+                        tokens.append(self.fronts[d][f](xs[d][f], lead_times[d][f]))
+                tokens = self.trunks[d].forward(tokens)
+                preds = []
+                for f in range(F):
+                    with self._ranked(d, f, op="dense.head"):
+                        preds.append(self.heads[d][f](tokens[f]))
+                ys.append(preds)
         return ys
 
     def backward(self, grad_ys: list) -> list:
         """Backprop; returns per-micro-batch input gradients."""
         D, F = self.plan.ddp_size, self.plan.fsdp_size
         grad_xs = []
-        for d in range(D):
-            grads = []
-            for f in range(F):
-                with self._ranked(d, f):
-                    grads.append(self.heads[d][f].backward(grad_ys[d][f]))
-            grads = self.trunks[d].backward(grads)
-            replica_grad_xs = []
-            for f in range(F):
-                with self._ranked(d, f):
-                    replica_grad_xs.append(self.fronts[d][f].backward(grads[f]))
-            grad_xs.append(replica_grad_xs)
-            self._record_dense_grad_sync(d)
+        with self.tracer.scope("engine.backward"):
+            for d in range(D):
+                grads = []
+                for f in range(F):
+                    with self._ranked(d, f, op="dense.head"):
+                        grads.append(self.heads[d][f].backward(grad_ys[d][f]))
+                grads = self.trunks[d].backward(grads)
+                replica_grad_xs = []
+                for f in range(F):
+                    with self._ranked(d, f, op="dense.front"):
+                        replica_grad_xs.append(self.fronts[d][f].backward(grads[f]))
+                grad_xs.append(replica_grad_xs)
+                self._record_dense_grad_sync(d)
         return grad_xs
 
     # -- gradient synchronization ----------------------------------------------------
@@ -211,36 +216,37 @@ class HybridSTOPEngine:
         D = self.plan.ddp_size
         if D == 1:
             return
-        # Trunk: reduce shard-by-shard over the matching device positions.
-        per_replica = [trunk.sharded_parameters() for trunk in self.trunks]
-        for params in zip(*per_replica):
-            num_shards = params[0].num_shards
-            for j in range(num_shards):
-                ranks = [p.devices[j].rank for p in params]
-                group = self.plan.cluster.new_group(ranks)
-                grads = [p.grad_shards[j] for p in params]
-                reduced = all_reduce(group, grads, op="sum")
-                for p, grad in zip(params, reduced):
-                    p.grad_shards[j] = grad if is_meta(grad) else np.array(grad, copy=True)
-        # Dense modules: reduce each parameter across replica leads.
-        lead_group = self.plan.cluster.new_group(
-            [self.plan.rank(d, 0, 0) for d in range(D)]
-        )
-        dense_per_replica = [
-            dict(self.fronts[d][0].named_parameters())
-            | {f"head.{n}": p for n, p in self.heads[d][0].named_parameters()}
-            for d in range(D)
-        ]
-        for name in dense_per_replica[0]:
-            grads = [dense_per_replica[d][name].grad for d in range(D)]
-            if any(g is None for g in grads):
-                raise RuntimeError(f"dense parameter {name} missing a replica gradient")
-            reduced = all_reduce(lead_group, grads, op="sum")
-            for d in range(D):
-                grad = reduced[d]
-                dense_per_replica[d][name].grad = (
-                    grad if is_meta(grad) else np.array(grad, copy=True)
-                )
+        with self.tracer.scope("engine.grad_sync"):
+            # Trunk: reduce shard-by-shard over the matching device positions.
+            per_replica = [trunk.sharded_parameters() for trunk in self.trunks]
+            for params in zip(*per_replica):
+                num_shards = params[0].num_shards
+                for j in range(num_shards):
+                    ranks = [p.devices[j].rank for p in params]
+                    group = self.plan.cluster.new_group(ranks)
+                    grads = [p.grad_shards[j] for p in params]
+                    reduced = all_reduce(group, grads, op="sum")
+                    for p, grad in zip(params, reduced):
+                        p.grad_shards[j] = grad if is_meta(grad) else np.array(grad, copy=True)
+            # Dense modules: reduce each parameter across replica leads.
+            lead_group = self.plan.cluster.new_group(
+                [self.plan.rank(d, 0, 0) for d in range(D)]
+            )
+            dense_per_replica = [
+                dict(self.fronts[d][0].named_parameters())
+                | {f"head.{n}": p for n, p in self.heads[d][0].named_parameters()}
+                for d in range(D)
+            ]
+            for name in dense_per_replica[0]:
+                grads = [dense_per_replica[d][name].grad for d in range(D)]
+                if any(g is None for g in grads):
+                    raise RuntimeError(f"dense parameter {name} missing a replica gradient")
+                reduced = all_reduce(lead_group, grads, op="sum")
+                for d in range(D):
+                    grad = reduced[d]
+                    dense_per_replica[d][name].grad = (
+                        grad if is_meta(grad) else np.array(grad, copy=True)
+                    )
 
     # -- checkpoint interoperability ---------------------------------------------
     def gathered_state_dict(self, replica: int = 0) -> dict:
@@ -286,9 +292,10 @@ class HybridSTOPEngine:
 class _RankedCompute:
     """Attribute enclosed dense-module compute to one rank."""
 
-    def __init__(self, engine: HybridSTOPEngine, rank: int):
+    def __init__(self, engine: HybridSTOPEngine, rank: int, op: str = "dense"):
         self.engine = engine
         self.rank = rank
+        self.op = op
         self.ctx = ExecutionContext()
         self._mgr = None
 
@@ -302,5 +309,7 @@ class _RankedCompute:
         engine = self.engine
         if engine.compute_model is not None:
             seconds = engine.compute_model.seconds_for(self.ctx.flops, self.rank)
-            engine.plan.cluster.timeline.record_compute(self.rank, seconds, self.ctx.flops)
+            engine.plan.cluster.timeline.record_compute(
+                self.rank, seconds, self.ctx.flops, op=self.op
+            )
         return False

@@ -55,6 +55,7 @@ class FSDPModule:
         self.layer_wrapping = layer_wrapping
         self.prefetch = prefetch
         self.compute_model = compute_model
+        self.tracer = group.cluster.tracer
         devices = [group.cluster.device(r) for r in group.ranks]
         self.params: dict[str, ShardedParameter] = {}
         self._units: list[list[str]] = []
@@ -111,15 +112,16 @@ class FSDPModule:
         """
         if len(xs) != self.group.size:
             raise ValueError(f"expected {self.group.size} micro-batches, got {len(xs)}")
-        handles = self._materialize()
-        ys = []
-        for member, x in enumerate(xs):
-            extras = [arg[member] for arg in extra_per_member]
-            with self._ranked_compute(member):
-                y = self.module(x, *extras)
-            self.module.clear_cache()
-            ys.append(y)
-        self._dematerialize(handles)
+        with self.tracer.scope("fsdp.forward"):
+            handles = self._materialize()
+            ys = []
+            for member, x in enumerate(xs):
+                extras = [arg[member] for arg in extra_per_member]
+                with self._ranked_compute(member):
+                    y = self.module(x, *extras)
+                self.module.clear_cache()
+                ys.append(y)
+            self._dematerialize(handles)
         self._cache_inputs = (list(xs), [list(arg) for arg in extra_per_member])
         return ys
 
@@ -131,24 +133,25 @@ class FSDPModule:
         self._cache_inputs = None
         per_member_grads: dict[str, list] = {name: [] for name in self.params}
         grad_xs = []
-        handles = self._materialize()
-        named = dict(self.module.named_parameters())
-        for member, (x, grad_y) in enumerate(zip(xs, grad_ys)):
-            extras = [arg[member] for arg in extra]
+        with self.tracer.scope("fsdp.backward"):
+            handles = self._materialize()
+            named = dict(self.module.named_parameters())
+            for member, (x, grad_y) in enumerate(zip(xs, grad_ys)):
+                extras = [arg[member] for arg in extra]
+                self.module.zero_grad()
+                with self._ranked_compute(member):
+                    self.module(x, *extras)  # recompute activations
+                    grad_xs.append(self.module.backward(grad_y))
+                for name in self.params:
+                    grad = named[name].grad
+                    if grad is None:
+                        grad = _zeros_like_logical(self.params[name])
+                    per_member_grads[name].append(grad)
+                self.module.clear_cache()
             self.module.zero_grad()
-            with self._ranked_compute(member):
-                self.module(x, *extras)  # recompute activations
-                grad_xs.append(self.module.backward(grad_y))
-            for name in self.params:
-                grad = named[name].grad
-                if grad is None:
-                    grad = _zeros_like_logical(self.params[name])
-                per_member_grads[name].append(grad)
-            self.module.clear_cache()
-        self.module.zero_grad()
-        self._dematerialize(handles)
-        for name, param in self.params.items():
-            reduce_scatter_grads(param, self.group, per_member_grads[name])
+            self._dematerialize(handles)
+            for name, param in self.params.items():
+                reduce_scatter_grads(param, self.group, per_member_grads[name])
         return grad_xs
 
     # -- state access ----------------------------------------------------------------
@@ -194,5 +197,7 @@ class _RankedCompute:
         if owner.compute_model is not None:
             rank = owner.group.ranks[self.member]
             seconds = owner.compute_model.seconds_for(self.ctx.flops, rank)
-            owner.group.cluster.timeline.record_compute(rank, seconds, self.ctx.flops)
+            owner.group.cluster.timeline.record_compute(
+                rank, seconds, self.ctx.flops, op="fsdp.module"
+            )
         return False

@@ -8,10 +8,16 @@ from pathlib import Path
 import numpy as np
 
 from repro.nn.module import Module
+from repro.obs.tracer import NULL_TRACER
 
 
-def save_checkpoint(module: Module, path, metadata: dict | None = None) -> None:
-    """Write every parameter (plus JSON metadata) to an ``.npz`` file."""
+def save_checkpoint(module: Module, path, metadata: dict | None = None, tracer=None) -> None:
+    """Write every parameter (plus JSON metadata) to an ``.npz`` file.
+
+    An attached tracer receives a ``checkpoint`` marker (parameter
+    count/bytes) and an ``io`` marker for the archive write.
+    """
+    tracer = tracer if tracer is not None else NULL_TRACER
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     state = module.state_dict()
@@ -20,10 +26,21 @@ def save_checkpoint(module: Module, path, metadata: dict | None = None) -> None:
         json.dumps(metadata or {}).encode("utf-8"), dtype=np.uint8
     )
     np.savez_compressed(path, **arrays)
+    param_bytes = float(sum(a.nbytes for a in arrays.values()))
+    tracer.instant("checkpoint", "save", nbytes=param_bytes, params=len(state),
+                   path=str(path))
+    tracer.instant("io", "npz.write", nbytes=param_bytes)
+    tracer.metrics.counter("checkpoint.saves").inc()
 
 
-def load_checkpoint(module: Module, path) -> dict:
-    """Load parameters saved by :func:`save_checkpoint`; returns the metadata."""
+def load_checkpoint(module: Module, path, tracer=None) -> dict:
+    """Load parameters saved by :func:`save_checkpoint`; returns the metadata.
+
+    Raises ``KeyError`` when the archive's parameter set does not match
+    the module's (missing or extra keys), ``ValueError`` on shape
+    mismatches.
+    """
+    tracer = tracer if tracer is not None else NULL_TRACER
     path = Path(path)
     with np.load(path) as archive:
         state = {
@@ -33,4 +50,9 @@ def load_checkpoint(module: Module, path) -> dict:
         }
         metadata = json.loads(bytes(archive["metadata"]).decode("utf-8"))
     module.load_state_dict(state)
+    param_bytes = float(sum(np.asarray(v).nbytes for v in state.values()))
+    tracer.instant("checkpoint", "load", nbytes=param_bytes, params=len(state),
+                   path=str(path))
+    tracer.instant("io", "npz.read", nbytes=param_bytes)
+    tracer.metrics.counter("checkpoint.loads").inc()
     return metadata

@@ -52,6 +52,9 @@ class DistributedTrainer:
         #: sharded path is intentionally not wired here: shard-aware
         #: unscaling belongs to the optimizer views, not the trainer.)
         self.precision = precision
+        #: The cluster's tracer: step scopes and optimizer markers land
+        #: next to the engine's compute/collective spans.
+        self.tracer = engine.plan.cluster.tracer
         handles = []
         for d in range(engine.plan.ddp_size):
             handles.extend(engine.dense_parameters(d))
@@ -84,28 +87,40 @@ class DistributedTrainer:
 
         from repro.nn.context import ExecutionContext, execution_context
 
-        with execution_context(ExecutionContext(precision=self.precision)):
-            predictions = self.engine.forward(xs, leads)
-            losses = []
-            grads = []
-            for d in range(D):
-                row = []
-                for f in range(F):
-                    loss, grad = latitude_weighted_mse(
-                        predictions[d][f], ys[d][f], self.lat_weights
-                    )
-                    losses.append(loss)
-                    # Micro-batch gradients are means over `micro` samples;
-                    # rescale so the reduced sum is the global-batch mean.
-                    row.append(grad * (micro / global_batch))
-                grads.append(row)
-            self.engine.zero_grad()
-            self.engine.backward(grads)
-        self.engine.allreduce_gradients()
-        lr = self.schedule(self.step_count) if self.schedule else None
-        self.optimizer.step(lr=lr)
+        timeline = self.engine.plan.cluster.timeline
+        step_start = timeline.walltime_s()
+        with self.tracer.scope("step", self.step_count):
+            with execution_context(ExecutionContext(precision=self.precision)):
+                predictions = self.engine.forward(xs, leads)
+                losses = []
+                grads = []
+                for d in range(D):
+                    row = []
+                    for f in range(F):
+                        loss, grad = latitude_weighted_mse(
+                            predictions[d][f], ys[d][f], self.lat_weights
+                        )
+                        losses.append(loss)
+                        # Micro-batch gradients are means over `micro` samples;
+                        # rescale so the reduced sum is the global-batch mean.
+                        row.append(grad * (micro / global_batch))
+                    grads.append(row)
+                self.engine.zero_grad()
+                self.engine.backward(grads)
+            self.engine.allreduce_gradients()
+            lr = self.schedule(self.step_count) if self.schedule else None
+            self.optimizer.step(lr=lr)
+            self.tracer.instant(
+                "optimizer", "apply", t0=timeline.walltime_s(), step=self.step_count
+            )
+        mean_loss = float(np.mean(losses))
+        self.tracer.metrics.counter("optimizer.steps").inc()
+        self.tracer.metrics.histogram("train.loss").observe(mean_loss)
+        self.tracer.metrics.histogram("step.walltime_s").observe(
+            timeline.walltime_s() - step_start
+        )
         self.step_count += 1
-        return float(np.mean(losses))
+        return mean_loss
 
     def train(self, batches, num_steps: int) -> list[float]:
         """Run ``num_steps`` steps from a batch iterator; returns losses."""

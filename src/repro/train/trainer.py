@@ -9,6 +9,7 @@ import numpy as np
 from repro.nn.context import ExecutionContext, execution_context
 from repro.nn.grad_scaler import DynamicGradScaler
 from repro.nn.precision import PrecisionPolicy
+from repro.obs.tracer import NULL_TRACER
 from repro.train.loss import latitude_weighted_mse
 from repro.train.optimizer import AdamW
 from repro.train.schedule import WarmupCosineSchedule
@@ -59,6 +60,10 @@ class Trainer:
         AdamW and an optional per-step learning-rate schedule.
     precision / scaler:
         Optional BF16 policy (emulated) and dynamic gradient scaler.
+    tracer:
+        Optional :class:`~repro.obs.tracer.Tracer`; the trainer emits
+        ``optimizer`` marker events (apply vs. grad-scale skip) and
+        feeds loss/skip metrics.  Defaults to the no-op tracer.
     """
 
     def __init__(
@@ -71,9 +76,11 @@ class Trainer:
         precision: PrecisionPolicy | None = None,
         scaler: DynamicGradScaler | None = None,
         accumulation_steps: int = 1,
+        tracer=None,
     ):
         if accumulation_steps < 1:
             raise ValueError("accumulation_steps must be positive")
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.model = model
         self.batches = iter(batches)
         self.lat_weights = lat_weights
@@ -95,24 +102,35 @@ class Trainer:
         if self._micro_step == 0:
             self.model.zero_grad()
         ctx = ExecutionContext(precision=self.precision)
-        with execution_context(ctx):
-            prediction = self.model(batch.x, batch.lead_time_hours)
-            loss, grad = latitude_weighted_mse(prediction, batch.y, self.lat_weights)
-            grad = grad / self.accumulation_steps
-            if self.scaler is not None:
-                grad = self.scaler.scale_loss_grad(grad)
-            self.model.backward(grad)
-        self.model.clear_cache()
-        self._micro_step += 1
-        if self._micro_step >= self.accumulation_steps:
-            self._micro_step = 0
-            apply_update = True
-            if self.scaler is not None:
-                apply_update = self.scaler.unscale_and_check(self.model.parameters())
-            if apply_update:
-                lr = self.schedule(self.step_count) if self.schedule else None
-                self.optimizer.step(lr=lr)
-            self.step_count += 1
+        with self.tracer.scope("step", self.step_count):
+            with execution_context(ctx):
+                prediction = self.model(batch.x, batch.lead_time_hours)
+                loss, grad = latitude_weighted_mse(prediction, batch.y, self.lat_weights)
+                grad = grad / self.accumulation_steps
+                if self.scaler is not None:
+                    grad = self.scaler.scale_loss_grad(grad)
+                self.model.backward(grad)
+            self.model.clear_cache()
+            self.tracer.metrics.histogram("train.loss").observe(loss)
+            self._micro_step += 1
+            if self._micro_step >= self.accumulation_steps:
+                self._micro_step = 0
+                apply_update = True
+                if self.scaler is not None:
+                    apply_update = self.scaler.unscale_and_check(self.model.parameters())
+                if apply_update:
+                    lr = self.schedule(self.step_count) if self.schedule else None
+                    self.optimizer.step(lr=lr)
+                    self.tracer.instant(
+                        "optimizer", "apply", t0=float(self.step_count)
+                    )
+                    self.tracer.metrics.counter("optimizer.steps").inc()
+                else:
+                    self.tracer.instant(
+                        "optimizer", "skip", t0=float(self.step_count)
+                    )
+                    self.tracer.metrics.counter("optimizer.skipped").inc()
+                self.step_count += 1
         return loss, batch.x.shape[0]
 
     def train(self, num_steps: int) -> PretrainResult:

@@ -1,0 +1,108 @@
+"""Timeline edge cases: overlap-budget safety as a property, boundary
+inputs, and the bulk-synchronous walltime definition."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Timeline
+
+# One timeline event: either compute or a collective with an overlap flag.
+_EVENTS = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("compute"),
+            st.floats(min_value=0.0, max_value=10.0,
+                      allow_nan=False, allow_infinity=False),
+        ),
+        st.tuples(
+            st.just("comm"),
+            st.floats(min_value=0.0, max_value=10.0,
+                      allow_nan=False, allow_infinity=False),
+            st.booleans(),
+        ),
+    ),
+    max_size=40,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(events=_EVENTS)
+def test_overlap_budget_never_negative(events):
+    """No sequence of operations can drive the budget below zero, and
+    exposed communication never exceeds total communication."""
+    tl = Timeline(2)
+    for event in events:
+        if event[0] == "compute":
+            tl.record_compute(0, event[1])
+        else:
+            tl.record_comm([0, 1], event[1], nbytes=8.0, overlappable=event[2])
+        for rank in range(2):
+            led = tl.ledger(rank)
+            assert led.overlap_budget_s >= 0.0
+            assert 0.0 <= led.exposed_comm_s <= led.comm_s + 1e-9
+            assert led.walltime_s >= 0.0
+
+
+@settings(max_examples=100, deadline=None)
+@given(events=_EVENTS)
+def test_hidden_time_bounded_by_compute(events):
+    """Total hidden communication can never exceed total compute."""
+    tl = Timeline(1)
+    for event in events:
+        if event[0] == "compute":
+            tl.record_compute(0, event[1])
+        else:
+            tl.record_comm([0], event[1], nbytes=8.0, overlappable=event[2])
+    led = tl.ledger(0)
+    hidden = led.comm_s - led.exposed_comm_s
+    assert hidden <= led.compute_s + 1e-9
+
+
+class TestBoundaryInputs:
+    def test_negative_compute_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Timeline(1).record_compute(0, -1e-9)
+
+    def test_negative_comm_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Timeline(2).record_comm([0, 1], -0.5, nbytes=8.0)
+
+    def test_zero_ranks_rejected(self):
+        with pytest.raises(ValueError):
+            Timeline(0)
+
+    def test_zero_duration_events_are_legal(self):
+        tl = Timeline(1)
+        tl.record_compute(0, 0.0)
+        tl.record_comm([0], 0.0, nbytes=0.0)
+        assert tl.ledger(0).walltime_s == 0.0
+
+    def test_comm_with_generator_ranks(self):
+        """record_comm must materialize lazily-supplied rank iterables."""
+        tl = Timeline(4)
+        tl.record_comm((r for r in range(4)), 0.5, nbytes=8.0)
+        for rank in range(4):
+            assert tl.ledger(rank).comm_s == pytest.approx(0.5)
+
+
+class TestWalltimeSemantics:
+    def test_walltime_is_max_over_participating_ranks(self):
+        tl = Timeline(4)
+        tl.record_compute(0, 1.0)
+        tl.record_compute(1, 3.0)
+        tl.record_compute(2, 2.0)
+        assert tl.walltime_s() == 3.0
+        assert tl.walltime_s(ranks=[0, 2]) == 2.0
+        assert tl.walltime_s(ranks=[3]) == 0.0
+
+    def test_walltime_counts_only_exposed_comm(self):
+        tl = Timeline(1)
+        tl.record_compute(0, 2.0)
+        tl.record_comm([0], 1.5, nbytes=8.0, overlappable=True)  # fully hidden
+        assert tl.walltime_s() == 2.0
+        tl.record_comm([0], 1.0, nbytes=8.0)  # blocking: fully exposed
+        assert tl.walltime_s() == 3.0
+
+    def test_empty_rank_selection(self):
+        assert Timeline(2).walltime_s(ranks=[]) == 0.0

@@ -1,0 +1,121 @@
+"""Exporter structure: Chrome trace JSON, step report, raw dict."""
+
+import json
+
+import pytest
+
+from repro.cluster import Timeline, VirtualCluster, all_reduce
+from repro.obs import Tracer, step_report, to_chrome_trace, to_dict, write_chrome_trace
+from repro.obs import analysis
+
+import numpy as np
+
+
+@pytest.fixture
+def traced_timeline():
+    tracer = Tracer()
+    tl = Timeline(2, tracer=tracer)
+    tl.record_compute(0, 0.4, flops=10.0, op="attn")
+    tl.record_compute(1, 0.2, op="mlp")
+    tl.record_comm([0, 1], 0.3, nbytes=1024.0, overlappable=True, op="all_gather")
+    tracer.instant("optimizer", "apply", t0=1.0, step=0)
+    return tracer, tl
+
+
+class TestChromeTrace:
+    def test_structure(self, traced_timeline):
+        tracer, _ = traced_timeline
+        doc = to_chrome_trace(tracer)
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        events = doc["traceEvents"]
+        metas = [e for e in events if e["ph"] == "M"]
+        assert [m["pid"] for m in metas] == [0, 1]
+        assert metas[0]["args"]["name"] == "rank 0"
+        # 5 spans (comm emits one per rank) + 2 process_name records.
+        assert len(events) == 7
+
+    def test_complete_events_have_duration_us(self, traced_timeline):
+        tracer, _ = traced_timeline
+        events = to_chrome_trace(tracer)["traceEvents"]
+        compute = next(e for e in events if e.get("cat") == "compute")
+        assert compute["ph"] == "X"
+        assert compute["dur"] == pytest.approx(0.4e6)
+        assert compute["ts"] == pytest.approx(0.0)
+        assert compute["tid"] == "compute"
+
+    def test_comm_event_lane_and_args(self, traced_timeline):
+        tracer, _ = traced_timeline
+        events = to_chrome_trace(tracer)["traceEvents"]
+        comm = [e for e in events if e.get("cat") == "collective"]
+        assert {e["tid"] for e in comm} == {"comm"}
+        rank0 = next(e for e in comm if e["pid"] == 0)
+        assert rank0["args"]["nbytes"] == 1024.0
+        assert rank0["args"]["group"] == [0, 1]
+        # rank 0 had 0.4 s of compute slack: the 0.3 s gather fully hides.
+        assert rank0["args"]["disposition"] == "hidden"
+
+    def test_instant_event(self, traced_timeline):
+        tracer, _ = traced_timeline
+        events = to_chrome_trace(tracer)["traceEvents"]
+        instant = next(e for e in events if e.get("cat") == "optimizer")
+        assert instant["ph"] == "i"
+        assert instant["s"] == "t"
+        assert "dur" not in instant
+        assert instant["args"]["step"] == 0
+
+    def test_write_round_trips_as_json(self, traced_timeline, tmp_path):
+        tracer, _ = traced_timeline
+        path = write_chrome_trace(tracer, tmp_path / "sub" / "trace.json")
+        assert path.exists()
+        loaded = json.loads(path.read_text())
+        assert loaded == to_chrome_trace(tracer)
+
+
+class TestDictExport:
+    def test_spans_and_metrics(self, traced_timeline):
+        tracer, _ = traced_timeline
+        doc = to_dict(tracer)
+        assert len(doc["spans"]) == 5
+        assert doc["metrics"]["counters"]["spans.compute"] == 2.0
+        json.dumps(doc)  # must be serializable
+
+
+class TestStepReport:
+    def test_contains_rank_rows_and_totals(self, traced_timeline):
+        tracer, tl = traced_timeline
+        text = step_report(tracer)
+        assert "Per-rank time breakdown" in text
+        assert "walltime (max busy rank)" in text
+        assert f"{tl.walltime_s():.6f}" in text
+        assert "exposed-comm ratio" in text
+        assert "all_gather" in text
+
+    def test_memory_column_with_cluster(self):
+        tracer = Tracer()
+        cluster = VirtualCluster(num_gpus=2, tracer=tracer)
+        bufs = [np.ones(8, dtype=np.float32) for _ in range(2)]
+        all_reduce(cluster.world, bufs)
+        text = step_report(tracer, cluster=cluster)
+        assert "peak_mem" in text
+        assert "MiB" in text
+
+    def test_empty_trace(self):
+        text = step_report(Tracer())
+        assert "spans recorded:           0" in text
+
+
+class TestAnalysis:
+    def test_top_operations_grouping(self, traced_timeline):
+        tracer, _ = traced_timeline
+        ops = analysis.top_operations(tracer.spans)
+        names = {(o["kind"], o["name"]) for o in ops}
+        assert ("collective", "all_gather") in names
+        gather = next(o for o in ops if o["name"] == "all_gather")
+        assert gather["count"] == 2  # one span per rank
+
+    def test_top_operations_key_validation(self):
+        with pytest.raises(ValueError):
+            analysis.top_operations([], key="bogus")
+
+    def test_exposed_ratio_zero_for_empty(self):
+        assert analysis.exposed_comm_ratio([]) == 0.0

@@ -1,0 +1,150 @@
+"""Tracer semantics: spans, scopes, kinds, and the no-op tracer."""
+
+import pytest
+
+from repro.cluster import Timeline, VirtualCluster, all_gather, all_reduce
+from repro.obs import NULL_TRACER, SPAN_KINDS, NullTracer, Span, Tracer
+
+import numpy as np
+
+
+class TestSpan:
+    def test_busy_is_exposed_part(self):
+        span = Span("collective", "all_gather", 0, t0=1.0, dur=0.5, hidden_s=0.2)
+        assert span.busy_s == pytest.approx(0.3)
+        assert span.exposed_s == span.busy_s
+        assert span.t1 == pytest.approx(1.3)
+
+    @pytest.mark.parametrize(
+        "dur,hidden,expected",
+        [(0.5, 0.0, "exposed"), (0.5, 0.5, "hidden"), (0.5, 0.2, "partial")],
+    )
+    def test_disposition(self, dur, hidden, expected):
+        span = Span("collective", "x", 0, 0.0, dur, hidden_s=hidden)
+        assert span.disposition == expected
+
+    def test_to_dict_round_trips_fields(self):
+        span = Span("gather", "all_gather", 3, 0.0, 0.1, nbytes=64.0,
+                    group=(0, 3), scope="gather.w", attrs={"unit": 1})
+        d = span.to_dict()
+        assert d["kind"] == "gather" and d["rank"] == 3
+        assert d["group"] == [0, 3]
+        assert d["attrs"] == {"unit": 1}
+        assert d["exposed_s"] == pytest.approx(0.1)
+
+
+class TestTracer:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer().span("nonsense", "x", 0, 0.0, 1.0)
+
+    def test_span_counts_per_kind(self):
+        tracer = Tracer()
+        tracer.span("compute", "mlp", 0, 0.0, 1.0)
+        tracer.instant("optimizer", "apply")
+        assert tracer.metrics.counter("spans.compute").value == 1
+        assert tracer.metrics.counter("spans.optimizer").value == 1
+        assert len(tracer) == 2
+
+    def test_scope_labels_spans(self):
+        tracer = Tracer()
+        with tracer.scope("step", 3):
+            with tracer.scope("forward"):
+                tracer.span("compute", "mlp", 0, 0.0, 1.0)
+        tracer.span("compute", "tail", 0, 1.0, 1.0)
+        assert tracer.spans[0].scope == "step.3/forward"
+        assert tracer.spans[1].scope == ""
+
+    def test_scope_kind_override_reclassifies_comm(self):
+        tracer = Tracer()
+        with tracer.scope("gather", "w", kind="gather"):
+            tracer.on_comm(0, 0.0, 0.1, 0.0, 8.0, "all_gather", (0, 1))
+        tracer.on_comm(0, 0.1, 0.1, 0.0, 8.0, "all_reduce", (0, 1))
+        assert tracer.spans[0].kind == "gather"
+        assert tracer.spans[1].kind == "collective"
+
+    def test_clear(self):
+        tracer = Tracer()
+        tracer.span("compute", "x", 0, 0.0, 1.0)
+        tracer.clear()
+        assert len(tracer) == 0
+
+    def test_determinism_identical_runs_identical_spans(self):
+        def run():
+            tracer = Tracer()
+            cluster = VirtualCluster(num_gpus=4, tracer=tracer)
+            group = cluster.world
+            rng = np.random.default_rng(7)
+            bufs = [rng.normal(size=16).astype(np.float32) for _ in range(4)]
+            all_reduce(group, bufs)
+            cluster.timeline.record_compute(1, 0.25, flops=5.0, op="mlp")
+            all_gather(group, bufs, overlappable=True)
+            return tracer
+
+        a, b = run(), run()
+        assert [s.to_dict() for s in a.spans] == [s.to_dict() for s in b.spans]
+
+
+class TestTimelineIntegration:
+    def test_compute_span_starts_at_prior_walltime(self):
+        tracer = Tracer()
+        tl = Timeline(2, tracer=tracer)
+        tl.record_compute(0, 1.0, flops=3.0, op="attn")
+        tl.record_compute(0, 0.5, op="mlp")
+        first, second = tracer.spans
+        assert (first.t0, first.dur, first.flops) == (0.0, 1.0, 3.0)
+        assert second.t0 == pytest.approx(1.0)
+        assert second.name == "mlp"
+
+    def test_comm_span_carries_hidden_split(self):
+        tracer = Tracer()
+        tl = Timeline(1, tracer=tracer)
+        tl.record_compute(0, 0.3)
+        tl.record_comm([0], seconds=0.5, nbytes=8, overlappable=True, op="all_gather")
+        span = tracer.spans[-1]
+        assert span.kind == "collective"
+        assert span.dur == pytest.approx(0.5)
+        assert span.hidden_s == pytest.approx(0.3)
+        assert span.busy_s == pytest.approx(0.2)
+        assert span.group == (0,)
+
+    def test_one_span_per_participating_rank(self):
+        tracer = Tracer()
+        tl = Timeline(4, tracer=tracer)
+        tl.record_comm([0, 2, 3], 0.1, 64, op="all_reduce")
+        assert sorted(s.rank for s in tracer.spans) == [0, 2, 3]
+
+
+class TestNullTracer:
+    def test_records_nothing(self):
+        null = NullTracer()
+        with null.scope("step", 0, kind="gather"):
+            null.span("compute", "x", 0, 0.0, 1.0)
+            null.instant("optimizer", "apply")
+            null.on_compute(0, 0.0, 1.0, 0.0, "x")
+            null.on_comm(0, 0.0, 1.0, 0.0, 8.0, "all_reduce", (0,))
+            null.mark_free(None, [0], "w", 8.0)
+        assert len(null.spans) == 0
+        assert len(null) == 0
+        assert null.current_scope == ""
+        assert not null.enabled
+
+    def test_metrics_are_inert(self):
+        NULL_TRACER.metrics.counter("x").inc()
+        NULL_TRACER.metrics.gauge("y").set(5.0)
+        NULL_TRACER.metrics.histogram("z").observe(1.0)
+        assert NULL_TRACER.metrics.as_dict() == {
+            "counters": {}, "gauges": {}, "histograms": {}
+        }
+
+    def test_default_timeline_uses_null_tracer(self):
+        tl = Timeline(2)
+        assert tl.tracer is NULL_TRACER
+        tl.record_compute(0, 1.0)
+        tl.record_comm([0, 1], 0.5, 8)
+        assert len(tl.tracer.spans) == 0
+
+    def test_all_kinds_are_known(self):
+        assert SPAN_KINDS == {
+            "compute", "collective", "gather", "optimizer", "checkpoint", "io"
+        }

@@ -1,8 +1,14 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+
+ALL_SUBCOMMANDS = [
+    "fig5", "table1", "fig6", "fig7", "fig8", "fig9", "fig10", "all", "trace",
+]
 
 
 class TestParser:
@@ -18,6 +24,20 @@ class TestParser:
         assert build_parser().parse_args(["fig7", "--channels", "91"]).channels == 91
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fig7", "--channels", "50"])
+
+    @pytest.mark.parametrize("command", ALL_SUBCOMMANDS)
+    def test_every_subcommand_has_help(self, command, capsys):
+        """`repro <cmd> --help` exits 0 and prints a usage line."""
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args([command, "--help"])
+        assert exc.value.code == 0
+        assert f"repro {command}" in capsys.readouterr().out
+
+    def test_trace_defaults(self):
+        args = build_parser().parse_args(["trace"])
+        assert (args.gpus, args.gpus_per_node) == (16, 8)
+        assert (args.tp, args.fsdp, args.ddp) == (4, 2, 2)
+        assert args.no_prefetch is False
 
 
 class TestAnalyticCommands:
@@ -54,3 +74,29 @@ class TestAllCommand:
         written = sorted(p.name for p in (tmp_path / "results").iterdir())
         assert written == ["fig5.txt", "fig6.txt", "fig7_48ch.txt", "fig7_91ch.txt", "table1.txt"]
         assert "Table I" in (tmp_path / "results" / "table1.txt").read_text()
+
+
+class TestTraceCommand:
+    def test_small_trace_run(self, tmp_path, capsys):
+        """A minimal 4-GCD traced step: report on stdout, artifacts on disk."""
+        out = tmp_path / "trace"
+        assert main([
+            "trace", "--gpus", "4", "--gpus-per-node", "4",
+            "--tp", "2", "--fsdp", "2", "--ddp", "1",
+            "--micro-batch", "1", "--out", str(out),
+        ]) == 0
+        stdout = capsys.readouterr().out
+        assert "Per-rank time breakdown" in stdout
+        assert "exposed-comm ratio" in stdout
+        trace = json.loads((out / "trace.json").read_text())
+        assert trace["traceEvents"]
+        assert {e["ph"] for e in trace["traceEvents"]} <= {"M", "X", "i"}
+        assert "walltime" in (out / "report.txt").read_text()
+
+    def test_no_prefetch_flag(self, tmp_path, capsys):
+        assert main([
+            "trace", "--gpus", "4", "--gpus-per-node", "4",
+            "--tp", "2", "--fsdp", "2", "--ddp", "1",
+            "--micro-batch", "1", "--no-prefetch", "--out", str(tmp_path / "t"),
+        ]) == 0
+        assert "wrote" in capsys.readouterr().out
