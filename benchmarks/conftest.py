@@ -13,6 +13,30 @@ records paper-vs-measured values.
 import pytest
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="run only benchmarks marked `quick` (the CI bench-regression subset)",
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "quick: fast benchmark included in the CI --quick subset"
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if not config.getoption("--quick"):
+        return
+    skip = pytest.mark.skip(reason="not part of the --quick subset")
+    for item in items:
+        if "quick" not in item.keywords:
+            item.add_marker(skip)
+
+
 def run_once(benchmark, fn, *args, **kwargs):
     """Time a driver exactly once (training drivers are not re-runnable cheaply)."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,66 @@
+"""Benchmark: the trace-derived performance-regression matrix.
+
+Unlike the figure benchmarks (which regenerate paper tables), these
+cases time the ``repro bench`` harness itself and assert the headline
+shape claims the committed ``BENCH_obs.json`` baseline encodes:
+near-ideal FSDP strong scaling for both paper models, compute-bound
+steps, and peak memory shrinking as the FSDP axis grows.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench import (
+    DEFAULT_MATRIX,
+    DEFAULT_TOLERANCE,
+    compare,
+    load_baseline,
+    run_case,
+    run_matrix,
+    scaling_efficiencies,
+    to_document,
+)
+
+BASELINE = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+
+_QUICK_CASES = [case for case in DEFAULT_MATRIX if case.quick]
+_FULL_CASES = list(DEFAULT_MATRIX)
+
+
+@pytest.mark.quick
+@pytest.mark.parametrize("case", _QUICK_CASES, ids=lambda c: c.name)
+def test_quick_case_is_compute_bound(once, case):
+    record = once(run_case, case)
+    assert record.bound_resource == "compute"
+    assert record.step_time_s > 0.0
+    assert 0.0 <= record.exposed_comm_fraction < 0.5
+
+
+@pytest.mark.quick
+def test_quick_matrix_against_baseline(once):
+    """The CI gate in benchmark form: quick subset vs the committed file."""
+    records = once(run_matrix, quick=True)
+    baseline = load_baseline(BASELINE)
+    problems = compare(to_document(records), baseline,
+                       tolerance=DEFAULT_TOLERANCE, require_all=False)
+    assert problems == []
+
+
+def test_full_matrix_scaling_efficiency(once):
+    """Both paper models keep >90% efficiency from 2 to 4 nodes."""
+    records = once(run_matrix)
+    efficiency = scaling_efficiencies(records)
+    for model in ("orbit-115m", "orbit-1b"):
+        points = efficiency[model]["points"]
+        assert points["16"] == pytest.approx(1.0)
+        assert points["32"] > 0.90
+
+
+def test_full_matrix_memory_shrinks_with_fsdp(once):
+    """Doubling the FSDP axis lowers the per-GCD peak for both models."""
+    records = {record.case.name: record for record in once(run_matrix)}
+    assert (records["orbit-115m-4n"].peak_memory_bytes
+            < records["orbit-115m-2n"].peak_memory_bytes)
+    assert (records["orbit-1b-4n"].peak_memory_bytes
+            < records["orbit-1b-2n"].peak_memory_bytes)

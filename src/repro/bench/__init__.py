@@ -1,0 +1,36 @@
+"""Performance-regression harness (``repro bench``).
+
+Trace-derived step time, scaling efficiency, exposed-comm fraction and
+peak memory for a fixed matrix of simulated ORBIT configurations, with
+a JSON baseline (``BENCH_obs.json``) and a CI tolerance gate.
+"""
+
+from repro.bench.harness import (
+    DEFAULT_MATRIX,
+    DEFAULT_TOLERANCE,
+    BenchCase,
+    BenchRecord,
+    compare,
+    load_baseline,
+    run_case,
+    run_matrix,
+    scaling_efficiencies,
+    summary_table,
+    to_document,
+    write_baseline,
+)
+
+__all__ = [
+    "DEFAULT_MATRIX",
+    "DEFAULT_TOLERANCE",
+    "BenchCase",
+    "BenchRecord",
+    "compare",
+    "load_baseline",
+    "run_case",
+    "run_matrix",
+    "scaling_efficiencies",
+    "summary_table",
+    "to_document",
+    "write_baseline",
+]

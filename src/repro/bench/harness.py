@@ -1,0 +1,317 @@
+"""Performance-regression harness over the trace layer.
+
+Runs a fixed matrix of simulated Hybrid-STOP configurations — the
+paper's ORBIT-115M and ORBIT-1B models at 2 and 4 Frontier nodes — in
+meta mode (shape-only arrays, full engine code path, exact cost-model
+accounting), and derives every headline number *from the trace*:
+
+* **step time** — the critical path of the traced step
+  (bitwise-equal to ``Timeline.walltime_s`` by the analyzer invariant);
+* **scaling efficiency** — time-per-observation speedup from 2 to 4
+  nodes against the ideal 2x (the Fig 7 metric, on the bench matrix);
+* **exposed-comm fraction** — the share of busy time spent in
+  non-overlapped communication (the ATP-style attribution);
+* **peak memory** — the per-device high-watermark from the trackers.
+
+Everything downstream of the seed is deterministic pure-float
+arithmetic, so the committed ``BENCH_obs.json`` baseline only moves
+when a code change moves the modeled system — which is exactly what
+the CI tolerance gate (``repro bench --check``) is for.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.utils.logging import get_logger
+
+_LOG = get_logger("bench")
+
+#: Format version of ``BENCH_obs.json``.
+SCHEMA_VERSION = 1
+
+#: Default drift tolerance for the regression gate (fractional).
+DEFAULT_TOLERANCE = 0.05
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One point of the bench matrix."""
+
+    name: str
+    model: str
+    num_gpus: int
+    gpus_per_node: int
+    tp_size: int
+    fsdp_size: int
+    ddp_size: int
+    micro_batch: int
+    #: Included in the ``--quick`` subset (CI time limits).
+    quick: bool = False
+
+    @property
+    def nodes(self) -> int:
+        return self.num_gpus // self.gpus_per_node
+
+    @property
+    def observations(self) -> int:
+        """Observations processed per step (global batch)."""
+        return self.micro_batch * self.fsdp_size * self.ddp_size
+
+
+#: The committed matrix: 115M and 1B at 2 and 4 nodes.  TP stays
+#: in-node; scale-out grows the FSDP axis, mirroring the paper's Fig 4
+#: placement.  The 115M cases form the ``--quick`` subset.
+DEFAULT_MATRIX: tuple[BenchCase, ...] = (
+    BenchCase("orbit-115m-2n", "orbit-115m", 16, 8, tp_size=4, fsdp_size=2,
+              ddp_size=2, micro_batch=2, quick=True),
+    BenchCase("orbit-115m-4n", "orbit-115m", 32, 8, tp_size=4, fsdp_size=4,
+              ddp_size=2, micro_batch=2, quick=True),
+    BenchCase("orbit-1b-2n", "orbit-1b", 16, 8, tp_size=8, fsdp_size=2,
+              ddp_size=1, micro_batch=2),
+    BenchCase("orbit-1b-4n", "orbit-1b", 32, 8, tp_size=8, fsdp_size=4,
+              ddp_size=1, micro_batch=2),
+)
+
+
+@dataclass
+class BenchRecord:
+    """Trace-derived measurements for one case."""
+
+    case: BenchCase
+    step_time_s: float
+    time_per_obs_s: float
+    exposed_comm_fraction: float
+    peak_memory_bytes: int
+    bound_resource: str
+    spans: int
+
+    def as_dict(self) -> dict:
+        out = asdict(self.case)
+        out.pop("quick")
+        out.update(
+            step_time_s=self.step_time_s,
+            time_per_obs_s=self.time_per_obs_s,
+            exposed_comm_fraction=self.exposed_comm_fraction,
+            peak_memory_bytes=self.peak_memory_bytes,
+            bound_resource=self.bound_resource,
+            spans=self.spans,
+        )
+        return out
+
+
+def run_case(case: BenchCase) -> BenchRecord:
+    """One traced meta-mode step of ``case``; measurements from the trace."""
+    from repro.cluster import VirtualCluster
+    from repro.meta import MetaArray
+    from repro.models import PAPER_MODELS, build_model
+    from repro.obs import analysis
+    from repro.obs.critical_path import analyze_trace
+    from repro.obs.tracer import Tracer
+    from repro.parallel import HybridParallelPlan, HybridSTOPEngine
+    from repro.parallel.compute import PeakFractionCompute
+
+    config = PAPER_MODELS[case.model]
+    tracer = Tracer()
+    cluster = VirtualCluster(
+        num_gpus=case.num_gpus, gpus_per_node=case.gpus_per_node, tracer=tracer
+    )
+    plan = HybridParallelPlan(
+        cluster, tp_size=case.tp_size, fsdp_size=case.fsdp_size, ddp_size=case.ddp_size
+    )
+    engine = HybridSTOPEngine(
+        build_model(config, meta=True),
+        plan,
+        prefetch=True,
+        layer_wrapping=True,
+        compute_model=PeakFractionCompute(cluster),
+    )
+    D, F = case.ddp_size, case.fsdp_size
+    x = MetaArray((case.micro_batch, config.in_vars, config.img_height, config.img_width))
+    lead = MetaArray((case.micro_batch,))
+    with tracer.scope("step", 0):
+        ys = engine.forward([[x] * F for _ in range(D)], [[lead] * F for _ in range(D)])
+        grads = [[MetaArray(ys[d][f].shape) for f in range(F)] for d in range(D)]
+        engine.backward(grads)
+        engine.allreduce_gradients()
+
+    decomposition = analyze_trace(tracer)
+    step_time = decomposition.critical_path_s
+    peak = max(
+        cluster.device(rank).memory.peak_bytes for rank in range(cluster.world_size)
+    )
+    record = BenchRecord(
+        case=case,
+        step_time_s=step_time,
+        time_per_obs_s=step_time / case.observations,
+        exposed_comm_fraction=analysis.exposed_comm_ratio(tracer.spans),
+        peak_memory_bytes=int(peak),
+        bound_resource=decomposition.bound_resource,
+        spans=len(tracer.spans),
+    )
+    _LOG.info(
+        "bench %s: step %.6f s, %s-bound, exposed-comm %.3f, peak %.2f GiB",
+        case.name, record.step_time_s, record.bound_resource,
+        record.exposed_comm_fraction, record.peak_memory_bytes / 2**30,
+    )
+    return record
+
+
+def run_matrix(
+    cases: Sequence[BenchCase] = DEFAULT_MATRIX, quick: bool = False
+) -> list[BenchRecord]:
+    """Run the matrix (or its ``quick`` subset)."""
+    selected = [c for c in cases if c.quick] if quick else list(cases)
+    if not selected:
+        raise ValueError("bench matrix selection is empty")
+    return [run_case(case) for case in selected]
+
+
+def scaling_efficiencies(records: Iterable[BenchRecord]) -> dict[str, dict]:
+    """Per-model strong-scaling efficiency vs the smallest-GPU point."""
+    from repro.perf.metrics import scaling_efficiency
+
+    by_model: dict[str, list[BenchRecord]] = {}
+    for record in records:
+        by_model.setdefault(record.case.model, []).append(record)
+    out: dict[str, dict] = {}
+    for model, model_records in sorted(by_model.items()):
+        model_records.sort(key=lambda r: r.case.num_gpus)
+        base = model_records[0]
+        points = {
+            str(record.case.num_gpus): scaling_efficiency(
+                base.case.num_gpus, base.time_per_obs_s,
+                record.case.num_gpus, record.time_per_obs_s,
+            )
+            for record in model_records
+        }
+        out[model] = {"baseline_gpus": base.case.num_gpus, "points": points}
+    return out
+
+
+# -- baseline files ----------------------------------------------------------
+def to_document(records: Sequence[BenchRecord]) -> dict:
+    """The ``BENCH_obs.json`` document for a set of records."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "tolerance": DEFAULT_TOLERANCE,
+        "cases": {record.case.name: record.as_dict() for record in records},
+        "efficiency": scaling_efficiencies(records),
+    }
+
+
+def write_baseline(records: Sequence[BenchRecord], path) -> Path:
+    path = Path(path)
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(to_document(records), indent=1, sort_keys=True) + "\n")
+    return path
+
+
+def load_baseline(path) -> dict:
+    doc = json.loads(Path(path).read_text())
+    if doc.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"baseline {path} has schema {doc.get('schema')!r}, "
+            f"expected {SCHEMA_VERSION}"
+        )
+    return doc
+
+
+def compare(
+    current: dict,
+    baseline: dict,
+    tolerance: float = DEFAULT_TOLERANCE,
+    require_all: bool = True,
+) -> list[str]:
+    """Drift messages between two bench documents (empty = gate passes).
+
+    Relative drift beyond ``tolerance`` on step time or peak memory,
+    and absolute drift beyond ``tolerance`` on the ratio metrics
+    (efficiency, exposed-comm fraction), is a regression *or* an
+    unacknowledged improvement — either way the committed baseline no
+    longer describes the system, so the gate fails until it is
+    regenerated (``repro bench --out BENCH_obs.json``).
+    """
+    problems: list[str] = []
+
+    def rel(cur: float, base: float) -> float:
+        if base == 0.0:
+            return math.inf if cur else 0.0
+        return abs(cur - base) / abs(base)
+
+    for name, base_case in sorted(baseline.get("cases", {}).items()):
+        cur_case = current.get("cases", {}).get(name)
+        if cur_case is None:
+            if require_all:
+                problems.append(f"{name}: missing from current run")
+            continue
+        for metric in ("step_time_s", "peak_memory_bytes"):
+            drift = rel(cur_case[metric], base_case[metric])
+            if drift > tolerance:
+                problems.append(
+                    f"{name}: {metric} drifted {drift:.1%} "
+                    f"({base_case[metric]:.6g} -> {cur_case[metric]:.6g})"
+                )
+        drift = abs(
+            cur_case["exposed_comm_fraction"] - base_case["exposed_comm_fraction"]
+        )
+        if drift > tolerance:
+            problems.append(
+                f"{name}: exposed_comm_fraction drifted {drift:.3f} "
+                f"({base_case['exposed_comm_fraction']:.4f} -> "
+                f"{cur_case['exposed_comm_fraction']:.4f})"
+            )
+
+    for model, base_eff in sorted(baseline.get("efficiency", {}).items()):
+        cur_eff = current.get("efficiency", {}).get(model)
+        if cur_eff is None:
+            if require_all:
+                problems.append(f"efficiency[{model}]: missing from current run")
+            continue
+        for gpus, base_value in sorted(base_eff["points"].items()):
+            cur_value = cur_eff["points"].get(gpus)
+            if cur_value is None:
+                if require_all:
+                    problems.append(f"efficiency[{model}][{gpus}]: missing point")
+                continue
+            drift = abs(cur_value - base_value)
+            if drift > tolerance:
+                problems.append(
+                    f"efficiency[{model}][{gpus} GPUs] drifted {drift:.3f} "
+                    f"({base_value:.4f} -> {cur_value:.4f})"
+                )
+    return problems
+
+
+def summary_table(doc: dict) -> str:
+    """Paper-style text table of a bench document."""
+    from repro.experiments.common import format_table
+
+    rows = []
+    for name, case in sorted(doc["cases"].items()):
+        model = case["model"]
+        eff = doc["efficiency"].get(model, {}).get("points", {}).get(
+            str(case["num_gpus"])
+        )
+        rows.append(
+            [
+                name,
+                case["num_gpus"],
+                f"{case['step_time_s']:.6f}",
+                f"{case['time_per_obs_s']:.6f}",
+                f"{eff:.0%}" if eff is not None else "-",
+                f"{case['exposed_comm_fraction']:.3f}",
+                f"{case['peak_memory_bytes'] / 2**30:.2f} GiB",
+                case["bound_resource"],
+            ]
+        )
+    return format_table(
+        ["case", "GPUs", "step_s", "s/obs", "E", "exp-comm", "peak mem", "bound"],
+        rows,
+        title="repro bench: trace-derived performance matrix",
+    )

@@ -10,6 +10,8 @@ Usage::
     python -m repro fig9                 # wACC comparison (real training)
     python -m repro fig10                # fine-tuning data efficiency
     python -m repro trace                # traced step: Chrome trace + report
+    python -m repro analyze              # critical-path + health analysis
+    python -m repro bench --check        # performance-regression gate
 """
 
 from __future__ import annotations
@@ -18,10 +20,75 @@ import argparse
 import sys
 
 
+def _add_topology_args(sub_parser: argparse.ArgumentParser) -> None:
+    """Shared simulated-cluster topology flags (``trace`` / ``analyze``)."""
+    sub_parser.add_argument(
+        "--gpus", type=int, default=16, help="world size (default: 2 nodes)"
+    )
+    sub_parser.add_argument("--gpus-per-node", type=int, default=8)
+    sub_parser.add_argument("--tp", type=int, default=4, help="tensor-parallel group size")
+    sub_parser.add_argument("--fsdp", type=int, default=2, help="FSDP group size")
+    sub_parser.add_argument("--ddp", type=int, default=2, help="DDP replica count")
+    sub_parser.add_argument("--micro-batch", type=int, default=2)
+    sub_parser.add_argument("--seed", type=int, default=0)
+    sub_parser.add_argument(
+        "--no-prefetch", action="store_true", help="disable gather prefetch"
+    )
+    sub_parser.add_argument(
+        "--steps", type=int, default=1, help="number of optimizer steps to trace"
+    )
+    sub_parser.add_argument(
+        "--skew",
+        action="append",
+        default=[],
+        metavar="RANK=FACTOR",
+        help="slow down RANK's compute by FACTOR (straggler injection; repeatable)",
+    )
+
+
+def _topology_error(args: argparse.Namespace) -> str | None:
+    """Human-readable explanation of an invalid topology, or ``None``."""
+    product = args.tp * args.fsdp * args.ddp
+    if product != args.gpus:
+        return (
+            f"invalid topology: tp * fsdp * ddp = {args.tp} * {args.fsdp} * "
+            f"{args.ddp} = {product}, which does not equal --gpus {args.gpus}"
+        )
+    if args.gpus_per_node <= 0 or args.gpus % args.gpus_per_node != 0:
+        return (
+            f"invalid topology: --gpus {args.gpus} is not a whole number of "
+            f"{args.gpus_per_node}-GCD nodes"
+        )
+    if args.steps < 1:
+        return f"invalid --steps {args.steps}: must be at least 1"
+    return None
+
+
+def _parse_skew(pairs: list[str]) -> dict[int, float]:
+    skew: dict[int, float] = {}
+    for pair in pairs:
+        try:
+            rank_text, factor_text = pair.split("=", 1)
+            skew[int(rank_text)] = float(factor_text)
+        except ValueError:
+            raise SystemExit(f"invalid --skew {pair!r}: expected RANK=FACTOR")
+    return skew
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate the ORBIT paper's tables and figures.",
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit structured JSON-lines logs (rank/step/phase fields)",
+    )
+    parser.add_argument(
+        "--log-level",
+        default=None,
+        help="enable library logging at this level (e.g. INFO, DEBUG)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -55,23 +122,53 @@ def build_parser() -> argparse.ArgumentParser:
 
     trace = sub.add_parser(
         "trace",
-        help="run one traced Hybrid-STOP step; write a Chrome trace and step report",
+        help="run traced Hybrid-STOP steps; write a Chrome trace and step report",
     )
-    trace.add_argument("--gpus", type=int, default=16, help="world size (default: 2 nodes)")
-    trace.add_argument("--gpus-per-node", type=int, default=8)
-    trace.add_argument("--tp", type=int, default=4, help="tensor-parallel group size")
-    trace.add_argument("--fsdp", type=int, default=2, help="FSDP group size")
-    trace.add_argument("--ddp", type=int, default=2, help="DDP replica count")
-    trace.add_argument("--micro-batch", type=int, default=2)
-    trace.add_argument("--seed", type=int, default=0)
-    trace.add_argument("--no-prefetch", action="store_true", help="disable gather prefetch")
+    _add_topology_args(trace)
     trace.add_argument("--out", default="results/trace", help="output directory")
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="critical-path attribution and run-health findings for a traced run",
+    )
+    _add_topology_args(analyze)
+    analyze.add_argument(
+        "--trace",
+        default=None,
+        metavar="TRACE_EVENTS_JSON",
+        help="re-analyze a trace_events.json written by `repro trace` "
+        "instead of running a fresh simulated step",
+    )
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the performance-regression matrix (trace-derived metrics)",
+    )
+    bench.add_argument(
+        "--out", default=None, help="write the bench document (BENCH_obs.json) here"
+    )
+    bench.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against --baseline and exit 1 on drift beyond --tolerance",
+    )
+    bench.add_argument("--baseline", default="BENCH_obs.json")
+    bench.add_argument("--tolerance", type=float, default=0.05)
+    bench.add_argument(
+        "--quick", action="store_true", help="run only the quick (115M) subset"
+    )
 
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.log_json or args.log_level is not None:
+        from repro.utils.logging import configure_logging
+
+        configure_logging(
+            json_lines=args.log_json, level=args.log_level or "INFO", stream=sys.stderr
+        )
     # Imports deferred so `--help` stays instant.
     if args.command == "fig5":
         from repro.experiments import fig5_max_model_size
@@ -133,6 +230,10 @@ def main(argv: list[str] | None = None) -> int:
     elif args.command == "trace":
         from repro.obs import run_traced_step, step_report
 
+        error = _topology_error(args)
+        if error is not None:
+            print(error, file=sys.stderr)
+            return 2
         run = run_traced_step(
             num_gpus=args.gpus,
             gpus_per_node=args.gpus_per_node,
@@ -142,11 +243,82 @@ def main(argv: list[str] | None = None) -> int:
             micro_batch=args.micro_batch,
             seed=args.seed,
             prefetch=not args.no_prefetch,
+            num_steps=args.steps,
+            compute_skew=_parse_skew(args.skew),
             out_dir=args.out,
         )
         print(step_report(run.tracer, cluster=run.cluster))
         for label, written in sorted(run.files.items()):
             print(f"wrote {written} ({label})")
+    elif args.command == "analyze":
+        from repro.obs import (
+            analyze_trace,
+            check_run,
+            critical_path_report,
+            health_report,
+            load_trace_events,
+            run_traced_step,
+        )
+
+        if args.trace is not None:
+            # Offline mode: span-level checks only (no cluster/plan).
+            spans = load_trace_events(args.trace)
+            analysis = analyze_trace(spans)
+            findings = check_run(spans, analysis=analysis)
+        else:
+            error = _topology_error(args)
+            if error is not None:
+                print(error, file=sys.stderr)
+                return 2
+            run = run_traced_step(
+                num_gpus=args.gpus,
+                gpus_per_node=args.gpus_per_node,
+                tp_size=args.tp,
+                fsdp_size=args.fsdp,
+                ddp_size=args.ddp,
+                micro_batch=args.micro_batch,
+                seed=args.seed,
+                prefetch=not args.no_prefetch,
+                num_steps=args.steps,
+                compute_skew=_parse_skew(args.skew),
+            )
+            analysis = analyze_trace(run.tracer)
+            findings = check_run(
+                run.tracer, cluster=run.cluster, plan=run.plan, analysis=analysis
+            )
+        print(critical_path_report(analysis))
+        print()
+        print(health_report(findings))
+    elif args.command == "bench":
+        from repro.bench import (
+            compare,
+            load_baseline,
+            run_matrix,
+            summary_table,
+            to_document,
+            write_baseline,
+        )
+
+        records = run_matrix(quick=args.quick)
+        doc = to_document(records)
+        print(summary_table(doc))
+        if args.out:
+            print(f"wrote {write_baseline(records, args.out)}")
+        if args.check:
+            baseline = load_baseline(args.baseline)
+            problems = compare(
+                doc, baseline, tolerance=args.tolerance, require_all=not args.quick
+            )
+            if problems:
+                for problem in problems:
+                    print(f"DRIFT: {problem}", file=sys.stderr)
+                print(
+                    f"bench regression gate FAILED: {len(problems)} metric(s) "
+                    f"beyond the {args.tolerance:.0%} tolerance vs {args.baseline}",
+                    file=sys.stderr,
+                )
+                return 1
+            print(f"bench regression gate OK (tolerance {args.tolerance:.0%})")
     else:  # pragma: no cover - argparse enforces choices
         raise AssertionError(args.command)
     return 0

@@ -23,6 +23,7 @@ the untraced path allocation-free.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import Iterable
 
@@ -56,6 +57,11 @@ class Timeline:
             raise ValueError("num_ranks must be positive")
         self._ledgers = [RankLedger() for _ in range(num_ranks)]
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Collective sequence ids: every ``record_comm`` call issues one
+        #: id shared by all participating ranks' spans, so an analyzer
+        #: can reconstruct cross-rank dependency edges (which rank's
+        #: arrival gated each collective).
+        self._collective_ids = itertools.count()
 
     @property
     def num_ranks(self) -> int:
@@ -105,6 +111,7 @@ class Timeline:
         if seconds < 0:
             raise ValueError("comm seconds must be non-negative")
         ranks = tuple(ranks)
+        cid = next(self._collective_ids)
         for rank in ranks:
             led = self._ledgers[rank]
             t0 = led.walltime_s
@@ -117,7 +124,7 @@ class Timeline:
                 hidden = 0.0
                 led.overlap_budget_s = 0.0
             led.exposed_comm_s += seconds - hidden
-            self.tracer.on_comm(rank, t0, seconds, hidden, nbytes, op, ranks)
+            self.tracer.on_comm(rank, t0, seconds, hidden, nbytes, op, ranks, cid=cid)
 
     # -- summaries ---------------------------------------------------------
     def walltime_s(self, ranks: Iterable[int] | None = None) -> float:
@@ -135,5 +142,6 @@ class Timeline:
         return self.total_flops() / wall if wall > 0 else 0.0
 
     def reset(self) -> None:
-        """Zero every ledger."""
+        """Zero every ledger and restart the collective-id sequence."""
         self._ledgers = [RankLedger() for _ in self._ledgers]
+        self._collective_ids = itertools.count()

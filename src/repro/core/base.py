@@ -70,11 +70,13 @@ class HybridModuleBase:
     @contextmanager
     def ranked_compute(self, fsdp: int, tp: int):
         """Attribute the enclosed work to rank ``(fsdp, tp)``'s timeline."""
+        from repro.utils.logging import trace_log_context
+
         ctx = ExecutionContext()
-        with execution_context(ctx):
+        rank = self.rank(fsdp, tp)
+        with trace_log_context(rank=rank), execution_context(ctx):
             yield
         if self.compute_model is not None:
-            rank = self.rank(fsdp, tp)
             seconds = self.compute_model.seconds_for(ctx.flops, rank)
             self.plan.cluster.timeline.record_compute(rank, seconds, ctx.flops, op=self.name)
 

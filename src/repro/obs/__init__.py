@@ -12,6 +12,11 @@ Three layers, designed so traces are *exact* and *cheap*:
   dicts, and the span aggregations that tie the trace back to the
   :class:`~repro.cluster.timeline.Timeline` ledgers.
 
+On top of those sit the analysis layers: :mod:`~repro.obs.critical_path`
+(cross-rank critical-path decomposition — ``repro analyze``) and
+:mod:`~repro.obs.health` (straggler / imbalance / overlap / memory
+findings).
+
 :func:`~repro.obs.capture.run_traced_step` (the ``repro trace``
 subcommand) runs a small configured step end to end and exports both
 artifacts.
@@ -27,17 +32,34 @@ from repro.obs.metrics import (
 )
 from repro.obs.tracer import NULL_TRACER, SPAN_KINDS, NullTracer, Span, Tracer
 from repro.obs.export import (
+    load_trace_events,
     step_report,
     to_chrome_trace,
     to_dict,
     write_chrome_trace,
     write_step_report,
+    write_trace_events,
+)
+from repro.obs.critical_path import (
+    StepAnalysis,
+    TraceAnalysis,
+    analyze_step,
+    analyze_trace,
+    critical_path_report,
+)
+from repro.obs.health import (
+    Finding,
+    HealthThresholds,
+    check_run,
+    health_report,
 )
 from repro.obs.capture import TraceRun, run_traced_step
 
 __all__ = [
     "Counter",
+    "Finding",
     "Gauge",
+    "HealthThresholds",
     "Histogram",
     "MetricsRegistry",
     "NULL_METRICS",
@@ -46,12 +68,21 @@ __all__ = [
     "NullTracer",
     "SPAN_KINDS",
     "Span",
+    "StepAnalysis",
+    "TraceAnalysis",
     "TraceRun",
     "Tracer",
+    "analyze_step",
+    "analyze_trace",
+    "check_run",
+    "critical_path_report",
+    "health_report",
+    "load_trace_events",
     "run_traced_step",
     "step_report",
     "to_chrome_trace",
     "to_dict",
     "write_chrome_trace",
     "write_step_report",
+    "write_trace_events",
 ]

@@ -15,10 +15,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Mapping
 
 import numpy as np
 
-from repro.obs.export import write_chrome_trace, write_step_report
+from repro.obs.export import write_chrome_trace, write_step_report, write_trace_events
 from repro.obs.tracer import Tracer
 from repro.obs import analysis
 
@@ -57,21 +58,29 @@ def run_traced_step(
     seed: int = 0,
     prefetch: bool = True,
     layer_wrapping: bool = True,
+    num_steps: int = 1,
+    compute_skew: Mapping[int, float] | None = None,
     out_dir=None,
 ) -> TraceRun:
-    """One traced optimizer step of the hierarchical engine.
+    """``num_steps`` traced optimizer steps of the hierarchical engine.
 
     ``tp_size * fsdp_size * ddp_size`` must equal ``num_gpus``.  When
-    ``out_dir`` is given, writes ``trace.json`` (Chrome trace) and
-    ``report.txt`` (per-step report) into it.
+    ``out_dir`` is given, writes ``trace.json`` (Chrome trace),
+    ``trace_events.json`` (raw spans, loadable by
+    :func:`~repro.obs.export.load_trace_events`) and ``report.txt``
+    (per-step report) into it.  ``compute_skew`` maps ranks to
+    slowdown multipliers (straggler injection via
+    :class:`~repro.parallel.compute.SkewedCompute`).
     """
     from repro.cluster import VirtualCluster
     from repro.data.loader import Batch
     from repro.models import OrbitConfig, build_model
     from repro.parallel import HybridParallelPlan, HybridSTOPEngine
-    from repro.parallel.compute import PeakFractionCompute
+    from repro.parallel.compute import PeakFractionCompute, SkewedCompute
     from repro.train.distributed import DistributedTrainer
 
+    if num_steps < 1:
+        raise ValueError("num_steps must be positive")
     tracer = Tracer()
     cluster = VirtualCluster(
         num_gpus=num_gpus, gpus_per_node=gpus_per_node, tracer=tracer
@@ -81,26 +90,31 @@ def run_traced_step(
     )
     config = OrbitConfig("trace-tiny", **TRACE_CONFIG_KWARGS)
     model = build_model(config, rng=seed)
+    compute_model = PeakFractionCompute(cluster)
+    if compute_skew:
+        compute_model = SkewedCompute(compute_model, dict(compute_skew))
     engine = HybridSTOPEngine(
         model,
         plan,
         prefetch=prefetch,
         layer_wrapping=layer_wrapping,
-        compute_model=PeakFractionCompute(cluster),
+        compute_model=compute_model,
     )
     lat_weights = np.ones((config.img_height, 1))
     trainer = DistributedTrainer(engine, lat_weights)
 
     rng = np.random.default_rng(seed)
     global_batch = micro_batch * fsdp_size * ddp_size
-    batch = Batch(
-        x=rng.normal(size=(global_batch, config.in_vars, config.img_height,
-                           config.img_width)).astype(np.float32),
-        y=rng.normal(size=(global_batch, config.out_vars, config.img_height,
-                           config.img_width)).astype(np.float32),
-        lead_time_hours=np.full((global_batch,), 24.0, dtype=np.float32),
-    )
-    loss = trainer.train_step(batch)
+    loss = float("nan")
+    for _ in range(num_steps):
+        batch = Batch(
+            x=rng.normal(size=(global_batch, config.in_vars, config.img_height,
+                               config.img_width)).astype(np.float32),
+            y=rng.normal(size=(global_batch, config.out_vars, config.img_height,
+                               config.img_width)).astype(np.float32),
+            lead_time_hours=np.full((global_batch,), 24.0, dtype=np.float32),
+        )
+        loss = trainer.train_step(batch)
 
     # The trainer already recorded step.walltime_s / train.loss /
     # optimizer.steps; fold in the cluster-level state it cannot see.
@@ -121,6 +135,7 @@ def run_traced_step(
     if out_dir is not None:
         out_dir = Path(out_dir)
         run.files["trace"] = write_chrome_trace(tracer, out_dir / "trace.json")
+        run.files["events"] = write_trace_events(tracer, out_dir / "trace_events.json")
         run.files["report"] = write_step_report(
             tracer, out_dir / "report.txt", cluster=cluster
         )

@@ -1,0 +1,418 @@
+"""Cross-rank critical-path analysis of a recorded trace.
+
+The trace layer (:mod:`repro.obs.tracer`) records *what happened*; this
+module explains *why the step took as long as it did*:
+
+* the **critical path** of a bulk-synchronous step is, by definition,
+  the busy timeline of the slowest rank — ``critical_path_seconds`` is
+  computed with the exact accumulation order of the
+  :class:`~repro.cluster.timeline.Timeline` ledgers, so for a whole-run
+  analysis it equals ``max(ledger.walltime_s)`` bitwise;
+* wall time is **attributed** to exposed compute, exposed communication
+  (by collective kind and by operation), overlap-hidden communication,
+  and io, with per-phase (``engine.forward`` / ``engine.backward`` /
+  ``engine.grad_sync``) and per-layer breakdowns;
+* every off-critical-path rank gets its **slack** — how much longer it
+  could have run without moving the step time;
+* the **dependency chain** is reconstructed across ranks: walking
+  backward from the critical rank's last event, every collective jumps
+  to the participant whose late arrival gated it (matched through the
+  collective ids the timeline stamps on comm spans).
+
+Bitwise invariants (tested in ``tests/obs/test_critical_path.py``):
+each rank's ``compute_s`` / ``exposed_comm_s`` buckets accumulate with
+``+=`` over spans in recorded order — the same floats in the same order
+as the ledger — so ``busy_s`` equals ``ledger.walltime_s`` exactly, and
+the attribution identity ``exposed_compute + exposed_comm + io ==
+critical_path_seconds`` holds exactly, not approximately.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.obs.tracer import Span, Tracer
+
+_LAYER = re.compile(r"block(\d+)")
+_STEP_SCOPE = re.compile(r"^step\.\d+$")
+
+#: Span kinds bucketed as communication.
+_COMM_KINDS = ("collective", "gather")
+
+
+@dataclass
+class RankAttribution:
+    """Ledger-order time buckets for one rank.
+
+    ``compute_s`` / ``exposed_comm_s`` / ``io_s`` are independent
+    accumulators filled in span order, mirroring how
+    :class:`~repro.cluster.timeline.RankLedger` accumulates — so sums
+    and comparisons against the ledgers are bitwise, never approximate.
+    """
+
+    compute_s: float = 0.0
+    exposed_comm_s: float = 0.0
+    hidden_comm_s: float = 0.0
+    comm_s: float = 0.0
+    io_s: float = 0.0
+    flops: float = 0.0
+    comm_bytes: float = 0.0
+    spans: int = 0
+
+    @property
+    def busy_s(self) -> float:
+        """The rank's contribution to wall time (ledger ``walltime_s``)."""
+        return self.compute_s + self.exposed_comm_s + self.io_s
+
+    def add(self, span: Span) -> None:
+        self.spans += 1
+        if span.kind == "compute":
+            self.compute_s += span.dur
+            self.flops += span.flops
+        elif span.kind in _COMM_KINDS:
+            self.comm_s += span.dur
+            self.exposed_comm_s += span.busy_s
+            self.hidden_comm_s += span.hidden_s
+            # shard-free markers carry the bytes *released*, not moved;
+            # only spans with a participant group are real transfers
+            if span.group is not None:
+                self.comm_bytes += span.nbytes
+        elif span.kind == "io":
+            self.io_s += span.dur
+
+    def as_dict(self) -> dict:
+        return {
+            "compute_s": self.compute_s,
+            "comm_s": self.comm_s,
+            "exposed_comm_s": self.exposed_comm_s,
+            "hidden_comm_s": self.hidden_comm_s,
+            "io_s": self.io_s,
+            "busy_s": self.busy_s,
+            "flops": self.flops,
+            "comm_bytes": self.comm_bytes,
+            "spans": self.spans,
+        }
+
+
+@dataclass
+class ChainSegment:
+    """A run of consecutive spans on one rank along the critical path."""
+
+    rank: int
+    spans: int
+    busy_s: float
+    first_op: str
+    last_op: str
+    #: Collective op through which the walk entered this rank
+    #: (``None`` for the final segment, where the walk started).
+    via: str | None = None
+    via_cid: int | None = None
+
+
+@dataclass
+class StepAnalysis:
+    """Critical-path decomposition of one step (or of the whole run)."""
+
+    label: str
+    ranks: dict[int, RankAttribution]
+    critical_rank: int
+    critical_path_s: float
+    slack_s: dict[int, float]
+    #: Critical-rank exposed comm split by operation / by kind (fsum;
+    #: informational, unlike the top-level buckets these are not
+    #: ledger-order accumulations).
+    exposed_comm_by_op: dict[str, float]
+    exposed_comm_by_kind: dict[str, float]
+    phases: dict[str, RankAttribution]
+    layers: dict[str, RankAttribution]
+    chain: list[ChainSegment] = field(default_factory=list)
+
+    @property
+    def attribution(self) -> dict:
+        """Critical-rank wall-time buckets; they sum to the total exactly."""
+        crit = self.ranks[self.critical_rank]
+        return {
+            "exposed_compute_s": crit.compute_s,
+            "exposed_comm_s": crit.exposed_comm_s,
+            "io_s": crit.io_s,
+            "hidden_comm_s": crit.hidden_comm_s,
+        }
+
+    @property
+    def bound_resource(self) -> str:
+        """What the critical rank spent most of its wall time on."""
+        attribution = self.attribution
+        compute = attribution["exposed_compute_s"]
+        comm = attribution["exposed_comm_s"]
+        io = attribution["io_s"]
+        top = max(compute, comm, io)
+        if top <= 0.0:
+            return "idle"
+        if top == io:
+            return "io"
+        return "compute" if compute >= comm else "comm"
+
+    @property
+    def exposed_comm_fraction(self) -> float:
+        """Exposed-communication share of the critical path."""
+        if self.critical_path_s <= 0.0:
+            return 0.0
+        return self.ranks[self.critical_rank].exposed_comm_s / self.critical_path_s
+
+
+@dataclass
+class TraceAnalysis:
+    """Whole-trace analysis: one overall decomposition plus per-step cuts."""
+
+    overall: StepAnalysis
+    steps: list[StepAnalysis]
+
+    @property
+    def critical_path_s(self) -> float:
+        return self.overall.critical_path_s
+
+    @property
+    def bound_resource(self) -> str:
+        return self.overall.bound_resource
+
+
+def _spans_of(trace: "Tracer | Iterable[Span]") -> list[Span]:
+    spans = getattr(trace, "spans", trace)
+    return list(spans)
+
+
+def _step_label(span: Span) -> str | None:
+    root = span.scope.split("/", 1)[0]
+    return root if _STEP_SCOPE.match(root) else None
+
+
+def _phase_label(span: Span) -> str:
+    for part in span.scope.split("/"):
+        if not _STEP_SCOPE.match(part):
+            return part
+    return "(unscoped)"
+
+
+def _layer_label(span: Span) -> str:
+    match = _LAYER.search(span.name) or _LAYER.search(span.scope)
+    if match:
+        return f"block{match.group(1)}"
+    return "(non-layer)"
+
+
+def _analyze_spans(label: str, spans: Sequence[Span]) -> StepAnalysis:
+    ranks: dict[int, RankAttribution] = defaultdict(RankAttribution)
+    for span in spans:
+        ranks[span.rank].add(span)
+    ranks = dict(ranks)
+
+    if ranks:
+        critical_rank = max(ranks, key=lambda r: (ranks[r].busy_s, -r))
+        critical_path_s = ranks[critical_rank].busy_s
+    else:
+        critical_rank = 0
+        critical_path_s = 0.0
+        ranks = {0: RankAttribution()}
+    slack = {rank: critical_path_s - attr.busy_s for rank, attr in ranks.items()}
+
+    by_op: dict[str, list] = defaultdict(list)
+    by_kind: dict[str, list] = defaultdict(list)
+    phases: dict[str, RankAttribution] = defaultdict(RankAttribution)
+    layers: dict[str, RankAttribution] = defaultdict(RankAttribution)
+    for span in spans:
+        if span.rank != critical_rank:
+            continue
+        phases[_phase_label(span)].add(span)
+        layers[_layer_label(span)].add(span)
+        if span.kind in _COMM_KINDS:
+            by_op[span.name].append(span.busy_s)
+            by_kind[span.kind].append(span.busy_s)
+
+    return StepAnalysis(
+        label=label,
+        ranks=ranks,
+        critical_rank=critical_rank,
+        critical_path_s=critical_path_s,
+        slack_s=slack,
+        exposed_comm_by_op={op: math.fsum(v) for op, v in sorted(by_op.items())},
+        exposed_comm_by_kind={k: math.fsum(v) for k, v in sorted(by_kind.items())},
+        phases=dict(phases),
+        layers=dict(layers),
+        chain=_critical_chain(spans, critical_rank),
+    )
+
+
+def _critical_chain(spans: Sequence[Span], critical_rank: int) -> list[ChainSegment]:
+    """Walk the dependency chain backward from the critical rank's end.
+
+    Compute runs stay on their rank; a collective's start is gated by
+    the participant that arrived last (largest pre-collective busy
+    clock ``t0`` among the spans sharing its collective id), so the
+    walk jumps there and continues.  The result, reversed, reads
+    forward in time: which rank the step's length was living on, and
+    through which collective responsibility changed hands.
+    """
+    by_rank: dict[int, list[Span]] = defaultdict(list)
+    for span in spans:
+        by_rank[span.rank].append(span)
+    arrivals: dict[int, dict[int, tuple[int, Span]]] = defaultdict(dict)
+    for rank, rank_spans in by_rank.items():
+        for index, span in enumerate(rank_spans):
+            cid = span.attrs.get("cid")
+            if cid is not None:
+                arrivals[cid][rank] = (index, span)
+
+    segments: list[ChainSegment] = []
+    rank = critical_rank
+    rank_spans = by_rank.get(rank, [])
+    index = len(rank_spans) - 1
+    current: list[Span] = []
+    entered_via: tuple[str | None, int | None] = (None, None)
+    budget = sum(len(v) for v in by_rank.values())
+
+    def flush() -> None:
+        if not current:
+            return
+        # ``current`` was appended walking backward; earliest span last.
+        segments.append(
+            ChainSegment(
+                rank=rank,
+                spans=len(current),
+                busy_s=math.fsum(s.busy_s for s in current),
+                first_op=current[-1].name,
+                last_op=current[0].name,
+                via=entered_via[0],
+                via_cid=entered_via[1],
+            )
+        )
+
+    while index >= 0 and budget > 0:
+        budget -= 1
+        span = rank_spans[index]
+        current.append(span)
+        cid = span.attrs.get("cid")
+        if cid is not None and span.group is not None and len(span.group) > 1:
+            participants = arrivals.get(cid, {})
+            if participants:
+                blocker = max(participants, key=lambda r: (participants[r][1].t0, r))
+                blocker_index, blocker_span = participants[blocker]
+                if blocker != rank and blocker_span.t0 > span.t0:
+                    flush()
+                    entered_via = (span.name, cid)
+                    rank = blocker
+                    rank_spans = by_rank.get(rank, [])
+                    index = blocker_index - 1
+                    current = []
+                    continue
+        index -= 1
+    flush()
+    segments.reverse()
+    return segments
+
+
+def analyze_trace(trace: "Tracer | Iterable[Span]") -> TraceAnalysis:
+    """Full analysis of a trace: overall plus per-``step.N`` cuts.
+
+    The *overall* analysis accumulates over every span in recorded
+    order, so its per-rank totals are bitwise-equal to the Timeline
+    ledgers; per-step analyses partition the same spans by their
+    ``step.N`` scope root (spans outside any step — e.g. free-standing
+    markers — appear only in the overall cut).
+    """
+    spans = _spans_of(trace)
+    overall = _analyze_spans("run", spans)
+    grouped: dict[str, list[Span]] = {}
+    for span in spans:
+        label = _step_label(span)
+        if label is not None:
+            grouped.setdefault(label, []).append(span)
+    steps = [
+        _analyze_spans(label, grouped[label])
+        for label in sorted(grouped, key=lambda s: int(s.split(".")[1]))
+    ]
+    return TraceAnalysis(overall=overall, steps=steps)
+
+
+def analyze_step(trace: "Tracer | Iterable[Span]", step: int = 0) -> StepAnalysis:
+    """Analysis of one ``step.N`` cut (default: the first step)."""
+    analysis = analyze_trace(trace)
+    label = f"step.{step}"
+    for cut in analysis.steps:
+        if cut.label == label:
+            return cut
+    raise KeyError(f"no spans scoped under {label!r}")
+
+
+# -- reporting ---------------------------------------------------------------
+def critical_path_report(analysis: TraceAnalysis, top: int = 6) -> str:
+    """Human-readable critical-path explanation of a run."""
+    from repro.experiments.common import format_table
+
+    overall = analysis.overall
+    crit = overall.ranks[overall.critical_rank]
+    lines = [
+        f"critical path:            {overall.critical_path_s:.6f} s "
+        f"(rank {overall.critical_rank})",
+        f"bound resource:           {overall.bound_resource} "
+        f"(compute {crit.compute_s:.6f} s, exposed comm {crit.exposed_comm_s:.6f} s, "
+        f"io {crit.io_s:.6f} s)",
+        f"exposed-comm fraction:    {overall.exposed_comm_fraction:.4f}",
+        f"hidden (overlapped) comm: {crit.hidden_comm_s:.6f} s on the critical rank",
+        f"steps analyzed:           {len(analysis.steps)}",
+    ]
+
+    if overall.exposed_comm_by_op:
+        rows = [
+            [op, f"{seconds:.6f}"]
+            for op, seconds in sorted(
+                overall.exposed_comm_by_op.items(), key=lambda kv: -kv[1]
+            )[:top]
+        ]
+        lines += ["", format_table(["collective", "exposed_s"], rows,
+                                   title="Exposed comm by operation (critical rank)")]
+
+    phase_rows = [
+        [label, f"{attr.compute_s:.6f}", f"{attr.exposed_comm_s:.6f}",
+         f"{attr.hidden_comm_s:.6f}", f"{attr.busy_s:.6f}"]
+        for label, attr in sorted(
+            overall.phases.items(), key=lambda kv: -kv[1].busy_s
+        )
+    ]
+    if phase_rows:
+        lines += ["", format_table(
+            ["phase", "compute_s", "exposed_s", "hidden_s", "busy_s"],
+            phase_rows, title="Per-phase breakdown (critical rank)")]
+
+    layer_rows = [
+        [label, f"{attr.compute_s:.6f}", f"{attr.exposed_comm_s:.6f}", f"{attr.busy_s:.6f}"]
+        for label, attr in sorted(
+            overall.layers.items(), key=lambda kv: -kv[1].busy_s
+        )[:top]
+        if attr.busy_s > 0.0
+    ]
+    if layer_rows:
+        lines += ["", format_table(
+            ["layer", "compute_s", "exposed_s", "busy_s"],
+            layer_rows, title="Top layers by critical-rank busy time")]
+
+    slack_rows = [
+        [rank, f"{overall.ranks[rank].busy_s:.6f}", f"{slack:.6f}"]
+        for rank, slack in sorted(overall.slack_s.items())
+    ]
+    lines += ["", format_table(["rank", "busy_s", "slack_s"], slack_rows,
+                               title="Per-rank slack vs the critical path")]
+
+    if overall.chain:
+        chain_rows = [
+            [seg.rank, seg.spans, f"{seg.busy_s:.6f}",
+             seg.via if seg.via is not None else "(start)"]
+            for seg in overall.chain
+        ]
+        lines += ["", format_table(
+            ["rank", "spans", "busy_s", "entered via"],
+            chain_rows, title="Critical-path chain (cross-rank)")]
+    return "\n".join(lines)

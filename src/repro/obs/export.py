@@ -81,6 +81,43 @@ def to_dict(tracer: Tracer) -> dict:
     }
 
 
+def write_trace_events(tracer: Tracer, path) -> Path:
+    """Serialize :func:`to_dict` to ``path`` for later re-analysis.
+
+    Unlike the Chrome trace (microsecond-scaled for the viewer), this
+    file keeps raw seconds, so :func:`load_trace_events` round-trips
+    every float exactly — analyses of a loaded trace match analyses of
+    the live tracer bitwise.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(to_dict(tracer), indent=1) + "\n")
+    return path
+
+
+def load_trace_events(path) -> list[Span]:
+    """Rebuild the span list written by :func:`write_trace_events`."""
+    doc = json.loads(Path(path).read_text())
+    spans = []
+    for entry in doc["spans"]:
+        spans.append(
+            Span(
+                kind=entry["kind"],
+                name=entry["name"],
+                rank=entry["rank"],
+                t0=entry["t0"],
+                dur=entry["dur"],
+                hidden_s=entry.get("hidden_s", 0.0),
+                nbytes=entry.get("nbytes", 0.0),
+                flops=entry.get("flops", 0.0),
+                group=tuple(entry["group"]) if "group" in entry else None,
+                scope=entry.get("scope", ""),
+                attrs=dict(entry.get("attrs", {})),
+            )
+        )
+    return spans
+
+
 def step_report(tracer: Tracer, cluster=None, top: int = 10) -> str:
     """Human-readable per-step breakdown.
 

@@ -28,10 +28,14 @@ instrumented code.
 
 from __future__ import annotations
 
+import re
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+from repro.utils.logging import trace_log_context
+
+_STEP_SCOPE = re.compile(r"^step\.(\d+)$")
 
 #: The typed event vocabulary.  ``compute`` and ``collective``/``gather``
 #: carry simulated time; ``optimizer``/``checkpoint``/``io`` are
@@ -130,16 +134,34 @@ class Tracer:
     def scope(self, *parts, kind: str | None = None):
         """Label spans emitted inside; ``kind`` reclassifies collectives
         issued on behalf of a higher-level operation (e.g. a parameter
-        gather)."""
+        gather).
+
+        Entering a scope also publishes the current ``step`` / ``phase``
+        to the structured-logging context
+        (:mod:`repro.utils.logging`), so any log record emitted inside a
+        traced region carries those fields.
+        """
         self._scope_parts.append(".".join(str(p) for p in parts))
         if kind is not None:
             self._kind_override.append(kind)
         try:
-            yield self
+            with trace_log_context(**self._log_fields()):
+                yield self
         finally:
             self._scope_parts.pop()
             if kind is not None:
                 self._kind_override.pop()
+
+    def _log_fields(self) -> dict:
+        """``step``/``phase`` implied by the current scope stack."""
+        step = phase = None
+        for part in self._scope_parts:
+            match = _STEP_SCOPE.match(part)
+            if match:
+                step = int(match.group(1))
+            elif phase is None:
+                phase = part
+        return {"step": step, "phase": phase}
 
     @property
     def current_scope(self) -> str:
@@ -197,10 +219,20 @@ class Tracer:
         nbytes: float,
         op: str,
         group: tuple[int, ...],
+        cid: int | None = None,
     ) -> None:
-        """Called by ``Timeline.record_comm`` once per participating rank."""
+        """Called by ``Timeline.record_comm`` once per participating rank.
+
+        ``cid`` is the collective sequence id shared by every
+        participant's span; the critical-path analyzer uses it to match
+        the per-rank spans of one collective back together.
+        """
         kind = self._kind_override[-1] if self._kind_override else "collective"
-        self.span(kind, op, rank, t0, seconds, hidden_s=hidden_s, nbytes=nbytes, group=group)
+        attrs = {} if cid is None else {"cid": cid}
+        self.span(
+            kind, op, rank, t0, seconds,
+            hidden_s=hidden_s, nbytes=nbytes, group=group, **attrs,
+        )
 
     def mark_free(self, timeline, ranks, name: str, nbytes: float) -> None:
         """Marker for a gathered shard being released on each rank."""
@@ -265,7 +297,7 @@ class NullTracer:
     def on_compute(self, rank, t0, seconds, flops, op) -> None:
         pass
 
-    def on_comm(self, rank, t0, seconds, hidden_s, nbytes, op, group) -> None:
+    def on_comm(self, rank, t0, seconds, hidden_s, nbytes, op, group, cid=None) -> None:
         pass
 
     def mark_free(self, timeline, ranks, name, nbytes) -> None:

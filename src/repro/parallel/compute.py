@@ -40,3 +40,23 @@ class PeakFractionCompute:
     def seconds_for(self, flops: float, rank: int) -> float:
         peak = self.cluster.device(rank).peak_flops_for(self.dtype)
         return flops / (peak * self.efficiency)
+
+
+class SkewedCompute:
+    """Per-rank slowdown wrapper around any compute-time model.
+
+    Multiplies the base model's seconds by a rank-specific factor —
+    the controlled way to inject stragglers (a flaky GCD, a thermally
+    throttled node) into a simulated run, used by the health-monitor
+    tests and ``run_traced_step(compute_skew=...)``.
+    """
+
+    def __init__(self, base, multipliers: dict[int, float]):
+        for rank, factor in multipliers.items():
+            if factor <= 0:
+                raise ValueError(f"skew multiplier for rank {rank} must be positive")
+        self.base = base
+        self.multipliers = dict(multipliers)
+
+    def seconds_for(self, flops: float, rank: int) -> float:
+        return self.base.seconds_for(flops, rank) * self.multipliers.get(rank, 1.0)

@@ -300,12 +300,17 @@ class _RankedCompute:
         self._mgr = None
 
     def __enter__(self):
+        from repro.utils.logging import trace_log_context
+
+        self._log_ctx = trace_log_context(rank=self.rank)
+        self._log_ctx.__enter__()
         self._mgr = execution_context(self.ctx)
         self._mgr.__enter__()
         return self
 
     def __exit__(self, *exc):
         self._mgr.__exit__(*exc)
+        self._log_ctx.__exit__(*exc)
         engine = self.engine
         if engine.compute_model is not None:
             seconds = engine.compute_model.seconds_for(self.ctx.flops, self.rank)

@@ -8,6 +8,7 @@ from repro.cli import build_parser, main
 
 ALL_SUBCOMMANDS = [
     "fig5", "table1", "fig6", "fig7", "fig8", "fig9", "fig10", "all", "trace",
+    "analyze", "bench",
 ]
 
 
@@ -100,3 +101,86 @@ class TestTraceCommand:
             "--micro-batch", "1", "--no-prefetch", "--out", str(tmp_path / "t"),
         ]) == 0
         assert "wrote" in capsys.readouterr().out
+
+    def test_multi_step_trace(self, tmp_path, capsys):
+        assert main([
+            "trace", "--gpus", "4", "--gpus-per-node", "4",
+            "--tp", "2", "--fsdp", "2", "--ddp", "1",
+            "--micro-batch", "1", "--steps", "3", "--out", str(tmp_path / "t"),
+        ]) == 0
+        events = json.loads((tmp_path / "t" / "trace_events.json").read_text())
+        scopes = {span["scope"].split("/", 1)[0] for span in events["spans"]}
+        assert {"step.0", "step.1", "step.2"} <= scopes
+
+    def test_invalid_topology_exits_nonzero(self, capsys):
+        assert main(["trace", "--gpus", "16", "--tp", "3"]) == 2
+        err = capsys.readouterr().err
+        assert "invalid topology" in err
+        assert "3" in err and "16" in err
+
+    def test_invalid_node_shape_exits_nonzero(self, capsys):
+        assert main(["trace", "--gpus", "4", "--gpus-per-node", "8",
+                     "--tp", "2", "--fsdp", "2", "--ddp", "1"]) == 2
+        assert "invalid topology" in capsys.readouterr().err
+
+    def test_invalid_steps_exits_nonzero(self, capsys):
+        assert main(["trace", "--gpus", "4", "--gpus-per-node", "4",
+                     "--tp", "2", "--fsdp", "2", "--ddp", "1",
+                     "--steps", "0"]) == 2
+        assert "--steps" in capsys.readouterr().err
+
+
+class TestAnalyzeCommand:
+    TOPOLOGY = ["--gpus", "4", "--gpus-per-node", "4",
+                "--tp", "2", "--fsdp", "2", "--ddp", "1", "--micro-batch", "1"]
+
+    def test_fresh_run_names_bound_resource(self, capsys):
+        assert main(["analyze", *self.TOPOLOGY]) == 0
+        out = capsys.readouterr().out
+        assert "critical path:" in out
+        assert "bound resource:" in out
+        assert "health:" in out
+
+    def test_straggler_injection_surfaces_finding(self, capsys):
+        assert main(["analyze", *self.TOPOLOGY, "--skew", "2=50000"]) == 0
+        out = capsys.readouterr().out
+        assert "straggler" in out
+        assert "rank 2" in out
+
+    def test_offline_trace_file(self, tmp_path, capsys):
+        assert main(["trace", *self.TOPOLOGY, "--out", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["analyze", "--trace", str(tmp_path / "trace_events.json")]) == 0
+        assert "bound resource:" in capsys.readouterr().out
+
+    def test_invalid_topology_exits_nonzero(self, capsys):
+        assert main(["analyze", "--gpus", "16", "--fsdp", "5"]) == 2
+        assert "invalid topology" in capsys.readouterr().err
+
+    def test_bad_skew_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["analyze", *self.TOPOLOGY, "--skew", "nonsense"])
+
+
+class TestBenchCommand:
+    def test_quick_run_writes_and_self_checks(self, tmp_path, capsys):
+        baseline = tmp_path / "BENCH_obs.json"
+        assert main(["bench", "--quick", "--out", str(baseline)]) == 0
+        assert baseline.exists()
+        capsys.readouterr()
+        assert main(["bench", "--quick", "--check",
+                     "--baseline", str(baseline)]) == 0
+        assert "bench regression gate OK" in capsys.readouterr().out
+
+    def test_drift_fails_the_gate(self, tmp_path, capsys):
+        baseline = tmp_path / "BENCH_obs.json"
+        assert main(["bench", "--quick", "--out", str(baseline)]) == 0
+        doc = json.loads(baseline.read_text())
+        name = next(iter(doc["cases"]))
+        doc["cases"][name]["step_time_s"] *= 1.5
+        baseline.write_text(json.dumps(doc))
+        capsys.readouterr()
+        assert main(["bench", "--quick", "--check",
+                     "--baseline", str(baseline)]) == 1
+        err = capsys.readouterr().err
+        assert "DRIFT" in err and "step_time_s" in err
