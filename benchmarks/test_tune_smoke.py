@@ -1,0 +1,45 @@
+"""Benchmark: the parallelism planner end to end (quick subset).
+
+Times one full ``repro tune`` search — enumeration, analytic scoring of
+every legal candidate, and one simulated validation step — on the
+ORBIT-115M 2-node space, and asserts the headline claims the planner
+makes: the analytic leader survives simulated validation with a tight
+analytic-vs-simulated error, and the winner beats the committed bench
+matrix's hand-picked configuration on time per observation.
+"""
+
+import pytest
+
+from repro.models.configs import ORBIT_115M
+from repro.tune import TuneRequest, run_search
+
+
+@pytest.mark.quick
+@pytest.mark.benchmark(group="tune")
+def test_tune_115m_2n_search(once):
+    request = TuneRequest(
+        ORBIT_115M, num_gpus=16, gpus_per_node=8,
+        micro_batches=(2,), recompute_options=(False,),
+        prefetch_options=(True,),
+    )
+    result = once(run_search, request, top_k=1)
+
+    winner = result.winner
+    print(
+        f"\ntune winner: {winner.candidate.label()} "
+        f"sim {winner.simulated_step_time_s:.6f} s "
+        f"(analytic error {winner.analytic_error:.2%}, "
+        f"{len(result.ranked)} candidates scored)"
+    )
+    # The analytic estimate validates within the 10% acceptance bound.
+    assert winner.analytic_error < 0.10
+    # The planner's pick is at least as fast per observation as the
+    # bench matrix's hand-picked tp4/f2/d2/mb2 point for this topology.
+    hand_picked = next(
+        s for s in result.ranked
+        if (s.candidate.tp_size, s.candidate.fsdp_size,
+            s.candidate.ddp_size) == (4, 2, 2)
+    )
+    assert (
+        winner.estimate.time_per_obs_s <= hand_picked.estimate.time_per_obs_s
+    )

@@ -52,6 +52,11 @@ class BenchCase:
     micro_batch: int
     #: Included in the ``--quick`` subset (CI time limits).
     quick: bool = False
+    #: Engine policies (Table I / Sec III-B).  The defaults match the
+    #: committed matrix; the tuner's validation stage sweeps them.
+    prefetch: bool = True
+    recompute: bool = False
+    tp_innermost: bool = True
 
     @property
     def nodes(self) -> int:
@@ -92,7 +97,10 @@ class BenchRecord:
 
     def as_dict(self) -> dict:
         out = asdict(self.case)
-        out.pop("quick")
+        # Selection / policy fields that would churn the committed
+        # baseline document; the matrix pins them to the defaults.
+        for transient in ("quick", "prefetch", "recompute", "tp_innermost"):
+            out.pop(transient)
         out.update(
             step_time_s=self.step_time_s,
             time_per_obs_s=self.time_per_obs_s,
@@ -104,8 +112,14 @@ class BenchRecord:
         return out
 
 
-def run_case(case: BenchCase) -> BenchRecord:
-    """One traced meta-mode step of ``case``; measurements from the trace."""
+def run_case(case: BenchCase, config=None, tracer=None) -> BenchRecord:
+    """One traced meta-mode step of ``case``; measurements from the trace.
+
+    ``config`` overrides the ``PAPER_MODELS[case.model]`` lookup — the
+    tuner's validation stage passes its own :class:`OrbitConfig` here.
+    Passing a ``tracer`` lets the caller keep the span stream (the
+    tuner's winner explanation re-analyzes it).
+    """
     from repro.cluster import VirtualCluster
     from repro.meta import MetaArray
     from repro.models import PAPER_MODELS, build_model
@@ -115,19 +129,23 @@ def run_case(case: BenchCase) -> BenchRecord:
     from repro.parallel import HybridParallelPlan, HybridSTOPEngine
     from repro.parallel.compute import PeakFractionCompute
 
-    config = PAPER_MODELS[case.model]
-    tracer = Tracer()
+    if config is None:
+        config = PAPER_MODELS[case.model]
+    if tracer is None:
+        tracer = Tracer()
     cluster = VirtualCluster(
         num_gpus=case.num_gpus, gpus_per_node=case.gpus_per_node, tracer=tracer
     )
     plan = HybridParallelPlan(
-        cluster, tp_size=case.tp_size, fsdp_size=case.fsdp_size, ddp_size=case.ddp_size
+        cluster, tp_size=case.tp_size, fsdp_size=case.fsdp_size,
+        ddp_size=case.ddp_size, tp_innermost=case.tp_innermost,
     )
     engine = HybridSTOPEngine(
         build_model(config, meta=True),
         plan,
-        prefetch=True,
+        prefetch=case.prefetch,
         layer_wrapping=True,
+        recompute=case.recompute,
         compute_model=PeakFractionCompute(cluster),
     )
     D, F = case.ddp_size, case.fsdp_size

@@ -12,6 +12,7 @@ Usage::
     python -m repro trace                # traced step: Chrome trace + report
     python -m repro analyze              # critical-path + health analysis
     python -m repro bench --check        # performance-regression gate
+    python -m repro tune                 # automatic parallelism planner
 """
 
 from __future__ import annotations
@@ -156,6 +157,46 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--tolerance", type=float, default=0.05)
     bench.add_argument(
         "--quick", action="store_true", help="run only the quick (115M) subset"
+    )
+
+    tune = sub.add_parser(
+        "tune",
+        help="search TPxFSDPxDDP configurations; validate winners in simulation",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "examples:\n"
+            "  repro tune                                # ORBIT-115M on 2 nodes\n"
+            "  repro tune --model orbit-1b --gpus 32     # ORBIT-1B on 4 nodes\n"
+            "  repro tune --micro-batches 2 --top-k 5    # pin mb, validate 5\n"
+            "  repro tune --cache tune_cache.json --out tune_report.json\n"
+            "\n"
+            "exits 2 when no configuration is both legal and memory-feasible."
+        ),
+    )
+    tune.add_argument(
+        "--model",
+        default="orbit-115m",
+        choices=("orbit-115m", "orbit-1b", "orbit-10b", "orbit-113b"),
+        help="paper model to plan for",
+    )
+    tune.add_argument("--gpus", type=int, default=16, help="world size (default: 2 nodes)")
+    tune.add_argument("--gpus-per-node", type=int, default=8)
+    tune.add_argument(
+        "--micro-batches",
+        default="1,2,4",
+        metavar="N[,N...]",
+        help="comma-separated micro-batch sizes to sweep (default: 1,2,4)",
+    )
+    tune.add_argument(
+        "--top-k", type=int, default=3,
+        help="how many leaders to validate with real simulated steps",
+    )
+    tune.add_argument(
+        "--cache", default=None, metavar="JSON",
+        help="JSON file caching simulated validations across runs",
+    )
+    tune.add_argument(
+        "--out", default=None, metavar="JSON", help="write the full report here"
     )
 
     return parser
@@ -319,6 +360,43 @@ def main(argv: list[str] | None = None) -> int:
                 )
                 return 1
             print(f"bench regression gate OK (tolerance {args.tolerance:.0%})")
+    elif args.command == "tune":
+        from repro.models import PAPER_MODELS
+        from repro.tune import (
+            InfeasibleRequest,
+            TuneCache,
+            TuneRequest,
+            render_report,
+            run_search,
+            write_report,
+        )
+
+        try:
+            micro_batches = tuple(
+                int(token) for token in args.micro_batches.split(",") if token
+            )
+            request = TuneRequest(
+                PAPER_MODELS[args.model],
+                num_gpus=args.gpus,
+                gpus_per_node=args.gpus_per_node,
+                micro_batches=micro_batches,
+            )
+            if args.top_k < 1:
+                raise ValueError(f"--top-k {args.top_k} must be at least 1")
+        except ValueError as error:
+            print(f"repro tune: invalid request: {error}", file=sys.stderr)
+            return 2
+        cache = TuneCache(args.cache) if args.cache else None
+        try:
+            result = run_search(request, top_k=args.top_k, cache=cache)
+        except InfeasibleRequest as error:
+            print(f"repro tune: {error}", file=sys.stderr)
+            for reason, count in sorted(error.space.rejection_reasons().items()):
+                print(f"  - {reason} (x{count})", file=sys.stderr)
+            return 2
+        print(render_report(result))
+        if args.out:
+            print(f"wrote {write_report(result, args.out)}")
     else:  # pragma: no cover - argparse enforces choices
         raise AssertionError(args.command)
     return 0

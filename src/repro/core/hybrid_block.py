@@ -16,7 +16,11 @@ toggles:
   full-model gather that sends the unwrapped configuration out of
   memory in Table I's first column.
 * **prefetching**: gathers are issued as overlappable communication
-  hidden under compute slack (Sec III-B).
+  hidden under compute slack (Sec III-B);
+* **recompute** (activation checkpointing): the forward pass keeps only
+  each block's input; the backward pass re-runs the block forward —
+  re-gathering its shards and re-paying its compute — before
+  backpropagating through it, the Table I "+ckpt" policy.
 """
 
 from __future__ import annotations
@@ -175,11 +179,14 @@ class HybridSTOPTrunk(HybridModuleBase):
         ddp_index: int = 0,
         prefetch: bool = False,
         layer_wrapping: bool = True,
+        recompute: bool = False,
         compute_model=None,
         name: str = "trunk",
     ):
         super().__init__(plan, ddp_index, prefetch, compute_model, name)
         self.layer_wrapping = layer_wrapping
+        self.recompute = recompute
+        self._saved_inputs: list = []
         self.blocks = [
             HybridSTOPBlock(
                 block, plan, ddp_index=ddp_index, prefetch=prefetch,
@@ -221,7 +228,10 @@ class HybridSTOPTrunk(HybridModuleBase):
     def forward(self, xs: list) -> list:
         if not self.layer_wrapping:
             self._acquire_all_layers()
+        self._saved_inputs = []
         for block in self.blocks:
+            if self.recompute:
+                self._saved_inputs.append(xs)
             xs = block.forward(xs)
         self._cache = True
         return xs
@@ -229,8 +239,14 @@ class HybridSTOPTrunk(HybridModuleBase):
     def backward(self, grad_ys: list) -> list:
         self._require_cache()
         self._cache = None
-        for block in reversed(self.blocks):
+        for index in reversed(range(len(self.blocks))):
+            block = self.blocks[index]
+            if self.recompute:
+                # Checkpointing re-runs the block forward from its saved
+                # input, re-gathering shards and re-paying the compute.
+                block.forward(self._saved_inputs[index])
             grad_ys = block.backward(grad_ys)
+        self._saved_inputs = []
         if not self.layer_wrapping:
             self._release_all_layers()
         return grad_ys

@@ -4,6 +4,12 @@ Paper result (113B model, 512 GPUs, DDP=1): the program runs out of
 memory with FSDP alone; FSDP=64 x TP=8 is the fastest configuration
 (0.33 s per observation at batch 3), about 25x faster than
 FSDP=2 x TP=256; memory increases mildly as the FSDP share grows.
+
+The sweep's configuration axis is drawn from the tuner's space
+enumeration (:func:`repro.tune.enumerate_space` in relaxed mode — the
+Fig 6 regime admits sub-head sharding and node-spanning tensor-parallel
+groups), so a factorization this figure skips is skipped for the same
+recorded reason ``repro tune`` would report.
 """
 
 from __future__ import annotations
@@ -15,6 +21,7 @@ from repro.experiments.common import format_table
 from repro.memory.estimator import Parallelism, TrainingSetup
 from repro.models.configs import ORBIT_113B, OrbitConfig
 from repro.perf.model import PerformanceModel
+from repro.tune.space import TuneRequest, enumerate_space
 
 DEFAULT_TP_SIZES = (1, 2, 8, 32, 64, 128, 256, 512)
 
@@ -83,17 +90,39 @@ def run(
     """
     pm = perf_model or PerformanceModel()
     result = Fig6Result()
+    # Policy axes pinned to one value each: Fig 6 varies only the
+    # (FSDP, TP) split, and the micro-batch comes from the memory model
+    # below rather than the enumeration.
+    space = enumerate_space(TuneRequest(
+        config, num_gpus,
+        micro_batches=(1,), recompute_options=(True,), prefetch_options=(True,),
+        tp_sizes=tuple(tp for tp in tp_sizes if num_gpus % tp == 0),
+        engine_mode=False,
+    ))
+    legal = {
+        (c.tp_size, c.fsdp_size)
+        for c in space.candidates
+        if c.ddp_size == 1 and c.tp_innermost
+    }
+    why_rejected = {r.tp_size: r.reason for r in space.rejections}
     for tp in tp_sizes:
         if num_gpus % tp:
             continue
         fsdp = num_gpus // tp
-        note = ""
-        if tp > config.num_heads:
-            note = "sub-head sharding"
         setup = TrainingSetup(
             config, num_gpus, Parallelism.HYBRID_STOP,
             tp_size=tp, fsdp_size=fsdp, micro_batch=1,
         )
+        if (tp, fsdp) not in legal:
+            result.rows.append(Fig6Row(
+                tp, fsdp, 0, None,
+                pm.memory_model.per_gpu_bytes(setup),
+                why_rejected.get(tp, "rejected"),
+            ))
+            continue
+        note = ""
+        if tp > config.num_heads:
+            note = "sub-head sharding"
         batch = pm.max_micro_batch(setup)
         if batch < min_micro_batch:
             batch = 0

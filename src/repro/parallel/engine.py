@@ -89,6 +89,10 @@ class HybridSTOPEngine:
         Group layout; ``plan.cluster`` supplies devices and timeline.
     prefetch / layer_wrapping:
         The Sec III-B communication optimizations.
+    recompute:
+        Activation checkpointing (Table I "+ckpt"): the backward pass
+        re-runs each trunk block's forward from its saved input,
+        re-gathering shards and re-paying the compute.
     compute_model:
         Optional FLOPs-to-seconds model for walltime accounting.
     """
@@ -99,6 +103,7 @@ class HybridSTOPEngine:
         plan: HybridParallelPlan,
         prefetch: bool = False,
         layer_wrapping: bool = True,
+        recompute: bool = False,
         compute_model=None,
     ):
         if any(isinstance(b, CheckpointWrapper) for b in model.blocks):
@@ -108,6 +113,7 @@ class HybridSTOPEngine:
             )
         self.plan = plan
         self.compute_model = compute_model
+        self.recompute = recompute
         self.tracer = plan.cluster.tracer
         self.config = model.config
         D, F, K = plan.ddp_size, plan.fsdp_size, plan.tp_size
@@ -136,6 +142,7 @@ class HybridSTOPEngine:
                     ddp_index=d,
                     prefetch=prefetch,
                     layer_wrapping=layer_wrapping,
+                    recompute=recompute,
                     compute_model=compute_model,
                     name=f"trunk{d}",
                 )

@@ -122,7 +122,7 @@ class HybridParallelPlan:
         """Devices hosting one FSDP group, in group order."""
         return [self.cluster.device(r) for r in self.fsdp_group(ddp, tp).ranks]
 
-    def __repr__(self) -> str:  # pragma: no cover - debug aid
+    def __repr__(self) -> str:
         return (
             f"HybridParallelPlan(ddp={self.ddp_size}, fsdp={self.fsdp_size}, "
             f"tp={self.tp_size}, tp_innermost={self.tp_innermost})"

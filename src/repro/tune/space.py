@@ -1,0 +1,239 @@
+"""Configuration-space enumeration for the parallelism planner.
+
+A *candidate* is one complete engine configuration: a
+(tensor-parallel, FSDP, DDP) factorization of the world size plus the
+micro-batch size, the activation-checkpointing policy, prefetch on/off,
+and the ``tp_innermost`` rank layout.  :func:`enumerate_space` walks
+every combination and splits it into legal candidates and
+:class:`Rejection` records carrying the reason — non-divisible
+factorizations, head-count constraints, tensor-parallel groups that
+would span node boundaries — so a report can explain *why* a
+configuration the user expected is absent.
+
+Two legality regimes exist:
+
+* **engine mode** (default): only configurations the simulated
+  :class:`~repro.parallel.engine.HybridSTOPEngine` can actually run —
+  whole heads per rank when ``qk_layernorm`` is on, tensor-parallel
+  groups confined to one node (the paper's Fig 4 placement);
+* **relaxed mode** (``engine_mode=False``): the analytic regime of the
+  Fig 6 sweep, which admits sub-head sharding and node-spanning
+  tensor-parallel groups because no engine step is ever taken.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.models.configs import OrbitConfig
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One fully specified engine configuration."""
+
+    tp_size: int
+    fsdp_size: int
+    ddp_size: int
+    micro_batch: int
+    recompute: bool = False
+    prefetch: bool = True
+    tp_innermost: bool = True
+
+    @property
+    def world_size(self) -> int:
+        return self.tp_size * self.fsdp_size * self.ddp_size
+
+    @property
+    def observations(self) -> int:
+        """Observations per step (global batch)."""
+        return self.micro_batch * self.fsdp_size * self.ddp_size
+
+    def label(self) -> str:
+        """Compact human-readable tag (also the cache-key fragment)."""
+        flags = []
+        if self.recompute:
+            flags.append("ckpt")
+        if self.prefetch:
+            flags.append("pf")
+        if not self.tp_innermost:
+            flags.append("fsdp-inner")
+        suffix = "+" + "+".join(flags) if flags else ""
+        return (
+            f"tp{self.tp_size}.f{self.fsdp_size}.d{self.ddp_size}"
+            f".mb{self.micro_batch}{suffix}"
+        )
+
+
+@dataclass(frozen=True)
+class Rejection:
+    """A (factorization, layout) combination ruled out, and why.
+
+    Policy axes (micro-batch, checkpointing, prefetch) never affect
+    legality, so rejections are recorded once per factorization/layout
+    rather than once per candidate.
+    """
+
+    tp_size: int
+    fsdp_size: int
+    ddp_size: int
+    tp_innermost: bool
+    reason: str
+
+
+@dataclass(frozen=True)
+class TuneRequest:
+    """What to search: model, machine, and the policy axes to sweep."""
+
+    config: OrbitConfig
+    num_gpus: int
+    gpus_per_node: int = 8
+    micro_batches: tuple[int, ...] = (1, 2, 4)
+    recompute_options: tuple[bool, ...] = (False, True)
+    prefetch_options: tuple[bool, ...] = (True, False)
+    #: Restrict the tensor-parallel axis (the Fig 6 sweep pins it);
+    #: ``None`` sweeps every divisor of the world size.
+    tp_sizes: tuple[int, ...] | None = None
+    #: Engine-runnable legality vs the relaxed analytic regime.
+    engine_mode: bool = True
+
+    def __post_init__(self):
+        if self.num_gpus < 1 or self.gpus_per_node < 1:
+            raise ValueError("num_gpus and gpus_per_node must be positive")
+        if self.num_gpus > self.gpus_per_node and self.num_gpus % self.gpus_per_node:
+            raise ValueError(
+                f"{self.num_gpus} GPUs is not a whole number of "
+                f"{self.gpus_per_node}-GPU nodes"
+            )
+        if not self.micro_batches or min(self.micro_batches) < 1:
+            raise ValueError("micro_batches must be positive")
+
+    @property
+    def nodes(self) -> int:
+        return max(1, self.num_gpus // self.gpus_per_node)
+
+    def topology_key(self) -> str:
+        return f"g{self.num_gpus}x{self.gpus_per_node}"
+
+    def config_key(self) -> str:
+        """Structural identity of the model (cache key component)."""
+        c = self.config
+        return (
+            f"{c.name}:d{c.embed_dim}:L{c.depth}:h{c.num_heads}"
+            f":v{c.in_vars}-{c.out_vars}:i{c.img_height}x{c.img_width}"
+            f":p{c.patch_size}:m{c.mlp_ratio}:q{int(c.qk_layernorm)}"
+        )
+
+
+@dataclass(frozen=True)
+class SearchSpace:
+    """The outcome of enumeration: legal candidates plus rejections."""
+
+    request: TuneRequest
+    candidates: tuple[Candidate, ...]
+    rejections: tuple[Rejection, ...] = field(default=())
+
+    def rejection_reasons(self) -> dict[str, int]:
+        """Histogram of rejection reasons (for the report)."""
+        counts: dict[str, int] = {}
+        for rejection in self.rejections:
+            counts[rejection.reason] = counts.get(rejection.reason, 0) + 1
+        return counts
+
+
+def _rank(ddp: int, fsdp: int, tp: int, fsdp_size: int, tp_size: int,
+          tp_innermost: bool) -> int:
+    """Mirror of :meth:`HybridParallelPlan.rank` without a cluster."""
+    per_replica = tp_size * fsdp_size
+    if tp_innermost:
+        return ddp * per_replica + fsdp * tp_size + tp
+    return ddp * per_replica + tp * fsdp_size + fsdp
+
+
+def _tp_group_spans_nodes(tp: int, fsdp: int, ddp: int, tp_innermost: bool,
+                          gpus_per_node: int) -> bool:
+    """Whether any tensor-parallel group crosses a node boundary."""
+    for d in range(ddp):
+        for f in range(fsdp):
+            nodes = {
+                _rank(d, f, k, fsdp, tp, tp_innermost) // gpus_per_node
+                for k in range(tp)
+            }
+            if len(nodes) > 1:
+                return True
+    return False
+
+
+def _factorization_reason(request: TuneRequest, tp: int, fsdp: int, ddp: int,
+                          tp_innermost: bool) -> str | None:
+    """Why (tp, fsdp, ddp) under this layout is illegal; None if legal."""
+    config = request.config
+    if config.embed_dim % tp:
+        return f"embed_dim {config.embed_dim} not divisible by tp {tp}"
+    if config.hidden_dim % tp:
+        return f"hidden_dim {config.hidden_dim} not divisible by tp {tp}"
+    if tp > config.num_heads:
+        # Sub-head sharding regime (paper Sec III-A head independence).
+        if tp % config.num_heads:
+            return f"tp {tp} not divisible by num_heads {config.num_heads}"
+        subhead = tp // config.num_heads
+        if config.head_dim % subhead:
+            return (
+                f"head_dim {config.head_dim} not divisible by "
+                f"sub-head factor {subhead}"
+            )
+        if request.engine_mode and config.qk_layernorm:
+            return (
+                f"sub-head sharding (tp {tp} > {config.num_heads} heads) "
+                "incompatible with qk_layernorm"
+            )
+    elif config.num_heads % tp:
+        return f"num_heads {config.num_heads} not divisible by tp {tp}"
+    if request.engine_mode and _tp_group_spans_nodes(
+        tp, fsdp, ddp, tp_innermost, request.gpus_per_node
+    ):
+        layout = "" if tp_innermost else " under the fsdp-innermost layout"
+        return f"tp group of size {tp} spans node boundaries{layout}"
+    return None
+
+
+def enumerate_space(request: TuneRequest) -> SearchSpace:
+    """All legal candidates for ``request``, plus why the rest are not.
+
+    The policy axes (micro-batch, checkpointing, prefetch) multiply
+    only the *legal* factorizations; ``tp_innermost=False`` is
+    enumerated only when both the tensor-parallel and FSDP axes are
+    non-trivial (otherwise the two layouts give the identical rank
+    map and would duplicate candidates).
+    """
+    world = request.num_gpus
+    candidates: list[Candidate] = []
+    rejections: list[Rejection] = []
+
+    tp_axis = request.tp_sizes if request.tp_sizes is not None else tuple(
+        tp for tp in range(1, world + 1) if world % tp == 0
+    )
+    for tp in tp_axis:
+        if world % tp:
+            rejections.append(
+                Rejection(tp, 0, 0, True, f"tp {tp} does not divide world size {world}")
+            )
+            continue
+        remainder = world // tp
+        for fsdp in (f for f in range(1, remainder + 1) if remainder % f == 0):
+            ddp = remainder // fsdp
+            layouts = (True, False) if (tp > 1 and fsdp > 1) else (True,)
+            for tp_innermost in layouts:
+                reason = _factorization_reason(request, tp, fsdp, ddp, tp_innermost)
+                if reason is not None:
+                    rejections.append(Rejection(tp, fsdp, ddp, tp_innermost, reason))
+                    continue
+                for micro_batch in request.micro_batches:
+                    for recompute in request.recompute_options:
+                        for prefetch in request.prefetch_options:
+                            candidates.append(Candidate(
+                                tp_size=tp, fsdp_size=fsdp, ddp_size=ddp,
+                                micro_batch=micro_batch, recompute=recompute,
+                                prefetch=prefetch, tp_innermost=tp_innermost,
+                            ))
+    return SearchSpace(request, tuple(candidates), tuple(rejections))

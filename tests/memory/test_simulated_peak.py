@@ -1,0 +1,62 @@
+"""Consistency between the closed-form memory model and the trackers.
+
+``MemoryModel.simulated_peak_bytes`` predicts what the meta-mode
+engine's per-device memory trackers will record (fp32 parameter shards
++ replicated dense parameters + the transient gathered layer).  These
+tests run the real engine and hold the prediction to the observed
+high-watermark within 15% — in practice the formula is exact, so the
+band is pure safety margin against future engine allocation changes.
+"""
+
+import pytest
+
+from repro.cluster import VirtualCluster
+from repro.memory.estimator import MemoryModel, Parallelism, TrainingSetup
+from repro.meta import MetaArray
+from repro.models import PAPER_MODELS, build_model
+from repro.parallel import HybridParallelPlan, HybridSTOPEngine
+from repro.parallel.compute import PeakFractionCompute
+
+
+def _observed_peak(config, num_gpus, tp, fsdp, ddp, micro_batch):
+    cluster = VirtualCluster(num_gpus=num_gpus, gpus_per_node=8)
+    plan = HybridParallelPlan(cluster, tp_size=tp, fsdp_size=fsdp, ddp_size=ddp)
+    engine = HybridSTOPEngine(
+        build_model(config, meta=True), plan,
+        compute_model=PeakFractionCompute(cluster),
+    )
+    x = MetaArray((micro_batch, config.in_vars, config.img_height, config.img_width))
+    lead = MetaArray((micro_batch,))
+    ys = engine.forward(
+        [[x] * fsdp for _ in range(ddp)], [[lead] * fsdp for _ in range(ddp)]
+    )
+    engine.backward(
+        [[MetaArray(ys[d][f].shape) for f in range(fsdp)] for d in range(ddp)]
+    )
+    engine.allreduce_gradients()
+    return max(
+        cluster.device(rank).memory.peak_bytes for rank in range(num_gpus)
+    )
+
+
+@pytest.mark.parametrize("model,num_gpus,tp,fsdp,ddp", [
+    ("orbit-115m", 16, 4, 2, 2),
+    ("orbit-115m", 16, 8, 2, 1),
+    ("orbit-1b", 32, 8, 4, 1),
+], ids=["115m-2n", "115m-tp8", "1b-4n"])
+def test_predicted_within_15pct_of_tracker(model, num_gpus, tp, fsdp, ddp):
+    config = PAPER_MODELS[model]
+    setup = TrainingSetup(
+        config, num_gpus, Parallelism.HYBRID_STOP,
+        tp_size=tp, fsdp_size=fsdp, micro_batch=2,
+    )
+    predicted = MemoryModel().simulated_peak_bytes(setup)
+    observed = _observed_peak(config, num_gpus, tp, fsdp, ddp, micro_batch=2)
+    assert predicted == pytest.approx(observed, rel=0.15)
+
+
+def test_non_hybrid_setups_rejected():
+    setup = TrainingSetup(PAPER_MODELS["orbit-115m"], 16, Parallelism.FSDP,
+                          fsdp_size=16)
+    with pytest.raises(ValueError, match="Hybrid-STOP"):
+        MemoryModel().simulated_peak_bytes(setup)

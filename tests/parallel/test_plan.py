@@ -28,6 +28,29 @@ class TestRankArithmetic:
         with pytest.raises(ValueError):
             HybridParallelPlan(cluster, tp_size=4, fsdp_size=2, ddp_size=1)
 
+    def test_size_mismatch_message_shows_arithmetic(self):
+        """The error spells out the factor product vs the world size."""
+        cluster = VirtualCluster(num_gpus=16, gpus_per_node=8)
+        with pytest.raises(ValueError) as exc:
+            HybridParallelPlan(cluster, tp_size=4, fsdp_size=2, ddp_size=3)
+        message = str(exc.value)
+        assert "tp(4) * fsdp(2) * ddp(3) = 24" in message
+        assert "world size 16" in message
+
+    def test_nonpositive_sizes_rejected(self):
+        cluster = VirtualCluster(num_gpus=16, gpus_per_node=8)
+        with pytest.raises(ValueError, match="positive"):
+            HybridParallelPlan(cluster, tp_size=0, fsdp_size=4, ddp_size=4)
+
+    def test_repr_names_every_axis(self):
+        cluster = VirtualCluster(num_gpus=16, gpus_per_node=8)
+        plan = HybridParallelPlan(
+            cluster, tp_size=4, fsdp_size=2, ddp_size=2, tp_innermost=False
+        )
+        assert repr(plan) == (
+            "HybridParallelPlan(ddp=2, fsdp=2, tp=4, tp_innermost=False)"
+        )
+
     def test_coordinate_bounds_checked(self):
         cluster = VirtualCluster(num_gpus=4)
         plan = HybridParallelPlan(cluster, tp_size=2, fsdp_size=2)

@@ -8,7 +8,7 @@ from repro.cli import build_parser, main
 
 ALL_SUBCOMMANDS = [
     "fig5", "table1", "fig6", "fig7", "fig8", "fig9", "fig10", "all", "trace",
-    "analyze", "bench",
+    "analyze", "bench", "tune",
 ]
 
 
@@ -160,6 +160,54 @@ class TestAnalyzeCommand:
     def test_bad_skew_rejected(self):
         with pytest.raises(SystemExit):
             main(["analyze", *self.TOPOLOGY, "--skew", "nonsense"])
+
+
+class TestTuneCommand:
+    def test_help_shows_worked_examples(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["tune", "--help"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        assert "examples:" in out
+        assert "repro tune --model orbit-1b" in out
+
+    def test_search_prints_winner_and_writes_report(self, tmp_path, capsys):
+        report = tmp_path / "tune_report.json"
+        code = main([
+            "tune", "--micro-batches", "2", "--top-k", "1",
+            "--out", str(report),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Winner:" in out
+        assert "Why configurations were pruned" in out
+        doc = json.loads(report.read_text())
+        assert doc["winner"]["simulated"]["step_time_s"] > 0
+
+    def test_cache_file_round_trip(self, tmp_path, capsys):
+        cache = tmp_path / "tune_cache.json"
+        argv = ["tune", "--micro-batches", "2", "--top-k", "1",
+                "--cache", str(cache)]
+        assert main(argv) == 0
+        assert "cache: 0 hits / 1 misses" in capsys.readouterr().out
+        assert main(argv) == 0
+        assert "cache: 1 hits / 0 misses" in capsys.readouterr().out
+
+    def test_infeasible_request_exits_2_with_stderr(self, capsys):
+        # 113B cannot fit on a single node under any factorization.
+        code = main(["tune", "--model", "orbit-113b", "--gpus", "8"])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "exceed device memory" in captured.err
+        assert captured.out == ""
+
+    def test_invalid_request_exits_2_with_stderr(self, capsys):
+        assert main(["tune", "--gpus", "12"]) == 2
+        assert "invalid request" in capsys.readouterr().err
+        assert main(["tune", "--micro-batches", "two"]) == 2
+        assert "invalid request" in capsys.readouterr().err
+        assert main(["tune", "--top-k", "0"]) == 2
+        assert "--top-k" in capsys.readouterr().err
 
 
 class TestBenchCommand:

@@ -1,0 +1,62 @@
+"""Tests for tune report rendering and JSON export."""
+
+import json
+
+import pytest
+
+from repro.models.configs import ORBIT_115M
+from repro.tune import TuneRequest, render_report, result_document, run_search, write_report
+from repro.tune.report import REPORT_SCHEMA
+
+
+@pytest.fixture(scope="module")
+def result():
+    request = TuneRequest(
+        ORBIT_115M, num_gpus=16, gpus_per_node=8,
+        micro_batches=(2,), recompute_options=(False,),
+        prefetch_options=(True,),
+    )
+    return run_search(request, top_k=2)
+
+
+class TestRenderReport:
+    def test_sections_present(self, result):
+        text = render_report(result)
+        assert "repro tune: orbit-115m on 16 GPUs" in text
+        assert "Ranked configurations" in text
+        assert "Why configurations were pruned" in text
+        assert "Winner:" in text
+        assert "critical path" in text
+        assert "exposed communication by op" in text
+
+    def test_winner_label_and_error_shown(self, result):
+        text = render_report(result)
+        assert result.winner.candidate.label() in text
+        assert "analytic error" in text
+
+    def test_limit_truncates_table(self, result):
+        text = render_report(result, limit=2)
+        assert f"and {len(result.ranked) - 2} more" in text
+
+
+class TestResultDocument:
+    def test_schema_and_structure(self, result):
+        doc = result_document(result)
+        assert doc["schema"] == REPORT_SCHEMA
+        assert doc["request"]["model"] == "orbit-115m"
+        assert doc["space"]["candidates"] == len(result.space.candidates)
+        assert len(doc["ranked"]) == len(result.ranked)
+        assert doc["winner"]["simulated"]["step_time_s"] > 0
+        assert "critical_path" in doc["winner"]["simulated"]
+        # Every rejection carries its reason for the why-pruned view.
+        assert all(r["reason"] for r in doc["space"]["rejections"])
+
+    def test_document_is_json_round_trippable(self, result):
+        doc = result_document(result)
+        assert json.loads(json.dumps(doc)) == doc
+
+    def test_write_report(self, result, tmp_path):
+        path = write_report(result, tmp_path / "tune_report.json")
+        loaded = json.loads(path.read_text())
+        assert loaded["schema"] == REPORT_SCHEMA
+        assert loaded["winner"]["config"] == result.winner.candidate.label()

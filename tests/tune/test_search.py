@@ -1,0 +1,95 @@
+"""Tests for the two-stage search and its result cache."""
+
+import json
+
+import pytest
+
+from repro.models.configs import ORBIT_113B, ORBIT_115M
+from repro.tune import (
+    AnalyticEstimator,
+    InfeasibleRequest,
+    TuneCache,
+    TuneRequest,
+    run_search,
+)
+
+
+def _request(**overrides):
+    defaults = dict(
+        config=ORBIT_115M, num_gpus=16, gpus_per_node=8,
+        micro_batches=(2,), recompute_options=(False,),
+        prefetch_options=(True,),
+    )
+    defaults.update(overrides)
+    return TuneRequest(**defaults)
+
+
+@pytest.fixture(scope="module")
+def shared_estimator():
+    return AnalyticEstimator(ORBIT_115M, num_gpus=16, gpus_per_node=8)
+
+
+class TestRunSearch:
+    def test_ranked_by_analytic_throughput_and_topk_validated(
+        self, shared_estimator
+    ):
+        result = run_search(_request(), top_k=2, estimator=shared_estimator)
+        times = [s.estimate.time_per_obs_s for s in result.ranked]
+        assert times == sorted(times)
+        assert len(result.validated) == 2
+        for entry in result.validated:
+            assert entry.simulated_step_time_s is not None
+            assert entry.analytic_error is not None
+        assert result.winner in result.validated
+        assert result.winner.simulated["time_per_obs_s"] == min(
+            s.simulated["time_per_obs_s"] for s in result.validated
+        )
+
+    def test_relaxed_mode_refused(self):
+        with pytest.raises(ValueError, match="engine_mode"):
+            run_search(_request(engine_mode=False))
+
+    def test_no_legal_candidates_is_infeasible(self):
+        with pytest.raises(InfeasibleRequest) as exc:
+            run_search(_request(tp_sizes=(3,)))
+        assert "no legal configuration" in str(exc.value)
+        assert exc.value.space.rejections
+
+    def test_everything_oom_is_infeasible(self):
+        # 113B on one node cannot fit under any factorization.
+        with pytest.raises(InfeasibleRequest, match="exceed device memory"):
+            run_search(TuneRequest(
+                ORBIT_113B, num_gpus=8, micro_batches=(2,),
+                recompute_options=(True,), prefetch_options=(True,),
+            ))
+
+
+class TestTuneCache:
+    def test_second_search_hits_the_cache(self, tmp_path, shared_estimator):
+        path = tmp_path / "tune_cache.json"
+        request = _request()
+        first = run_search(request, top_k=2, cache=TuneCache(path),
+                           estimator=shared_estimator)
+        assert (first.cache_hits, first.cache_misses) == (0, 2)
+        assert path.exists()
+        second = run_search(request, top_k=2, cache=TuneCache(path),
+                            estimator=shared_estimator)
+        assert (second.cache_hits, second.cache_misses) == (2, 0)
+        assert (
+            second.winner.simulated_step_time_s
+            == first.winner.simulated_step_time_s
+        )
+
+    def test_key_separates_models_and_topologies(self):
+        request_a = _request()
+        request_b = _request(num_gpus=32)
+        cand = request_a  # just need distinct key inputs
+        from repro.tune import Candidate
+
+        cand = Candidate(4, 2, 2, 2)
+        assert TuneCache.key(request_a, cand) != TuneCache.key(request_b, cand)
+
+    def test_unknown_schema_ignored(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text(json.dumps({"schema": 99, "entries": {"x": {}}}))
+        assert len(TuneCache(path)) == 0
