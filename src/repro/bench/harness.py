@@ -96,10 +96,14 @@ class BenchRecord:
     spans: int
 
     def as_dict(self) -> dict:
+        from repro.runtime import policy_field_names
+
         out = asdict(self.case)
         # Selection / policy fields that would churn the committed
-        # baseline document; the matrix pins them to the defaults.
-        for transient in ("quick", "prefetch", "recompute", "tp_innermost"):
+        # baseline document; the matrix pins them to the defaults.  The
+        # policy set comes from RunSpec field metadata, so a new knob
+        # added there is excluded here automatically.
+        for transient in sorted({"quick"} | (policy_field_names() & out.keys())):
             out.pop(transient)
         out.update(
             step_time_s=self.step_time_s,
@@ -120,54 +124,23 @@ def run_case(case: BenchCase, config=None, tracer=None) -> BenchRecord:
     Passing a ``tracer`` lets the caller keep the span stream (the
     tuner's winner explanation re-analyzes it).
     """
-    from repro.cluster import VirtualCluster
-    from repro.meta import MetaArray
-    from repro.models import PAPER_MODELS, build_model
     from repro.obs import analysis
     from repro.obs.critical_path import analyze_trace
-    from repro.obs.tracer import Tracer
-    from repro.parallel import HybridParallelPlan, HybridSTOPEngine
-    from repro.parallel.compute import PeakFractionCompute
+    from repro.runtime import RunSpec, Session, StepLoop
 
-    if config is None:
-        config = PAPER_MODELS[case.model]
-    if tracer is None:
-        tracer = Tracer()
-    cluster = VirtualCluster(
-        num_gpus=case.num_gpus, gpus_per_node=case.gpus_per_node, tracer=tracer
-    )
-    plan = HybridParallelPlan(
-        cluster, tp_size=case.tp_size, fsdp_size=case.fsdp_size,
-        ddp_size=case.ddp_size, tp_innermost=case.tp_innermost,
-    )
-    engine = HybridSTOPEngine(
-        build_model(config, meta=True),
-        plan,
-        prefetch=case.prefetch,
-        layer_wrapping=True,
-        recompute=case.recompute,
-        compute_model=PeakFractionCompute(cluster),
-    )
-    D, F = case.ddp_size, case.fsdp_size
-    x = MetaArray((case.micro_batch, config.in_vars, config.img_height, config.img_width))
-    lead = MetaArray((case.micro_batch,))
-    with tracer.scope("step", 0):
-        ys = engine.forward([[x] * F for _ in range(D)], [[lead] * F for _ in range(D)])
-        grads = [[MetaArray(ys[d][f].shape) for f in range(F)] for d in range(D)]
-        engine.backward(grads)
-        engine.allreduce_gradients()
+    spec = RunSpec.from_case(case, config=config)
+    session = Session(spec, tracer=tracer)
+    StepLoop(session.meta_step).run(1)
 
+    tracer = session.tracer
     decomposition = analyze_trace(tracer)
     step_time = decomposition.critical_path_s
-    peak = max(
-        cluster.device(rank).memory.peak_bytes for rank in range(cluster.world_size)
-    )
     record = BenchRecord(
         case=case,
         step_time_s=step_time,
         time_per_obs_s=step_time / case.observations,
         exposed_comm_fraction=analysis.exposed_comm_ratio(tracer.spans),
-        peak_memory_bytes=int(peak),
+        peak_memory_bytes=session.peak_memory_bytes(),
         bound_resource=decomposition.bound_resource,
         spans=len(tracer.spans),
     )

@@ -48,20 +48,34 @@ def _add_topology_args(sub_parser: argparse.ArgumentParser) -> None:
 
 
 def _topology_error(args: argparse.Namespace) -> str | None:
-    """Human-readable explanation of an invalid topology, or ``None``."""
-    product = args.tp * args.fsdp * args.ddp
-    if product != args.gpus:
-        return (
-            f"invalid topology: tp * fsdp * ddp = {args.tp} * {args.fsdp} * "
-            f"{args.ddp} = {product}, which does not equal --gpus {args.gpus}"
+    """Human-readable explanation of an invalid topology, or ``None``.
+
+    Validation lives in :class:`~repro.runtime.spec.RunSpec`; this just
+    rewrites field names into the CLI's flag spellings.
+    """
+    from repro.models import OrbitConfig
+    from repro.obs.capture import TRACE_CONFIG_KWARGS
+    from repro.runtime import RunSpec, RunSpecError
+
+    try:
+        RunSpec(
+            config=OrbitConfig("trace-tiny", **TRACE_CONFIG_KWARGS),
+            num_gpus=args.gpus,
+            gpus_per_node=args.gpus_per_node,
+            tp_size=args.tp,
+            fsdp_size=args.fsdp,
+            ddp_size=args.ddp,
+            micro_batch=args.micro_batch,
+            meta=False,
+            num_steps=args.steps,
         )
-    if args.gpus_per_node <= 0 or args.gpus % args.gpus_per_node != 0:
+    except RunSpecError as error:
         return (
-            f"invalid topology: --gpus {args.gpus} is not a whole number of "
-            f"{args.gpus_per_node}-GCD nodes"
+            str(error)
+            .replace("num_gpus", "--gpus")
+            .replace("num_steps", "--steps")
+            .replace("micro_batch", "--micro-batch")
         )
-    if args.steps < 1:
-        return f"invalid --steps {args.steps}: must be at least 1"
     return None
 
 

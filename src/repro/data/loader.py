@@ -108,24 +108,59 @@ class BatchLoader:
         self._batch_counter = 0
 
 
+class RoundRobinBatches:
+    """Endless batch stream cycling over multiple loaders.
+
+    Unlike a bare generator, the stream's position is inspectable:
+    :meth:`state`/:meth:`restore` capture the round-robin index and
+    each loader's batch counter (the full state of the counter-seeded
+    :class:`BatchLoader`), which is how a resumed pre-training run
+    continues the exact uninterrupted data sequence.
+    """
+
+    def __init__(self, loaders: list[BatchLoader]):
+        if not loaders:
+            raise ValueError("need at least one loader")
+        self.loaders = list(loaders)
+        self._index = 0
+
+    def __iter__(self):
+        return self
+
+    def __next__(self) -> Batch:
+        loader = self.loaders[self._index % len(self.loaders)]
+        self._index += 1
+        return loader.next_batch()
+
+    def state(self) -> dict:
+        """JSON-able stream position."""
+        return {
+            "index": self._index,
+            "counters": [loader._batch_counter for loader in self.loaders],
+        }
+
+    def restore(self, state: dict) -> None:
+        """Rewind/advance to a position captured by :meth:`state`."""
+        counters = state["counters"]
+        if len(counters) != len(self.loaders):
+            raise ValueError(
+                f"state covers {len(counters)} loaders, have {len(self.loaders)}"
+            )
+        self._index = int(state["index"])
+        for loader, counter in zip(self.loaders, counters):
+            loader._batch_counter = int(counter)
+
+
 def round_robin_loaders(
     datasets: list[ClimateDataset],
     batch_size: int,
     **kwargs,
-):
+) -> RoundRobinBatches:
     """Cycle pre-training batches over multiple sources (CMIP6 style)."""
     if not datasets:
         raise ValueError("need at least one dataset")
     seed = kwargs.pop("seed", 0)
-    loaders = [
+    return RoundRobinBatches([
         BatchLoader(ds, batch_size, seed=seed + i, **kwargs)
         for i, ds in enumerate(datasets)
-    ]
-
-    def generator():
-        i = 0
-        while True:
-            yield loaders[i % len(loaders)].next_batch()
-            i += 1
-
-    return generator()
+    ])

@@ -9,12 +9,11 @@ observation in 3e-3 s (684 PFLOPS sustained) and the 10B model in
 
 from __future__ import annotations
 
-import dataclasses
 from dataclasses import dataclass, field
 
 from repro.experiments.common import format_seconds, format_table
-from repro.memory.estimator import Parallelism, TrainingSetup
 from repro.models.configs import PAPER_MODELS, OrbitConfig
+from repro.runtime import RunSpec
 from repro.perf.metrics import scaling_efficiency
 from repro.perf.model import PerformanceModel
 from repro.utils.units import format_flops
@@ -89,15 +88,19 @@ def run(
     for name, base_config in models.items():
         config = base_config.with_channels(channels, out_vars=channels)
         tp, fsdp = REPLICA_SHAPES.get(name, (8, 8))
-        setup0 = TrainingSetup(
-            config, baseline_gpus, Parallelism.HYBRID_STOP,
-            tp_size=tp, fsdp_size=fsdp, micro_batch=1,
+        # ddp_size=None: the replica shape is fixed and the DDP axis is
+        # derived from the world size at each scaling point.
+        spec0 = RunSpec(
+            config=config, num_gpus=baseline_gpus, tp_size=tp, fsdp_size=fsdp,
+            ddp_size=None, micro_batch=1, recompute=True, bf16=True,
         )
-        batch = min(micro_batch_cap, max(1, pm.max_micro_batch(setup0)))
+        batch = min(micro_batch_cap, max(1, pm.max_micro_batch(spec0.training_setup())))
         series: dict[int, ScalingPoint] = {}
         base_time = None
         for gpus in sorted(gpu_counts):
-            setup = dataclasses.replace(setup0, num_gpus=gpus, micro_batch=batch)
+            setup = spec0.replace(
+                num_gpus=gpus, ddp_size=None, micro_batch=batch
+            ).training_setup()
             step = pm.step_time(setup)
             t = step.time_per_observation_s
             if base_time is None:

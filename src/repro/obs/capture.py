@@ -17,8 +17,6 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Mapping
 
-import numpy as np
-
 from repro.obs.export import write_chrome_trace, write_step_report, write_trace_events
 from repro.obs.tracer import Tracer
 from repro.obs import analysis
@@ -72,52 +70,33 @@ def run_traced_step(
     slowdown multipliers (straggler injection via
     :class:`~repro.parallel.compute.SkewedCompute`).
     """
-    from repro.cluster import VirtualCluster
-    from repro.data.loader import Batch
-    from repro.models import OrbitConfig, build_model
-    from repro.parallel import HybridParallelPlan, HybridSTOPEngine
-    from repro.parallel.compute import PeakFractionCompute, SkewedCompute
-    from repro.train.distributed import DistributedTrainer
+    # Deferred: repro.obs's package __init__ imports this module.
+    from repro.models import OrbitConfig
+    from repro.runtime import RunSpec, Session, StepLoop
 
-    if num_steps < 1:
-        raise ValueError("num_steps must be positive")
-    tracer = Tracer()
-    cluster = VirtualCluster(
-        num_gpus=num_gpus, gpus_per_node=gpus_per_node, tracer=tracer
-    )
-    plan = HybridParallelPlan(
-        cluster, tp_size=tp_size, fsdp_size=fsdp_size, ddp_size=ddp_size
-    )
     config = OrbitConfig("trace-tiny", **TRACE_CONFIG_KWARGS)
-    model = build_model(config, rng=seed)
-    compute_model = PeakFractionCompute(cluster)
-    if compute_skew:
-        compute_model = SkewedCompute(compute_model, dict(compute_skew))
-    engine = HybridSTOPEngine(
-        model,
-        plan,
+    spec = RunSpec(
+        config=config,
+        num_gpus=num_gpus,
+        gpus_per_node=gpus_per_node,
+        tp_size=tp_size,
+        fsdp_size=fsdp_size,
+        ddp_size=ddp_size,
+        micro_batch=micro_batch,
         prefetch=prefetch,
         layer_wrapping=layer_wrapping,
-        compute_model=compute_model,
+        meta=False,
+        seed=seed,
+        num_steps=num_steps,
+        compute_skew=dict(compute_skew or {}),
     )
-    lat_weights = np.ones((config.img_height, 1))
-    trainer = DistributedTrainer(engine, lat_weights)
-
-    rng = np.random.default_rng(seed)
-    global_batch = micro_batch * fsdp_size * ddp_size
-    loss = float("nan")
-    for _ in range(num_steps):
-        batch = Batch(
-            x=rng.normal(size=(global_batch, config.in_vars, config.img_height,
-                               config.img_width)).astype(np.float32),
-            y=rng.normal(size=(global_batch, config.out_vars, config.img_height,
-                               config.img_width)).astype(np.float32),
-            lead_time_hours=np.full((global_batch,), 24.0, dtype=np.float32),
-        )
-        loss = trainer.train_step(batch)
+    session = Session(spec)
+    result = StepLoop(session.numeric_step).run(num_steps)
+    loss = result.final_loss
 
     # The trainer already recorded step.walltime_s / train.loss /
     # optimizer.steps; fold in the cluster-level state it cannot see.
+    cluster, tracer = session.cluster, session.tracer
     walltime = cluster.timeline.walltime_s()
     metrics = tracer.metrics
     metrics.gauge("step.exposed_comm_ratio").set(
@@ -130,7 +109,8 @@ def run_traced_step(
         )
 
     run = TraceRun(
-        cluster=cluster, plan=plan, tracer=tracer, loss=loss, walltime_s=walltime
+        cluster=cluster, plan=session.plan, tracer=tracer, loss=loss,
+        walltime_s=walltime,
     )
     if out_dir is not None:
         out_dir = Path(out_dir)

@@ -1,0 +1,146 @@
+"""Checkpoint archives for the runtime layer.
+
+One ``.npz`` per checkpoint: every persisted array under a namespaced
+key, plus a JSON metadata blob.  :func:`save_archive`/:func:`load_archive`
+are the low-level container shared by :meth:`Session.save
+<repro.runtime.session.Session.save>` (sharded engine state) and
+:func:`save_trainer`/:func:`resume_trainer` (the serial Fig 8 path).
+``np.savez_compressed`` preserves array bits exactly, which is what
+makes bitwise resume-parity possible.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.obs.tracer import NULL_TRACER
+
+#: Archive format version; bumped on any incompatible layout change.
+CHECKPOINT_SCHEMA = 1
+
+_META_KEY = "runtime::metadata"
+
+
+def save_archive(path, arrays: dict[str, np.ndarray], metadata: dict,
+                 tracer=None) -> Path:
+    """Write namespaced arrays + JSON metadata to one ``.npz``.
+
+    An attached tracer receives ``checkpoint``/``io`` markers mirroring
+    the serial model-checkpoint path, so checkpoint cost shows up on
+    the same timeline as compute and collectives.
+    """
+    tracer = tracer if tracer is not None else NULL_TRACER
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if _META_KEY in arrays:
+        raise ValueError(f"array key {_META_KEY!r} is reserved")
+    payload = {key: np.asarray(value) for key, value in arrays.items()}
+    meta = dict(metadata)
+    meta.setdefault("schema", CHECKPOINT_SCHEMA)
+    payload[_META_KEY] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(path, **payload)
+    nbytes = float(sum(a.nbytes for a in payload.values()))
+    tracer.instant("checkpoint", "save", nbytes=nbytes, arrays=len(arrays),
+                   path=str(path))
+    tracer.instant("io", "npz.write", nbytes=nbytes)
+    tracer.metrics.counter("checkpoint.saves").inc()
+    return path
+
+
+def load_archive(path, tracer=None) -> tuple[dict[str, np.ndarray], dict]:
+    """Read an archive written by :func:`save_archive`.
+
+    Returns ``(arrays, metadata)``; raises ``ValueError`` for archives
+    from an unknown schema version.
+    """
+    tracer = tracer if tracer is not None else NULL_TRACER
+    path = Path(path)
+    with np.load(path) as archive:
+        if _META_KEY not in archive.files:
+            raise ValueError(f"{path} is not a runtime checkpoint archive")
+        metadata = json.loads(bytes(archive[_META_KEY]).decode("utf-8"))
+        arrays = {
+            key: archive[key] for key in archive.files if key != _META_KEY
+        }
+    if metadata.get("schema") != CHECKPOINT_SCHEMA:
+        raise ValueError(
+            f"unsupported checkpoint schema {metadata.get('schema')!r} "
+            f"(this build reads {CHECKPOINT_SCHEMA})"
+        )
+    nbytes = float(sum(np.asarray(a).nbytes for a in arrays.values()))
+    tracer.instant("checkpoint", "load", nbytes=nbytes, arrays=len(arrays),
+                   path=str(path))
+    tracer.instant("io", "npz.read", nbytes=nbytes)
+    tracer.metrics.counter("checkpoint.loads").inc()
+    return arrays, metadata
+
+
+# -- serial (Fig 8) trainer persistence --------------------------------------
+def save_trainer(path, trainer, *, loop=None, loader=None,
+                 metadata: dict | None = None) -> Path:
+    """Checkpoint a serial :class:`~repro.train.trainer.Trainer`.
+
+    Persists the model parameters, the AdamW moments, the scheduler
+    step, the gradient-accumulation phase, and — when ``loop`` /
+    ``loader`` are given — the :class:`~repro.runtime.steploop.StepLoop`
+    history and the data stream's counter state, so a resumed Fig 8 run
+    continues the exact uninterrupted trajectory.
+    """
+    arrays = {
+        f"param::{name}": np.asarray(value)
+        for name, value in trainer.model.state_dict().items()
+    }
+    opt_state = trainer.optimizer.state_dict()
+    for key, value in opt_state["arrays"].items():
+        arrays[f"opt::{key}"] = value
+    meta = {
+        "kind": "trainer",
+        "step": trainer.step_count,
+        "micro_step": trainer._micro_step,
+        "optimizer": opt_state["scalars"],
+        "user": metadata or {},
+    }
+    if loop is not None:
+        meta["loop"] = {
+            "step": loop.step,
+            "observations_seen": loop.observations_seen,
+            "history": [[obs, loss] for obs, loss in loop.history],
+        }
+    if loader is not None:
+        meta["loader"] = loader.state()
+    return save_archive(path, arrays, meta, tracer=trainer.tracer)
+
+
+def resume_trainer(path, trainer, *, loader=None) -> dict:
+    """Restore a checkpoint written by :func:`save_trainer`.
+
+    Returns the archive metadata; its ``"loop"`` entry (when present)
+    carries the resume state for a new
+    :class:`~repro.runtime.steploop.StepLoop`.
+    """
+    arrays, meta = load_archive(path, tracer=trainer.tracer)
+    if meta.get("kind") != "trainer":
+        raise ValueError(f"{path} is not a trainer checkpoint")
+    trainer.model.load_state_dict({
+        key[len("param::"):]: value
+        for key, value in arrays.items()
+        if key.startswith("param::")
+    })
+    trainer.optimizer.load_state_dict({
+        "arrays": {
+            key[len("opt::"):]: value
+            for key, value in arrays.items()
+            if key.startswith("opt::")
+        },
+        "scalars": meta["optimizer"],
+    })
+    trainer.step_count = meta["step"]
+    trainer._micro_step = meta["micro_step"]
+    if loader is not None and "loader" in meta:
+        loader.restore(meta["loader"])
+    return meta

@@ -1,0 +1,354 @@
+"""Session: one builder from a :class:`RunSpec` to the live stack.
+
+The five copy-pasted construction sites (bench harness, traced-step
+capture, tuner validation, experiment drivers, ad-hoc scripts) all
+route through here: a Session owns the tracer, the virtual cluster,
+the parallel plan, the engine (meta or numeric mode), and — for
+numeric runs — the distributed trainer with its shard-aware optimizer.
+On top of the unified construction sit the sharded checkpoint methods:
+:meth:`Session.save` persists dense replicas, flat FSDP shards,
+optimizer moments, the scheduler step, and the data-RNG state;
+:meth:`Session.resume` restores all of it bitwise, so a resumed run
+reproduces the uninterrupted loss trajectory exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+
+import numpy as np
+
+from repro.cluster.cluster import VirtualCluster
+from repro.obs.tracer import Tracer
+from repro.runtime.spec import RunSpec
+
+#: Checkpoint archive keys (see :mod:`repro.runtime.checkpoint`).
+_DENSE = "dense"
+_SHARD = "shard"
+
+
+def build_cluster(
+    num_gpus: int,
+    gpus_per_node: int = 8,
+    *,
+    tracer=None,
+    gpu_memory_bytes: int | None = None,
+    track_device_memory: bool = True,
+) -> VirtualCluster:
+    """The single :class:`VirtualCluster` construction site.
+
+    Consumers outside :mod:`repro.cluster` (the estimator's probe
+    cluster, the Session itself) build clusters through here so
+    cross-cutting behaviour — tracing, memory-tracking policy — has
+    one place to live.
+    """
+    return VirtualCluster(
+        num_gpus=num_gpus,
+        gpus_per_node=gpus_per_node,
+        gpu_memory_bytes=gpu_memory_bytes,
+        track_device_memory=track_device_memory,
+        tracer=tracer,
+    )
+
+
+def fabricate_batch(shape, *, fsdp_size: int, ddp_size: int | None = None,
+                    dtype=np.float32):
+    """Shape-only micro-batches for every (DDP, FSDP) grid position.
+
+    Returns ``[[MetaArray(shape)] * fsdp_size for _ in range(ddp_size)]``
+    — the engine's expected ``xs[d][f]`` nesting — or a flat
+    ``[MetaArray(shape)] * fsdp_size`` row when ``ddp_size`` is None
+    (single-replica probes).  One canonical helper instead of the
+    fabrication previously duplicated across the bench harness and the
+    tuner's estimator.
+    """
+    from repro.meta import MetaArray
+
+    if fsdp_size < 1 or (ddp_size is not None and ddp_size < 1):
+        raise ValueError("fsdp_size and ddp_size must be positive")
+    micro = MetaArray(tuple(shape), dtype)
+    row = [micro] * fsdp_size
+    if ddp_size is None:
+        return row
+    return [list(row) for _ in range(ddp_size)]
+
+
+class Session:
+    """The live Hybrid-STOP stack for one :class:`RunSpec`.
+
+    Parameters
+    ----------
+    spec:
+        The validated run description.
+    tracer:
+        Optional :class:`~repro.obs.tracer.Tracer`; a fresh one is
+        created by default so every session's spans are isolated.
+    lat_weights / lr / weight_decay / schedule / precision:
+        Trainer settings for numeric sessions (defaults mirror the
+        traced-step capture: uniform latitude weights, AdamW at 1e-3).
+    """
+
+    def __init__(
+        self,
+        spec: RunSpec,
+        tracer=None,
+        lat_weights: np.ndarray | None = None,
+        lr: float = 1e-3,
+        weight_decay: float = 0.0,
+        schedule=None,
+        precision=None,
+    ):
+        from repro.models import build_model
+        from repro.parallel import HybridParallelPlan, HybridSTOPEngine
+        from repro.parallel.compute import PeakFractionCompute, SkewedCompute
+
+        self.spec = spec
+        self.config = spec.config
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.cluster = build_cluster(
+            spec.num_gpus,
+            spec.gpus_per_node,
+            tracer=self.tracer,
+            track_device_memory=spec.track_device_memory,
+        )
+        self.plan = HybridParallelPlan(
+            self.cluster,
+            tp_size=spec.tp_size,
+            fsdp_size=spec.fsdp_size,
+            ddp_size=spec.ddp_size,
+            tp_innermost=spec.tp_innermost,
+        )
+        compute_model = PeakFractionCompute(self.cluster)
+        if spec.compute_skew:
+            compute_model = SkewedCompute(compute_model, dict(spec.compute_skew))
+        self.compute_model = compute_model
+        if spec.meta:
+            self.model = build_model(self.config, meta=True)
+        else:
+            self.model = build_model(
+                self.config, rng=spec.seed, dtype=np.dtype(spec.dtype)
+            )
+        self.engine = HybridSTOPEngine(
+            self.model,
+            self.plan,
+            prefetch=spec.prefetch,
+            layer_wrapping=spec.layer_wrapping,
+            recompute=spec.recompute,
+            compute_model=compute_model,
+        )
+        #: Synthetic-batch stream state; persisted by :meth:`save`.
+        self.data_rng = np.random.default_rng(spec.seed)
+        self._lat_weights = lat_weights
+        self._lr = lr
+        self._weight_decay = weight_decay
+        self._schedule = schedule
+        self._precision = precision
+        self._trainer = None
+
+    # -- numeric training ----------------------------------------------------
+    @property
+    def lat_weights(self) -> np.ndarray:
+        if self._lat_weights is None:
+            self._lat_weights = np.ones((self.config.img_height, 1))
+        return self._lat_weights
+
+    @property
+    def trainer(self):
+        """The shard-aware :class:`DistributedTrainer` (numeric mode only)."""
+        if self.spec.meta:
+            raise RuntimeError(
+                "meta-mode sessions have no numeric trainer; build the spec "
+                "with meta=False"
+            )
+        if self._trainer is None:
+            from repro.train.distributed import DistributedTrainer
+
+            self._trainer = DistributedTrainer(
+                self.engine,
+                self.lat_weights,
+                lr=self._lr,
+                weight_decay=self._weight_decay,
+                schedule=self._schedule,
+                precision=self._precision,
+            )
+        return self._trainer
+
+    def synthetic_batch(self):
+        """One seeded synthetic global batch (the traced-step workload)."""
+        from repro.data.loader import Batch
+
+        cfg, spec = self.config, self.spec
+        global_batch = spec.observations
+        rng = self.data_rng
+        return Batch(
+            x=rng.normal(size=(global_batch, cfg.in_vars, cfg.img_height,
+                               cfg.img_width)).astype(np.float32),
+            y=rng.normal(size=(global_batch, cfg.out_vars, cfg.img_height,
+                               cfg.img_width)).astype(np.float32),
+            lead_time_hours=np.full((global_batch,), 24.0, dtype=np.float32),
+        )
+
+    def numeric_step(self, step: int = 0) -> tuple[float, int]:
+        """One optimizer step on a synthetic batch; ``(loss, batch_size)``.
+
+        The :class:`~repro.runtime.steploop.StepLoop` step function of
+        ``repro trace`` and the runtime tests.
+        """
+        batch = self.synthetic_batch()
+        return self.trainer.train_step(batch), batch.x.shape[0]
+
+    # -- meta stepping --------------------------------------------------------
+    def meta_batch(self):
+        """Fabricated ``(xs, leads)`` meta inputs for one engine step."""
+        cfg, spec = self.config, self.spec
+        xs = fabricate_batch(
+            (spec.micro_batch, cfg.in_vars, cfg.img_height, cfg.img_width),
+            fsdp_size=spec.fsdp_size,
+            ddp_size=spec.ddp_size,
+        )
+        leads = fabricate_batch(
+            (spec.micro_batch,), fsdp_size=spec.fsdp_size, ddp_size=spec.ddp_size
+        )
+        return xs, leads
+
+    def meta_step(self, step: int = 0) -> tuple[float, int]:
+        """One traced shape-only engine step (forward/backward/grad-sync).
+
+        The exact cost-model accounting the bench harness measures;
+        returns ``(nan, observations)`` since meta arrays carry no loss.
+        """
+        from repro.meta import MetaArray
+
+        D, F = self.spec.ddp_size, self.spec.fsdp_size
+        xs, leads = self.meta_batch()
+        with self.tracer.scope("step", step):
+            ys = self.engine.forward(xs, leads)
+            grads = [[MetaArray(ys[d][f].shape) for f in range(F)] for d in range(D)]
+            self.engine.backward(grads)
+            self.engine.allreduce_gradients()
+        return math.nan, self.spec.observations
+
+    def step_fn(self):
+        """The mode-appropriate StepLoop step function."""
+        return self.meta_step if self.spec.meta else self.numeric_step
+
+    # -- observability --------------------------------------------------------
+    def check_health(self, analysis=None):
+        """Run-health findings for the session's trace so far."""
+        from repro.obs.health import check_run
+
+        return check_run(
+            self.tracer, cluster=self.cluster, plan=self.plan, analysis=analysis
+        )
+
+    def peak_memory_bytes(self) -> int:
+        """Per-device high-watermark across the cluster."""
+        return int(max(
+            self.cluster.device(rank).memory.peak_bytes
+            for rank in range(self.cluster.world_size)
+        ))
+
+    # -- sharded checkpoint-resume --------------------------------------------
+    def _checkpoint_arrays(self) -> dict[str, np.ndarray]:
+        """Every persisted array: dense replicas + flat FSDP shards +
+        optimizer moments, keyed for exact restoration."""
+        arrays: dict[str, np.ndarray] = {}
+        for d in range(self.spec.ddp_size):
+            for name, param in self._dense_parameters(d).items():
+                arrays[f"{_DENSE}::{d}::{name}"] = np.asarray(param.data)
+            for i, sharded in enumerate(self.engine.sharded_parameters(d)):
+                for j, shard in enumerate(sharded.shards):
+                    arrays[f"{_SHARD}::{d}::{i}::{j}"] = np.asarray(shard)
+        for key, value in self.trainer.optimizer.state_dict()["arrays"].items():
+            arrays[f"opt::{key}"] = value
+        return arrays
+
+    def _dense_parameters(self, replica: int) -> dict:
+        front = self.engine.fronts[replica][0]
+        head = self.engine.heads[replica][0]
+        named = dict(front.named_parameters())
+        named.update({f"head.{n}": p for n, p in head.named_parameters()})
+        return named
+
+    def save(self, path, *, loop=None, metadata: dict | None = None) -> Path:
+        """Write a sharded checkpoint; returns the archive path.
+
+        Persists the dense replicas, the flat FSDP shards, the AdamW
+        moments, the scheduler step (``trainer.step_count``), and the
+        synthetic-batch RNG state.  ``loop`` (a
+        :class:`~repro.runtime.steploop.StepLoop`) additionally stores
+        the loss history so a resumed run rebuilds the full
+        ``PretrainResult`` trajectory.
+        """
+        from repro.runtime.checkpoint import save_archive
+
+        if self.spec.meta:
+            raise RuntimeError("meta-mode sessions hold no numeric state to save")
+        trainer = self.trainer
+        meta = {
+            "kind": "session",
+            "spec": self.spec.identity(),
+            "step": trainer.step_count,
+            "optimizer": self.trainer.optimizer.state_dict()["scalars"],
+            "rng": self.data_rng.bit_generator.state,
+            "user": metadata or {},
+        }
+        if loop is not None:
+            meta["loop"] = {
+                "step": loop.step,
+                "observations_seen": loop.observations_seen,
+                "history": [[obs, loss] for obs, loss in loop.history],
+            }
+        return save_archive(
+            path, self._checkpoint_arrays(), meta, tracer=self.tracer
+        )
+
+    def resume(self, path) -> dict:
+        """Restore a checkpoint written by :meth:`save`; returns metadata.
+
+        Raises ``ValueError`` when the checkpoint's structural identity
+        (model, topology, grid, dtype) does not match this session's
+        spec — resuming into a different world layout is never silent.
+        """
+        from repro.runtime.checkpoint import load_archive
+
+        if self.spec.meta:
+            raise RuntimeError("meta-mode sessions cannot resume numeric state")
+        arrays, meta = load_archive(path, tracer=self.tracer)
+        if meta.get("kind") != "session":
+            raise ValueError(f"{path} is not a session checkpoint")
+        if meta["spec"] != self.spec.identity():
+            raise ValueError(
+                f"checkpoint {path} was written for {meta['spec']}, "
+                f"which does not match this session's {self.spec.identity()}"
+            )
+        for d in range(self.spec.ddp_size):
+            for name, param in self._dense_parameters(d).items():
+                value = arrays[f"{_DENSE}::{d}::{name}"]
+                if tuple(value.shape) != tuple(np.asarray(param.data).shape):
+                    raise ValueError(f"shape mismatch restoring dense {name}")
+                param.data = value
+            for i, sharded in enumerate(self.engine.sharded_parameters(d)):
+                for j in range(sharded.num_shards):
+                    sharded.shards[j] = arrays[f"{_SHARD}::{d}::{i}::{j}"]
+        trainer = self.trainer
+        trainer.optimizer.load_state_dict({
+            "arrays": {
+                key[len("opt::"):]: value
+                for key, value in arrays.items()
+                if key.startswith("opt::")
+            },
+            "scalars": meta["optimizer"],
+        })
+        trainer.step_count = meta["step"]
+        self.data_rng.bit_generator.state = meta["rng"]
+        return meta
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        mode = "meta" if self.spec.meta else "numeric"
+        return (
+            f"Session({self.config.name}, {self.spec.num_gpus} GPUs, "
+            f"tp={self.spec.tp_size} fsdp={self.spec.fsdp_size} "
+            f"ddp={self.spec.ddp_size}, {mode})"
+        )

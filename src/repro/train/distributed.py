@@ -122,9 +122,21 @@ class DistributedTrainer:
         self.step_count += 1
         return mean_loss
 
+    def step_loop(self, batches, **loop_kwargs):
+        """A :class:`~repro.runtime.steploop.StepLoop` pulling from
+        ``batches``; ``loop_kwargs`` pass through (hooks, checkpoint and
+        health cadence, resume state)."""
+        from repro.runtime.steploop import StepLoop
+
+        iterator = iter(batches)
+
+        def step_fn(step):
+            batch = next(iterator)
+            return self.train_step(batch), batch.x.shape[0]
+
+        return StepLoop(step_fn, **loop_kwargs)
+
     def train(self, batches, num_steps: int) -> list[float]:
         """Run ``num_steps`` steps from a batch iterator; returns losses."""
-        if num_steps < 1:
-            raise ValueError("num_steps must be positive")
-        iterator = iter(batches)
-        return [self.train_step(next(iterator)) for _ in range(num_steps)]
+        result = self.step_loop(batches).run(num_steps)
+        return [loss for _, loss in result.history]

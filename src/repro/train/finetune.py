@@ -84,27 +84,28 @@ class Finetuner:
         """
         if max_steps < 1 or eval_interval < 1:
             raise ValueError("max_steps and eval_interval must be positive")
+        from repro.runtime.steploop import StepHooks
+
         result = FinetuneResult()
-        samples = 0
-        best = float("-inf")
-        stale = 0
-        steps_done = 0
-        while steps_done < max_steps:
-            for _ in range(min(eval_interval, max_steps - steps_done)):
-                _, batch_size = self.trainer.train_step()
-                samples += batch_size
-                steps_done += 1
+        state = {"best": float("-inf"), "stale": 0}
+
+        def evaluate(loop, event):
+            if loop.step % eval_interval and loop.step < max_steps:
+                return
             wacc = self.validation_wacc()
-            result.history.append((samples, wacc))
-            if wacc > best + tolerance:
-                best = wacc
-                stale = 0
-                result.samples_to_converge = samples
+            result.history.append((event.observations_seen, wacc))
+            if wacc > state["best"] + tolerance:
+                state["best"] = wacc
+                state["stale"] = 0
+                result.samples_to_converge = event.observations_seen
             else:
-                stale += 1
-                if stale >= patience:
+                state["stale"] += 1
+                if state["stale"] >= patience:
                     result.converged = True
-                    break
+                    loop.request_stop()
+
+        loop = self.trainer.step_loop(hooks=StepHooks(on_step_end=evaluate))
+        loop.run(max_steps)
         if result.samples_to_converge is None:
-            result.samples_to_converge = samples
+            result.samples_to_converge = loop.observations_seen
         return result

@@ -93,3 +93,34 @@ class AdamW:
     def state_bytes(self) -> int:
         """Bytes of optimizer state (the m/v moments)."""
         return sum(m.nbytes + v.nbytes for m, v in zip(self._m, self._v))
+
+    def state_dict(self) -> dict:
+        """Persistable state: the float64 moments (positional, relying on
+        the deterministic parameter ordering) plus the bias-correction
+        step counter."""
+        arrays = {}
+        for i, (m, v) in enumerate(zip(self._m, self._v)):
+            arrays[f"m::{i}"] = m
+            arrays[f"v::{i}"] = v
+        return {"arrays": arrays, "scalars": {"step_count": self.step_count}}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore moments saved by :meth:`state_dict` (bitwise).
+
+        Raises ``ValueError`` when the checkpoint's parameter count or
+        shapes do not match this optimizer's.
+        """
+        arrays = state["arrays"]
+        if len(arrays) != 2 * len(self.params):
+            raise ValueError(
+                f"optimizer state holds {len(arrays) // 2} moment pairs, "
+                f"expected {len(self.params)}"
+            )
+        for i in range(len(self.params)):
+            m = np.asarray(arrays[f"m::{i}"], dtype=np.float64)
+            v = np.asarray(arrays[f"v::{i}"], dtype=np.float64)
+            if m.shape != self._m[i].shape or v.shape != self._v[i].shape:
+                raise ValueError(f"moment shape mismatch for parameter {i}")
+            self._m[i] = m
+            self._v[i] = v
+        self.step_count = int(state["scalars"]["step_count"])

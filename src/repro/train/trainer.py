@@ -133,16 +133,20 @@ class Trainer:
                 self.step_count += 1
         return loss, batch.x.shape[0]
 
+    def step_loop(self, **loop_kwargs):
+        """A :class:`~repro.runtime.steploop.StepLoop` over this trainer.
+
+        ``loop_kwargs`` pass through (hooks, checkpoint/health cadence,
+        resume state), so a caller can attach cross-cutting behaviour —
+        the Fig 8 driver uses this for periodic checkpoints.
+        """
+        from repro.runtime.steploop import StepLoop
+
+        return StepLoop(lambda step: self.train_step(), **loop_kwargs)
+
     def train(self, num_steps: int) -> PretrainResult:
         """Run ``num_steps`` steps, recording the loss trajectory."""
-        if num_steps < 1:
-            raise ValueError("num_steps must be positive")
-        result = PretrainResult()
-        observations = 0
-        for _ in range(num_steps):
-            loss, batch_size = self.train_step()
-            observations += batch_size
-            result.history.append((observations, loss))
+        result = self.step_loop().run(num_steps)
         if self.scaler is not None:
             result.skipped_steps = self.scaler.num_overflows
         return result

@@ -36,7 +36,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable
 
-from repro.cluster.cluster import VirtualCluster
 from repro.cluster.timeline import Timeline
 from repro.memory.estimator import MemoryModel, Parallelism, TrainingSetup
 from repro.meta import MetaArray, nbytes_of
@@ -46,6 +45,7 @@ from repro.nn.context import ExecutionContext, execution_context
 from repro.nn.transformer import TransformerBlock
 from repro.parallel.compute import PeakFractionCompute
 from repro.parallel.plan import HybridParallelPlan
+from repro.runtime.session import build_cluster, fabricate_batch
 from repro.tune.space import Candidate
 
 
@@ -150,8 +150,8 @@ class AnalyticEstimator:
         self.memory_model = memory_model if memory_model is not None else MemoryModel()
         # One shared probe cluster: all candidates factorize the same
         # world, and the recording timeline is reset per probe.
-        self._cluster = VirtualCluster(
-            num_gpus=num_gpus, gpus_per_node=gpus_per_node, track_device_memory=False
+        self._cluster = build_cluster(
+            num_gpus, gpus_per_node, track_device_memory=False
         )
         self._recorder = _RecordingTimeline(num_gpus)
         self._cluster.timeline = self._recorder
@@ -243,10 +243,10 @@ class AnalyticEstimator:
         )
         block.set_track_gather_memory(False)
         reps = frozenset(plan.rank(0, 0, k) for k in range(candidate.tp_size))
-        xs = [
-            MetaArray((candidate.micro_batch, cfg.num_patches, cfg.embed_dim))
-            for _ in range(candidate.fsdp_size)
-        ]
+        xs = fabricate_batch(
+            (candidate.micro_batch, cfg.num_patches, cfg.embed_dim),
+            fsdp_size=candidate.fsdp_size,
+        )
         self._recorder.reset()
         self._recorder.events.clear()
         ys = block.forward(xs)

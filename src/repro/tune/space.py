@@ -141,60 +141,22 @@ class SearchSpace:
         return counts
 
 
-def _rank(ddp: int, fsdp: int, tp: int, fsdp_size: int, tp_size: int,
-          tp_innermost: bool) -> int:
-    """Mirror of :meth:`HybridParallelPlan.rank` without a cluster."""
-    per_replica = tp_size * fsdp_size
-    if tp_innermost:
-        return ddp * per_replica + fsdp * tp_size + tp
-    return ddp * per_replica + tp * fsdp_size + fsdp
-
-
-def _tp_group_spans_nodes(tp: int, fsdp: int, ddp: int, tp_innermost: bool,
-                          gpus_per_node: int) -> bool:
-    """Whether any tensor-parallel group crosses a node boundary."""
-    for d in range(ddp):
-        for f in range(fsdp):
-            nodes = {
-                _rank(d, f, k, fsdp, tp, tp_innermost) // gpus_per_node
-                for k in range(tp)
-            }
-            if len(nodes) > 1:
-                return True
-    return False
-
-
 def _factorization_reason(request: TuneRequest, tp: int, fsdp: int, ddp: int,
                           tp_innermost: bool) -> str | None:
-    """Why (tp, fsdp, ddp) under this layout is illegal; None if legal."""
-    config = request.config
-    if config.embed_dim % tp:
-        return f"embed_dim {config.embed_dim} not divisible by tp {tp}"
-    if config.hidden_dim % tp:
-        return f"hidden_dim {config.hidden_dim} not divisible by tp {tp}"
-    if tp > config.num_heads:
-        # Sub-head sharding regime (paper Sec III-A head independence).
-        if tp % config.num_heads:
-            return f"tp {tp} not divisible by num_heads {config.num_heads}"
-        subhead = tp // config.num_heads
-        if config.head_dim % subhead:
-            return (
-                f"head_dim {config.head_dim} not divisible by "
-                f"sub-head factor {subhead}"
-            )
-        if request.engine_mode and config.qk_layernorm:
-            return (
-                f"sub-head sharding (tp {tp} > {config.num_heads} heads) "
-                "incompatible with qk_layernorm"
-            )
-    elif config.num_heads % tp:
-        return f"num_heads {config.num_heads} not divisible by tp {tp}"
-    if request.engine_mode and _tp_group_spans_nodes(
-        tp, fsdp, ddp, tp_innermost, request.gpus_per_node
-    ):
-        layout = "" if tp_innermost else " under the fsdp-innermost layout"
-        return f"tp group of size {tp} spans node boundaries{layout}"
-    return None
+    """Why (tp, fsdp, ddp) under this layout is illegal; None if legal.
+
+    Delegates to the runtime layer's
+    :func:`~repro.runtime.spec.engine_legality_reason`, so the tuner
+    rejects exactly what a :class:`~repro.runtime.spec.RunSpec` would.
+    """
+    from repro.runtime.spec import engine_legality_reason
+
+    return engine_legality_reason(
+        request.config, tp, fsdp, ddp,
+        tp_innermost=tp_innermost,
+        gpus_per_node=request.gpus_per_node,
+        engine_mode=request.engine_mode,
+    )
 
 
 def enumerate_space(request: TuneRequest) -> SearchSpace:
