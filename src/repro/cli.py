@@ -13,6 +13,7 @@ Usage::
     python -m repro analyze              # critical-path + health analysis
     python -m repro bench --check        # performance-regression gate
     python -m repro tune                 # automatic parallelism planner
+    python -m repro faults --plan p.json # replay a fault plan, print recovery
 """
 
 from __future__ import annotations
@@ -172,6 +173,18 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--quick", action="store_true", help="run only the quick (115M) subset"
     )
+    bench.add_argument(
+        "--mtbf", type=float, default=None, metavar="SECONDS",
+        help="also report expected goodput under this mean time between failures",
+    )
+    bench.add_argument(
+        "--checkpoint-cost", type=float, default=30.0, metavar="SECONDS",
+        help="checkpoint write cost for the goodput model (default: 30)",
+    )
+    bench.add_argument(
+        "--restart-latency", type=float, default=120.0, metavar="SECONDS",
+        help="restart latency for the goodput model (default: 120)",
+    )
 
     tune = sub.add_parser(
         "tune",
@@ -212,6 +225,59 @@ def build_parser() -> argparse.ArgumentParser:
     tune.add_argument(
         "--out", default=None, metavar="JSON", help="write the full report here"
     )
+    tune.add_argument(
+        "--mtbf", type=float, default=None, metavar="SECONDS",
+        help="also print a recovery-aware checkpoint-interval recommendation",
+    )
+    tune.add_argument(
+        "--checkpoint-cost", type=float, default=30.0, metavar="SECONDS",
+        help="checkpoint write cost for the --mtbf recommendation (default: 30)",
+    )
+
+    faults = sub.add_parser(
+        "faults",
+        help="replay a fault plan under the self-healing supervisor",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "examples:\n"
+            "  repro faults --plan examples/fault_plan.json\n"
+            "  repro faults --random 7 --count 4 --steps 12\n"
+            "  repro faults --plan p.json --numeric --checkpoint-every 2\n"
+            "\n"
+            "exits 1 when any injected fault goes unrecovered, 2 on an\n"
+            "invalid topology or plan."
+        ),
+    )
+    _add_topology_args(faults)
+    faults.add_argument(
+        "--plan", default=None, metavar="JSON",
+        help="fault-plan document to replay (see repro.faults.plan)",
+    )
+    faults.add_argument(
+        "--random", type=int, default=None, metavar="SEED",
+        help="generate a seeded random plan instead of reading one",
+    )
+    faults.add_argument(
+        "--count", type=int, default=3,
+        help="number of injections for --random (default: 3)",
+    )
+    faults.add_argument(
+        "--numeric", action="store_true",
+        help="run real numeric training instead of meta (shape-only) mode",
+    )
+    faults.add_argument(
+        "--checkpoint-every", type=int, default=2, metavar="STEPS",
+        help="periodic checkpoint cadence for rollback recovery (default: 2)",
+    )
+    faults.add_argument(
+        "--checkpoint-dir", default=None,
+        help="where periodic checkpoints land (default: a temp directory)",
+    )
+    faults.add_argument(
+        "--out", default=None, metavar="JSON",
+        help="write the recovery report document here",
+    )
+    faults.set_defaults(steps=8)
 
     return parser
 
@@ -374,6 +440,17 @@ def main(argv: list[str] | None = None) -> int:
                 )
                 return 1
             print(f"bench regression gate OK (tolerance {args.tolerance:.0%})")
+        if args.mtbf is not None:
+            from repro.faults.goodput import bench_goodput, goodput_table
+
+            goodput = bench_goodput(
+                doc,
+                args.mtbf,
+                checkpoint_cost_s=args.checkpoint_cost,
+                restart_latency_s=args.restart_latency,
+            )
+            print()
+            print(goodput_table(goodput))
     elif args.command == "tune":
         from repro.models import PAPER_MODELS
         from repro.tune import (
@@ -409,8 +486,81 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"  - {reason} (x{count})", file=sys.stderr)
             return 2
         print(render_report(result))
+        if args.mtbf is not None:
+            from repro.tune.report import recovery_recommendation, render_recovery
+
+            print()
+            print(render_recovery(recovery_recommendation(
+                result, args.mtbf, checkpoint_cost_s=args.checkpoint_cost
+            )))
         if args.out:
             print(f"wrote {write_report(result, args.out)}")
+    elif args.command == "faults":
+        import json
+        import tempfile
+        from pathlib import Path
+
+        from repro.faults import FaultPlan, Supervisor
+        from repro.models import OrbitConfig
+        from repro.obs.capture import TRACE_CONFIG_KWARGS
+        from repro.runtime import RunSpec
+
+        error = _topology_error(args)
+        if error is not None:
+            print(error, file=sys.stderr)
+            return 2
+        try:
+            if args.plan is not None and args.random is not None:
+                raise ValueError("--plan and --random are mutually exclusive")
+            if args.plan is not None:
+                plan = FaultPlan.from_json(args.plan)
+            elif args.random is not None:
+                plan = FaultPlan.random(
+                    args.random, args.steps, args.gpus, count=args.count
+                )
+            else:
+                raise ValueError("one of --plan or --random is required")
+        except (OSError, ValueError) as plan_error:
+            print(f"repro faults: invalid plan: {plan_error}", file=sys.stderr)
+            return 2
+        spec = RunSpec(
+            config=OrbitConfig("trace-tiny", **TRACE_CONFIG_KWARGS),
+            num_gpus=args.gpus,
+            gpus_per_node=args.gpus_per_node,
+            tp_size=args.tp,
+            fsdp_size=args.fsdp,
+            ddp_size=args.ddp,
+            micro_batch=args.micro_batch,
+            prefetch=not args.no_prefetch,
+            meta=not args.numeric,
+            seed=args.seed,
+            num_steps=args.steps,
+            compute_skew=_parse_skew(args.skew),
+            track_device_memory=False,
+        )
+        checkpoint_dir = args.checkpoint_dir or tempfile.mkdtemp(
+            prefix="repro-faults-"
+        )
+        try:
+            supervisor = Supervisor(
+                spec,
+                plan,
+                checkpoint_every=args.checkpoint_every,
+                checkpoint_dir=checkpoint_dir if args.checkpoint_every else None,
+            )
+        except ValueError as sup_error:
+            print(f"repro faults: {sup_error}", file=sys.stderr)
+            return 2
+        report = supervisor.run(args.steps)
+        print(report.render())
+        if args.out:
+            out = Path(args.out)
+            if out.parent != Path(""):
+                out.parent.mkdir(parents=True, exist_ok=True)
+            out.write_text(json.dumps(report.as_dict(), indent=1) + "\n")
+            print(f"wrote {out}")
+        if not report.recovered:
+            return 1
     else:  # pragma: no cover - argparse enforces choices
         raise AssertionError(args.command)
     return 0

@@ -7,7 +7,7 @@ from typing import Sequence
 from repro.cluster.costmodel import CollectiveCostModel
 from repro.cluster.device import VirtualGPU
 from repro.cluster.process_group import ProcessGroup
-from repro.cluster.timeline import Timeline
+from repro.cluster.timeline import NULL_INJECTOR, Timeline
 from repro.cluster.topology import FrontierTopology, LinkSpec
 from repro.obs.tracer import NULL_TRACER
 
@@ -59,6 +59,7 @@ class VirtualCluster:
         self.cost_model = CollectiveCostModel(self.topology)
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.timeline = Timeline(num_gpus, tracer=self.tracer)
+        self.injector = NULL_INJECTOR
         device_kwargs = {}
         if gpu_memory_bytes is not None:
             device_kwargs["memory_capacity"] = gpu_memory_bytes
@@ -85,6 +86,12 @@ class VirtualCluster:
         """Install (or replace) the tracer receiving timeline events."""
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.timeline.tracer = self.tracer
+
+    def attach_injector(self, injector) -> None:
+        """Install (or replace) the fault injector consulted by the
+        timeline before every compute/communication event."""
+        self.injector = injector if injector is not None else NULL_INJECTOR
+        self.timeline.injector = self.injector
 
     def reset(self) -> None:
         """Clear the timeline, trace, and device memory (between runs)."""

@@ -30,6 +30,33 @@ from typing import Iterable
 from repro.obs.tracer import NULL_TRACER
 
 
+class _NullInjector:
+    """No-op fault injector: the default, allocation-free hook.
+
+    A real :class:`~repro.faults.injector.FaultInjector` attached via
+    :meth:`~repro.cluster.cluster.VirtualCluster.attach_injector` sees
+    every event *before* it is recorded, may raise a typed
+    :class:`~repro.faults.errors.FaultError` (the event then never
+    lands on a ledger — the collective never completed), and may
+    stretch the event's seconds (degradation faults).
+    """
+
+    __slots__ = ()
+
+    def on_compute(self, rank, seconds, op):
+        return seconds
+
+    def on_comm(self, ranks, seconds, op):
+        return seconds
+
+    def poison_gradients(self, step, params):
+        return None
+
+
+#: Shared no-op injector (mirrors :data:`~repro.obs.tracer.NULL_TRACER`).
+NULL_INJECTOR = _NullInjector()
+
+
 @dataclass
 class RankLedger:
     """Accumulated times (seconds) and counters for one rank."""
@@ -57,6 +84,8 @@ class Timeline:
             raise ValueError("num_ranks must be positive")
         self._ledgers = [RankLedger() for _ in range(num_ranks)]
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Fault-injection hook; every event consults it before recording.
+        self.injector = NULL_INJECTOR
         #: Collective sequence ids: every ``record_comm`` call issues one
         #: id shared by all participating ranks' spans, so an analyzer
         #: can reconstruct cross-rank dependency edges (which rank's
@@ -82,6 +111,7 @@ class Timeline:
         """
         if seconds < 0:
             raise ValueError("compute seconds must be non-negative")
+        seconds = self.injector.on_compute(rank, seconds, op)
         led = self._ledgers[rank]
         t0 = led.walltime_s
         led.compute_s += seconds
@@ -111,6 +141,7 @@ class Timeline:
         if seconds < 0:
             raise ValueError("comm seconds must be non-negative")
         ranks = tuple(ranks)
+        seconds = self.injector.on_comm(ranks, seconds, op)
         cid = next(self._collective_ids)
         for rank in ranks:
             led = self._ledgers[rank]

@@ -1,0 +1,54 @@
+"""Typed fault exceptions raised by the deterministic injector.
+
+The hierarchy encodes the supervisor's classification decision:
+
+* :class:`TransientFaultError` — retry in place (exponential backoff);
+  the canonical instance is :class:`CollectiveTimeoutError`, a
+  collective that never completed because one participant hiccuped.
+* :class:`FatalFaultError` — the current incarnation of the run is
+  dead.  :class:`GpuCrashError` is recoverable by checkpoint-rollback
+  restart into the same world shape; :class:`NodeLossError` is a
+  *permanent* capacity loss and needs an elastic regroup.
+* :class:`ElasticRecoveryError` — the regroup itself is impossible
+  (no legal shrunken topology); the run is unrecoverable.
+
+Every error carries the :class:`~repro.faults.plan.FaultSpec` that
+caused it (when raised by the injector), so recovery reports can tie
+an observed failure back to the exact scheduled injection.
+"""
+
+from __future__ import annotations
+
+
+class FaultError(RuntimeError):
+    """Base class for every injected-fault exception."""
+
+    def __init__(self, message: str, fault=None):
+        super().__init__(message)
+        #: The scheduled :class:`~repro.faults.plan.FaultSpec` behind
+        #: this failure (``None`` for faults not raised by the injector).
+        self.fault = fault
+
+
+class TransientFaultError(FaultError):
+    """A fault the supervisor should retry in place."""
+
+
+class CollectiveTimeoutError(TransientFaultError):
+    """A collective operation timed out (one participant stalled)."""
+
+
+class FatalFaultError(FaultError):
+    """The current incarnation of the run cannot continue."""
+
+
+class GpuCrashError(FatalFaultError):
+    """A GCD died mid-event; recover by rollback-restart."""
+
+
+class NodeLossError(FatalFaultError):
+    """A whole node is permanently gone; recover by elastic regroup."""
+
+
+class ElasticRecoveryError(FaultError):
+    """No legal shrunken topology exists for the surviving world."""

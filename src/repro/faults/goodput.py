@@ -1,0 +1,236 @@
+"""Goodput accounting: what recovery actually costs.
+
+*Throughput* is observations per second of busy time; *goodput* is
+observations per second of total walltime, where the total includes
+every second recovery burned.  The :class:`GoodputLedger` charges each
+recovery path of the supervisor to its own bucket:
+
+``retry``
+    Wasted attempt time plus exponential-backoff delays plus the
+    timeout-detection window, for transient faults retried in place.
+``rollback``
+    Committed-but-uncheckpointed step time lost at a crash, plus the
+    partial attempt that died, plus the re-execution of those steps.
+    (Re-executed steps count as useful when they commit again — the
+    *original* executions are the ones the crash destroyed.)
+``restart``
+    Fixed restart latency per incarnation (scheduler requeue, process
+    spawn, checkpoint load).
+``skipped``
+    Steps whose update the grad scaler rejected (NaN/inf gradients):
+    full step cost, zero useful progress.
+``checkpoint``
+    Time spent writing checkpoints — the insurance premium.
+
+The analytic side (:func:`expected_goodput_fraction`,
+:func:`recommend_checkpoint_interval`) is the classic Young/Daly
+first-order model, which ``repro bench --mtbf`` and the tuner's
+recovery-aware checkpoint-interval recommendation both use.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass
+class GoodputLedger:
+    """Simulated-walltime charges, bucketed by recovery path."""
+
+    useful_s: float = 0.0
+    lost_retry_s: float = 0.0
+    lost_rollback_s: float = 0.0
+    lost_restart_s: float = 0.0
+    lost_skipped_s: float = 0.0
+    checkpoint_s: float = 0.0
+    skipped_steps: int = 0
+    retries: int = 0
+    restarts: int = 0
+    regroups: int = 0
+    #: ``(step, useful_seconds)`` committed since the last durable
+    #: checkpoint — the work a crash would destroy.
+    _window: list[tuple[int, float]] = field(default_factory=list)
+
+    # -- charging ------------------------------------------------------------
+    def commit_step(self, step: int, seconds: float, skipped: bool = False) -> None:
+        """One completed step: useful, unless the update was skipped."""
+        if seconds < 0:
+            raise ValueError("step seconds must be non-negative")
+        if skipped:
+            self.lost_skipped_s += seconds
+            self.skipped_steps += 1
+            self._window.append((step, 0.0))
+        else:
+            self.useful_s += seconds
+            self._window.append((step, seconds))
+
+    def checkpoint(self, seconds: float) -> None:
+        """A durable checkpoint: charge its cost, seal the window."""
+        self.checkpoint_s += seconds
+        self._window.clear()
+
+    def retry(self, wasted_s: float, backoff_s: float = 0.0) -> None:
+        """One failed attempt retried in place."""
+        self.lost_retry_s += wasted_s + backoff_s
+        self.retries += 1
+
+    def rollback(self, attempt_s: float = 0.0) -> tuple[int, float]:
+        """A crash: everything since the last checkpoint is lost.
+
+        Moves the window's useful seconds to the rollback bucket (those
+        steps will be re-executed) and charges the dead partial attempt.
+        Returns ``(lost_steps, lost_seconds)`` for the recovery report.
+        """
+        lost_useful = sum(seconds for _, seconds in self._window)
+        lost_steps = len(self._window)
+        self.useful_s -= lost_useful
+        self.lost_rollback_s += lost_useful + attempt_s
+        self._window.clear()
+        return lost_steps, lost_useful + attempt_s
+
+    def restart(self, latency_s: float, elastic: bool = False) -> None:
+        self.lost_restart_s += latency_s
+        self.restarts += 1
+        if elastic:
+            self.regroups += 1
+
+    # -- summaries -----------------------------------------------------------
+    @property
+    def lost_s(self) -> float:
+        return (
+            self.lost_retry_s
+            + self.lost_rollback_s
+            + self.lost_restart_s
+            + self.lost_skipped_s
+        )
+
+    @property
+    def total_s(self) -> float:
+        """Everything: useful + lost + checkpoint overhead."""
+        return self.useful_s + self.lost_s + self.checkpoint_s
+
+    @property
+    def goodput_fraction(self) -> float:
+        """Useful walltime over total walltime (1.0 for a clean run)."""
+        total = self.total_s
+        return self.useful_s / total if total > 0 else 1.0
+
+    def as_dict(self) -> dict:
+        return {
+            "useful_s": self.useful_s,
+            "lost_retry_s": self.lost_retry_s,
+            "lost_rollback_s": self.lost_rollback_s,
+            "lost_restart_s": self.lost_restart_s,
+            "lost_skipped_s": self.lost_skipped_s,
+            "checkpoint_s": self.checkpoint_s,
+            "lost_s": self.lost_s,
+            "total_s": self.total_s,
+            "goodput_fraction": self.goodput_fraction,
+            "skipped_steps": self.skipped_steps,
+            "retries": self.retries,
+            "restarts": self.restarts,
+            "regroups": self.regroups,
+        }
+
+
+# -- analytic MTBF model (Young/Daly) ----------------------------------------
+def recommend_checkpoint_interval(
+    mtbf_s: float, checkpoint_cost_s: float, step_time_s: float | None = None
+) -> float:
+    """Young/Daly optimal seconds of work between checkpoints.
+
+    ``T_opt = sqrt(2 * C * M)`` for checkpoint cost ``C`` and MTBF
+    ``M`` (first-order; valid while ``C << M``).  When ``step_time_s``
+    is given the interval is floored to one step, so the
+    recommendation is always actionable as a ``checkpoint_every``.
+    """
+    if mtbf_s <= 0 or checkpoint_cost_s < 0:
+        raise ValueError("mtbf_s must be positive and checkpoint_cost_s >= 0")
+    interval = math.sqrt(2.0 * checkpoint_cost_s * mtbf_s)
+    if step_time_s:
+        interval = max(interval, step_time_s)
+    return interval
+
+
+def expected_goodput_fraction(
+    mtbf_s: float,
+    checkpoint_cost_s: float,
+    restart_latency_s: float,
+    checkpoint_interval_s: float,
+) -> float:
+    """First-order expected goodput under a Poisson failure model.
+
+    Per useful second the run pays ``C/T`` in checkpoint overhead and,
+    at rate ``1/M``, a failure costing the restart latency ``R`` plus
+    on average half a checkpoint interval of lost work:
+
+    ``goodput = 1 / (1 + C/T + (R + (T + C) / 2) / M)``
+    """
+    T, C, R, M = checkpoint_interval_s, checkpoint_cost_s, restart_latency_s, mtbf_s
+    if T <= 0 or M <= 0 or C < 0 or R < 0:
+        raise ValueError("interval and MTBF must be positive; costs non-negative")
+    overhead = C / T + (R + (T + C) / 2.0) / M
+    return 1.0 / (1.0 + overhead)
+
+
+def bench_goodput(
+    doc: dict,
+    mtbf_s: float,
+    checkpoint_cost_s: float = 30.0,
+    restart_latency_s: float = 120.0,
+) -> dict:
+    """Expected goodput per bench case of a ``BENCH_obs.json`` document.
+
+    For each case: the Young/Daly checkpoint interval, the expected
+    goodput fraction, and goodput observations/s — which is *exactly*
+    ``throughput * fraction``, so goodput trails raw throughput by
+    precisely the charged overhead.
+    """
+    out = {}
+    for name, case in sorted(doc.get("cases", {}).items()):
+        step = case["step_time_s"]
+        interval = recommend_checkpoint_interval(
+            mtbf_s, checkpoint_cost_s, step_time_s=step
+        )
+        fraction = expected_goodput_fraction(
+            mtbf_s, checkpoint_cost_s, restart_latency_s, interval
+        )
+        throughput = 1.0 / case["time_per_obs_s"]
+        out[name] = {
+            "mtbf_s": mtbf_s,
+            "checkpoint_interval_s": interval,
+            "checkpoint_every_steps": max(1, round(interval / step)),
+            "goodput_fraction": fraction,
+            "throughput_obs_per_s": throughput,
+            "goodput_obs_per_s": throughput * fraction,
+        }
+    return out
+
+
+def goodput_table(goodput: dict) -> str:
+    """Paper-style text table of :func:`bench_goodput` output."""
+    from repro.experiments.common import format_table
+
+    rows = []
+    for name, entry in sorted(goodput.items()):
+        rows.append(
+            [
+                name,
+                f"{entry['throughput_obs_per_s']:.1f}",
+                f"{entry['goodput_obs_per_s']:.1f}",
+                f"{entry['goodput_fraction']:.4f}",
+                f"{entry['checkpoint_interval_s']:.1f}",
+                entry["checkpoint_every_steps"],
+            ]
+        )
+    return format_table(
+        ["case", "obs/s", "goodput obs/s", "fraction", "ckpt interval s",
+         "ckpt every"],
+        rows,
+        title=(
+            f"goodput under MTBF {next(iter(goodput.values()))['mtbf_s']:.0f} s"
+            if goodput
+            else "goodput (no cases)"
+        ),
+    )

@@ -1,0 +1,226 @@
+"""The deterministic fault injector hooked into the Timeline.
+
+Every unit of simulated time passes through
+:meth:`~repro.cluster.timeline.Timeline.record_compute` or
+:meth:`~repro.cluster.timeline.Timeline.record_comm`; those methods
+consult the cluster's attached injector *before* recording, so a
+scheduled fault fires at exactly the compute or collective event the
+:class:`~repro.faults.plan.FaultPlan` names — the same choke-point
+pattern the tracer uses, but on the failure path:
+
+* crash-class faults (:data:`~repro.faults.plan.FaultKind.GPU_CRASH`,
+  :data:`~repro.faults.plan.FaultKind.NODE_LOSS`,
+  :data:`~repro.faults.plan.FaultKind.COLLECTIVE_TIMEOUT`) raise the
+  matching typed :class:`~repro.faults.errors.FaultError` and leave the
+  event unrecorded (the collective never completed);
+* degradations (:data:`~repro.faults.plan.FaultKind.LINK_DEGRADE`,
+  :data:`~repro.faults.plan.FaultKind.STRAGGLER`) multiply the event's
+  seconds while their step window is active;
+* :data:`~repro.faults.plan.FaultKind.GRAD_CORRUPTION` is consumed by
+  the numeric trainer (:meth:`FaultInjector.poison_gradients`) or, in
+  meta mode, acknowledged by the supervisor
+  (:meth:`FaultInjector.grad_fault`).
+
+Each injection fires exactly once: replaying a step after recovery
+does not re-fire the fault that killed it, which is what makes
+crash-and-resume runs bitwise comparable to fault-free ones.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from repro.faults.errors import (
+    CollectiveTimeoutError,
+    GpuCrashError,
+    NodeLossError,
+)
+from repro.faults.plan import (
+    DEGRADATION_KINDS,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+)
+
+
+class _Armed:
+    """Mutable firing state for one scheduled injection."""
+
+    __slots__ = ("spec", "rank", "fired", "fired_step", "moot")
+
+    def __init__(self, spec: FaultSpec):
+        self.spec = spec
+        #: Current target rank (renumbered by elastic regroups).
+        self.rank = spec.rank
+        self.fired = False
+        self.fired_step: int | None = None
+        self.moot = False  # target rank was lost before the fault fired
+
+    @property
+    def live(self) -> bool:
+        return not self.fired and not self.moot
+
+
+class FaultInjector:
+    """Timeline-attached executor of one :class:`FaultPlan`.
+
+    The supervisor calls :meth:`begin_step` before driving each step so
+    step-indexed injections know when they are armed; the timeline
+    calls :meth:`on_compute` / :meth:`on_comm` per event.  The injector
+    survives session teardown (crash recovery re-attaches the same
+    instance to the rebuilt cluster), so fire-once bookkeeping spans
+    incarnations.
+    """
+
+    def __init__(self, plan: FaultPlan, gpus_per_node: int = 8):
+        self.plan = plan
+        self.gpus_per_node = int(gpus_per_node)
+        self._armed = [_Armed(spec) for spec in plan.faults]
+        self.step = -1
+
+    # -- driving -------------------------------------------------------------
+    def begin_step(self, step: int) -> None:
+        """Arm the injections of ``step`` (supervisor hook)."""
+        self.step = int(step)
+
+    # -- timeline protocol ---------------------------------------------------
+    def on_compute(self, rank: int, seconds: float, op: str) -> float:
+        self._maybe_raise((rank,), op, comm=False)
+        return seconds * self._factor(FaultKind.STRAGGLER, (rank,))
+
+    def on_comm(self, ranks: Sequence[int], seconds: float, op: str) -> float:
+        self._maybe_raise(tuple(ranks), op, comm=True)
+        return seconds * self._factor(FaultKind.LINK_DEGRADE, ranks)
+
+    # -- crash-class firing ---------------------------------------------------
+    def _maybe_raise(self, ranks: tuple[int, ...], op: str, comm: bool) -> None:
+        for armed in self._armed:
+            spec = armed.spec
+            if not armed.live or spec.step != self.step:
+                continue
+            if spec.kind is FaultKind.COLLECTIVE_TIMEOUT and not comm:
+                continue  # timeouts are collective-only events
+            if spec.kind not in (
+                FaultKind.COLLECTIVE_TIMEOUT,
+                FaultKind.GPU_CRASH,
+                FaultKind.NODE_LOSS,
+            ):
+                continue
+            if armed.rank not in ranks:
+                continue
+            if spec.op is not None and spec.op != op:
+                continue
+            armed.fired = True
+            armed.fired_step = self.step
+            where = f"step {self.step}, op {op!r}, rank {armed.rank}"
+            if spec.kind is FaultKind.COLLECTIVE_TIMEOUT:
+                raise CollectiveTimeoutError(
+                    f"collective timeout at {where}", fault=spec
+                )
+            if spec.kind is FaultKind.GPU_CRASH:
+                raise GpuCrashError(f"GPU crash at {where}", fault=spec)
+            node = armed.rank // self.gpus_per_node
+            raise NodeLossError(
+                f"node {node} lost at {where}", fault=spec
+            )
+
+    # -- degradations ---------------------------------------------------------
+    def _factor(self, kind: FaultKind, ranks: Iterable[int]) -> float:
+        factor = 1.0
+        ranks = set(ranks)
+        for armed in self._armed:
+            spec = armed.spec
+            if armed.moot or spec.kind is not kind:
+                continue
+            if not spec.step <= self.step < spec.step + spec.duration_steps:
+                continue
+            if armed.rank not in ranks:
+                continue
+            if not armed.fired:
+                armed.fired = True
+                armed.fired_step = self.step
+            factor *= spec.factor
+        return factor
+
+    # -- gradient corruption ---------------------------------------------------
+    def grad_fault(self, step: int, fire: bool = False) -> FaultSpec | None:
+        """The grad-corruption injection of ``step``, if any.
+
+        ``fire=True`` additionally marks an unfired injection as fired
+        (the meta-mode path, where there are no numeric gradients to
+        poison but the skipped step must still be accounted).
+        """
+        for armed in self._armed:
+            spec = armed.spec
+            if spec.kind is not FaultKind.GRAD_CORRUPTION or armed.moot:
+                continue
+            if spec.step != step:
+                continue
+            if armed.fired or fire:
+                if fire and not armed.fired:
+                    armed.fired = True
+                    armed.fired_step = step
+                return spec
+        return None
+
+    def poison_gradients(self, step: int, params: Sequence) -> FaultSpec | None:
+        """Numeric path: plant a NaN in the first available gradient.
+
+        Called by the distributed trainer after gradient reduction and
+        before the grad-scaler finiteness check, so an injected
+        corruption takes the exact route a real bit-flip would: the
+        scaler sees a non-finite gradient, backs the scale off, and the
+        optimizer step is skipped.
+        """
+        import numpy as np
+
+        from repro.meta import is_meta
+
+        for armed in self._armed:
+            spec = armed.spec
+            if spec.kind is not FaultKind.GRAD_CORRUPTION or not armed.live:
+                continue
+            if spec.step != step:
+                continue
+            for param in params:
+                grad = getattr(param, "grad", None)
+                if grad is None or is_meta(grad):
+                    continue
+                np.asarray(grad).flat[0] = math.nan
+                armed.fired = True
+                armed.fired_step = step
+                return spec
+        return None
+
+    # -- elastic regroup -------------------------------------------------------
+    def remap_ranks(self, mapping: dict[int, int]) -> list[FaultSpec]:
+        """Renumber pending faults after a node loss.
+
+        ``mapping`` maps surviving old global ranks to their new ranks;
+        pending faults targeting a lost rank become moot (returned so
+        the report can note them).
+        """
+        dropped = []
+        for armed in self._armed:
+            if armed.fired or armed.moot:
+                continue
+            if armed.rank in mapping:
+                armed.rank = mapping[armed.rank]
+            else:
+                armed.moot = True
+                dropped.append(armed.spec)
+        return dropped
+
+    # -- introspection ----------------------------------------------------------
+    def fired(self) -> list[FaultSpec]:
+        return [a.spec for a in self._armed if a.fired]
+
+    def fired_at(self, step: int) -> list[FaultSpec]:
+        return [a.spec for a in self._armed if a.fired and a.fired_step == step]
+
+    def pending(self) -> list[FaultSpec]:
+        return [a.spec for a in self._armed if a.live]
+
+    def moot(self) -> list[FaultSpec]:
+        return [a.spec for a in self._armed if a.moot]

@@ -1,0 +1,542 @@
+"""The self-healing supervisor: detect, classify, recover, account.
+
+Wraps a :class:`~repro.runtime.session.Session` /
+:class:`~repro.runtime.steploop.StepLoop` pair and drives a step budget
+to completion *through* the faults a
+:class:`~repro.faults.plan.FaultPlan` injects:
+
+* **transient** faults (collective timeouts) are retried in place with
+  exponential backoff — the step's RNG state is rewound first, so the
+  retried step consumes the exact batch the failed attempt did;
+* **crashes** (GPU loss) trigger checkpoint-rollback restart: a fresh
+  incarnation of the session resumes from the latest sharded archive
+  and replays the lost steps, reproducing the fault-free trajectory
+  bitwise (the fire-once injector never re-kills a replayed step);
+* **node loss** is permanent: the supervisor rebuilds the
+  :class:`~repro.runtime.spec.RunSpec` with a shrunken DDP axis
+  (micro-batch rescaled so the global batch — and therefore the data
+  stream — is preserved), remaps surviving ranks, and resumes
+  elastically from the archive;
+* **gradient corruption** never reaches the parameters: the numeric
+  trainer's grad scaler backs off and skips the step, and the skip is
+  charged to the goodput ledger.
+
+Every recovery path is charged to a :class:`~repro.faults.goodput.
+GoodputLedger`, so the final :class:`~repro.faults.report.
+RecoveryReport` attributes exactly where the walltime went.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.faults.errors import (
+    ElasticRecoveryError,
+    FatalFaultError,
+    NodeLossError,
+    TransientFaultError,
+)
+from repro.faults.goodput import GoodputLedger
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import DEGRADATION_KINDS, FaultPlan
+from repro.faults.report import RecoveryEvent, RecoveryReport
+from repro.utils.logging import get_logger
+
+_LOG = get_logger("faults.supervisor")
+
+
+class Supervisor:
+    """Drive a spec through a fault plan to completion.
+
+    Parameters
+    ----------
+    spec:
+        The run to protect (meta or numeric mode).
+    plan:
+        The deterministic fault schedule (may be empty).
+    checkpoint_every / checkpoint_dir:
+        Periodic durable checkpoints — the rollback target for crash
+        and node-loss recovery.  ``checkpoint_every=0`` disables them;
+        recovery then restarts from step 0 (still bitwise-correct,
+        just expensive).
+    retry_budget / backoff_base_s / detect_timeout_s:
+        Transient recovery: at most ``retry_budget`` in-place retries,
+        with backoff delays ``base * 2**attempt`` charged to the
+        ledger; each failed attempt also pays the detection window.
+    restart_latency_s / checkpoint_cost_s:
+        Simulated cost-model charges for an incarnation restart and
+        for writing one checkpoint.
+    max_restarts:
+        Hard cap on incarnations (defense against a plan that kills
+        every replay; a fire-once plan never hits it).
+    health_every:
+        Run :meth:`~repro.runtime.session.Session.check_health` every
+        N steps and record straggler findings as ``observed`` events —
+        the detection channel for non-crash degradations.
+    session_kwargs:
+        Extra keyword arguments for every ``Session`` construction
+        (``lr``, ``precision``, ...).
+    """
+
+    def __init__(
+        self,
+        spec,
+        plan: FaultPlan | None = None,
+        *,
+        checkpoint_every: int = 0,
+        checkpoint_dir=None,
+        retry_budget: int = 3,
+        backoff_base_s: float = 0.05,
+        detect_timeout_s: float = 0.5,
+        restart_latency_s: float = 2.0,
+        checkpoint_cost_s: float = 0.25,
+        max_restarts: int = 8,
+        health_every: int = 0,
+        grad_scaler=None,
+        session_kwargs: dict | None = None,
+    ):
+        if checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be non-negative")
+        if checkpoint_every and checkpoint_dir is None:
+            raise ValueError("periodic checkpoints need a checkpoint_dir")
+        if retry_budget < 1:
+            raise ValueError("retry_budget must be at least 1")
+        self.spec = spec
+        self.plan = plan if plan is not None else FaultPlan()
+        if self.plan.faults and self.plan.max_rank() >= spec.num_gpus:
+            raise ValueError(
+                f"fault plan targets rank {self.plan.max_rank()}, outside "
+                f"the {spec.num_gpus}-GPU world"
+            )
+        self.injector = FaultInjector(self.plan, gpus_per_node=spec.gpus_per_node)
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir else None
+        self.retry_budget = retry_budget
+        self.backoff_base_s = backoff_base_s
+        self.detect_timeout_s = detect_timeout_s
+        self.restart_latency_s = restart_latency_s
+        self.checkpoint_cost_s = checkpoint_cost_s
+        self.max_restarts = max_restarts
+        self.health_every = health_every
+        self._grad_scaler = grad_scaler
+        self.session_kwargs = dict(session_kwargs or {})
+        self.ledger = GoodputLedger()
+        self.session = None
+        self.loop = None
+        self._last_checkpoint: dict | None = None
+        self._reported_degradations: set[int] = set()
+
+    # -- construction ----------------------------------------------------------
+    def _make_grad_scaler(self):
+        if self.spec.meta:
+            return None
+        if self._grad_scaler is False:
+            return None
+        from repro.nn.grad_scaler import DynamicGradScaler
+
+        if self._grad_scaler is None or self._grad_scaler is True:
+            return DynamicGradScaler()
+        # A template instance: fresh copy per incarnation, state restored
+        # from the checkpoint (never shared across incarnations).
+        template = self._grad_scaler
+        return DynamicGradScaler(
+            init_scale=template.scale,
+            growth_factor=template.growth_factor,
+            backoff_factor=template.backoff_factor,
+            growth_interval=template.growth_interval,
+            min_scale=template.min_scale,
+        )
+
+    def _build_session(self, spec, loop_state: dict | None = None):
+        from repro.runtime import Session, StepLoop
+
+        self.session = Session(
+            spec, grad_scaler=self._make_grad_scaler(), **self.session_kwargs
+        )
+        self.session.cluster.attach_injector(self.injector)
+        if loop_state is None:
+            self.loop = StepLoop(self.session.step_fn())
+        else:
+            self.loop = StepLoop(
+                self.session.step_fn(),
+                start_step=loop_state["step"],
+                observations_seen=loop_state["observations_seen"],
+                history=[tuple(pair) for pair in loop_state["history"]],
+            )
+
+    def _wall(self) -> float:
+        return self.session.cluster.timeline.walltime_s()
+
+    def _rng_state(self):
+        return self.session.data_rng.bit_generator.state
+
+    def _restore_rng(self, state) -> None:
+        self.session.data_rng.bit_generator.state = state
+
+    # -- the supervised loop ----------------------------------------------------
+    def run(self, num_steps: int) -> RecoveryReport:
+        """Drive ``num_steps`` steps through the plan; never raises for
+        scheduled faults — failures land in ``report.unrecovered``."""
+        if num_steps < 1:
+            raise ValueError("num_steps must be positive")
+        report = RecoveryReport(ledger=self.ledger)
+        if self.session is None:
+            self._build_session(self.spec)
+        while self.loop.step < num_steps and not report.unrecovered:
+            step = self.loop.step
+            self.injector.begin_step(step)
+            rng_state = self._rng_state()
+            t0 = self._wall()
+            try:
+                event = self.loop.run_step()
+            except TransientFaultError as err:
+                self._recover_transient(err, step, t0, rng_state, report)
+                continue
+            except NodeLossError as err:
+                self._recover_node_loss(err, step, t0, report)
+                continue
+            except FatalFaultError as err:
+                self._recover_crash(err, step, t0, report)
+                continue
+            self._commit(event, self._wall() - t0, report)
+        report.steps_completed = self.loop.step
+        report.history = list(self.loop.history)
+        report.pending = self.injector.pending()
+        report.moot = self.injector.moot()
+        report.final_spec = self.spec.identity()
+        return report
+
+    # -- commit + periodic work -------------------------------------------------
+    def _commit(self, event, seconds: float, report: RecoveryReport) -> None:
+        step = event.step
+        if self.spec.meta:
+            grad_fault = self.injector.grad_fault(step, fire=True)
+            skipped = grad_fault is not None
+        else:
+            grad_fault = self.injector.grad_fault(step)
+            skipped = bool(
+                getattr(self.session.trainer, "last_step_skipped", False)
+            )
+        self.ledger.commit_step(step, seconds, skipped=skipped)
+        if skipped:
+            kind = grad_fault.kind.value if grad_fault else "grad_overflow"
+            report.events.append(
+                RecoveryEvent(
+                    step=step,
+                    kind=kind,
+                    action="skip_step",
+                    rank=grad_fault.rank if grad_fault else None,
+                    lost_s=seconds,
+                    detail="grad scaler backed off; optimizer step skipped",
+                )
+            )
+            _LOG.warning("step %d skipped (%s)", step, kind)
+        for spec in self.injector.fired_at(step):
+            if spec.kind in DEGRADATION_KINDS and id(spec) not in self._reported_degradations:
+                self._reported_degradations.add(id(spec))
+                report.events.append(
+                    RecoveryEvent(
+                        step=step,
+                        kind=spec.kind.value,
+                        action="observed",
+                        rank=spec.rank,
+                        detail=(
+                            f"x{spec.factor:.2f} slowdown for "
+                            f"{spec.duration_steps} step(s)"
+                        ),
+                    )
+                )
+        self._maybe_checkpoint()
+        self._maybe_health(report)
+
+    def _maybe_checkpoint(self) -> None:
+        if not self.checkpoint_every or self.loop.step % self.checkpoint_every:
+            return
+        loop_state = {
+            "step": self.loop.step,
+            "observations_seen": self.loop.observations_seen,
+            "history": [[obs, loss] for obs, loss in self.loop.history],
+        }
+        path = self.checkpoint_dir / f"ckpt_step{self.loop.step}.npz"
+        if self.spec.meta:
+            from repro.runtime.checkpoint import save_archive
+
+            save_archive(
+                path,
+                {},
+                {
+                    "kind": "supervisor-meta",
+                    "spec": self.spec.identity(),
+                    "rng": self.session.data_rng.bit_generator.state,
+                    "loop": loop_state,
+                },
+                tracer=self.session.tracer,
+            )
+        else:
+            self.session.save(path, loop=self.loop)
+        self._last_checkpoint = {"path": path, "step": self.loop.step}
+        self.ledger.checkpoint(self.checkpoint_cost_s)
+
+    def _maybe_health(self, report: RecoveryReport) -> None:
+        if not self.health_every or self.loop.step % self.health_every:
+            return
+        findings = self.session.check_health()
+        for finding in findings:
+            if finding.category == "straggler":
+                report.events.append(
+                    RecoveryEvent(
+                        step=self.loop.step - 1,
+                        kind="health." + finding.category,
+                        action="observed",
+                        rank=finding.ranks[0] if finding.ranks else None,
+                        detail=finding.message,
+                    )
+                )
+
+    # -- transient recovery -------------------------------------------------------
+    def _recover_transient(self, err, step, t0, rng_state, report) -> None:
+        fault = err
+        wasted = (self._wall() - t0) + self.detect_timeout_s
+        lost_total = 0.0
+        for attempt in range(1, self.retry_budget + 1):
+            backoff = self.backoff_base_s * 2 ** (attempt - 1)
+            self.ledger.retry(wasted, backoff)
+            lost_total += wasted + backoff
+            self._restore_rng(rng_state)
+            t0 = self._wall()
+            try:
+                event = self.loop.run_step()
+            except TransientFaultError as again:
+                fault = again
+                wasted = (self._wall() - t0) + self.detect_timeout_s
+                continue
+            except NodeLossError as fatal:
+                self._recover_node_loss(fatal, step, t0, report)
+                return
+            except FatalFaultError as fatal:
+                self._recover_crash(fatal, step, t0, report)
+                return
+            report.events.append(
+                RecoveryEvent(
+                    step=step,
+                    kind=self._kind_of(fault),
+                    action="retry",
+                    rank=self._rank_of(fault),
+                    attempts=attempt,
+                    lost_s=lost_total,
+                    detail=f"recovered after {attempt} retry attempt(s)",
+                )
+            )
+            _LOG.info("step %d recovered after %d retry(ies)", step, attempt)
+            self._commit(event, self._wall() - t0, report)
+            return
+        # Retry budget exhausted: escalate to rollback-restart.
+        report.events.append(
+            RecoveryEvent(
+                step=step,
+                kind=self._kind_of(fault),
+                action="retry_exhausted",
+                rank=self._rank_of(fault),
+                attempts=self.retry_budget,
+                lost_s=lost_total,
+                detail="escalating to rollback restart",
+            )
+        )
+        self._recover_crash(fault, step, t0, report)
+
+    # -- crash recovery -----------------------------------------------------------
+    def _resume_state(self) -> dict | None:
+        """Loop resume state from the latest durable checkpoint."""
+        if self._last_checkpoint is None:
+            return None
+        from repro.runtime.checkpoint import load_archive
+
+        path = self._last_checkpoint["path"]
+        if self.spec.meta:
+            _, meta = load_archive(path, tracer=self.session.tracer)
+            self.session.data_rng.bit_generator.state = meta["rng"]
+            return meta["loop"]
+        meta = self.session.resume(path)
+        return meta["loop"]
+
+    def _resume_state_elastic(self) -> dict | None:
+        if self._last_checkpoint is None:
+            return None
+        from repro.runtime.checkpoint import load_archive
+
+        path = self._last_checkpoint["path"]
+        if self.spec.meta:
+            _, meta = load_archive(path, tracer=self.session.tracer)
+            self.session.data_rng.bit_generator.state = meta["rng"]
+            return meta["loop"]
+        meta = self.session.resume_elastic(path)
+        return meta["loop"]
+
+    def _recover_crash(self, err, step, t0, report) -> None:
+        if self.ledger.restarts >= self.max_restarts:
+            report.unrecovered.append(
+                f"restart budget ({self.max_restarts}) exhausted at step "
+                f"{step}: {err}"
+            )
+            report.events.append(
+                RecoveryEvent(
+                    step=step, kind=self._kind_of(err), action="unrecovered",
+                    rank=self._rank_of(err), detail=str(err),
+                )
+            )
+            return
+        attempt_s = (self._wall() - t0) + self.detect_timeout_s
+        lost_steps, lost_s = self.ledger.rollback(attempt_s)
+        self.ledger.restart(self.restart_latency_s)
+        resume_from = (
+            self._last_checkpoint["step"] if self._last_checkpoint else 0
+        )
+        self._build_session(self.spec)
+        state = self._resume_state()
+        self._build_loop_from(state)
+        report.events.append(
+            RecoveryEvent(
+                step=step,
+                kind=self._kind_of(err),
+                action="rollback_restart",
+                rank=self._rank_of(err),
+                lost_s=lost_s + self.restart_latency_s,
+                lost_steps=lost_steps,
+                detail=f"resumed from step {resume_from}",
+            )
+        )
+        _LOG.warning(
+            "crash at step %d: rolled back to step %d (%d step(s) to replay)",
+            step, resume_from, lost_steps,
+        )
+
+    def _build_loop_from(self, state: dict | None) -> None:
+        from repro.runtime import StepLoop
+
+        if state is None:
+            self.loop = StepLoop(self.session.step_fn())
+        else:
+            self.loop = StepLoop(
+                self.session.step_fn(),
+                start_step=state["step"],
+                observations_seen=state["observations_seen"],
+                history=[tuple(pair) for pair in state["history"]],
+            )
+
+    # -- elastic recovery ----------------------------------------------------------
+    def _recover_node_loss(self, err, step, t0, report) -> None:
+        old = self.spec
+        gpn = old.gpus_per_node
+        rank = self._rank_of(err)
+        node = (rank if rank is not None else 0) // gpn
+        lost_ranks = set(range(node * gpn, (node + 1) * gpn))
+        try:
+            new_spec = self._shrunken_spec(old, lost_ranks)
+        except ElasticRecoveryError as impossible:
+            report.unrecovered.append(str(impossible))
+            report.events.append(
+                RecoveryEvent(
+                    step=step, kind=self._kind_of(err), action="unrecovered",
+                    rank=rank, detail=str(impossible),
+                )
+            )
+            return
+        if self.ledger.restarts >= self.max_restarts:
+            report.unrecovered.append(
+                f"restart budget ({self.max_restarts}) exhausted at step "
+                f"{step}: {err}"
+            )
+            return
+        attempt_s = (self._wall() - t0) + self.detect_timeout_s
+        lost_steps, lost_s = self.ledger.rollback(attempt_s)
+        self.ledger.restart(self.restart_latency_s, elastic=True)
+        mapping = {
+            r: (r if r < node * gpn else r - gpn)
+            for r in range(old.num_gpus)
+            if r not in lost_ranks
+        }
+        self.injector.remap_ranks(mapping)
+        resume_from = (
+            self._last_checkpoint["step"] if self._last_checkpoint else 0
+        )
+        self.spec = new_spec
+        self._build_session(new_spec)
+        state = self._resume_state_elastic()
+        self._build_loop_from(state)
+        report.events.append(
+            RecoveryEvent(
+                step=step,
+                kind=self._kind_of(err),
+                action="elastic_regroup",
+                rank=rank,
+                lost_s=lost_s + self.restart_latency_s,
+                lost_steps=lost_steps,
+                detail=(
+                    f"node {node} lost: ddp {old.ddp_size}->{new_spec.ddp_size}, "
+                    f"micro-batch {old.micro_batch}->{new_spec.micro_batch}, "
+                    f"resumed from step {resume_from}"
+                ),
+            )
+        )
+        _LOG.warning(
+            "node %d lost at step %d: regrouped to %d GPUs (ddp=%d), "
+            "resumed from step %d",
+            node, step, new_spec.num_gpus, new_spec.ddp_size, resume_from,
+        )
+
+    @staticmethod
+    def _shrunken_spec(old, lost_ranks: set[int]):
+        """The legal DDP-shrunken RunSpec after losing ``lost_ranks``,
+        preserving the global batch; raises ElasticRecoveryError."""
+        from repro.runtime import RunSpecError
+
+        surviving = old.num_gpus - len(lost_ranks)
+        per_replica = old.tp_size * old.fsdp_size
+        if surviving < per_replica or surviving % per_replica:
+            raise ElasticRecoveryError(
+                f"surviving world of {surviving} GPUs cannot host whole "
+                f"tp x fsdp = {per_replica} replicas"
+            )
+        new_ddp = surviving // per_replica
+        global_batch = old.micro_batch * old.fsdp_size * old.ddp_size
+        if global_batch % (new_ddp * old.fsdp_size):
+            raise ElasticRecoveryError(
+                f"global batch {global_batch} cannot be preserved over "
+                f"ddp={new_ddp} x fsdp={old.fsdp_size} micro-batches"
+            )
+        new_micro = global_batch // (new_ddp * old.fsdp_size)
+        try:
+            new_spec = old.replace(
+                num_gpus=surviving, ddp_size=new_ddp, micro_batch=new_micro
+            )
+        except RunSpecError as invalid:
+            raise ElasticRecoveryError(
+                f"no legal shrunken topology: {invalid}"
+            ) from invalid
+        reason = new_spec.legality_reason()
+        if reason is not None:
+            raise ElasticRecoveryError(
+                f"shrunken topology rejected by engine legality: {reason}"
+            )
+        return new_spec
+
+    # -- fault attribute helpers -----------------------------------------------------
+    @staticmethod
+    def _kind_of(err) -> str:
+        fault = getattr(err, "fault", None)
+        return fault.kind.value if fault is not None else type(err).__name__
+
+    @staticmethod
+    def _rank_of(err):
+        fault = getattr(err, "fault", None)
+        return fault.rank if fault is not None else None
+
+
+def run_supervised(
+    spec,
+    plan: FaultPlan | None = None,
+    num_steps: int = 8,
+    **supervisor_kwargs,
+) -> RecoveryReport:
+    """One-call convenience: supervise ``spec`` through ``plan``."""
+    return Supervisor(spec, plan, **supervisor_kwargs).run(num_steps)

@@ -76,3 +76,17 @@ class DynamicGradScaler:
             self.scale *= self.growth_factor
             self._good_steps = 0
         return True
+
+    def state_dict(self) -> dict:
+        """Persistable scaler state (all scalars, JSON-able)."""
+        return {
+            "scale": self.scale,
+            "good_steps": self._good_steps,
+            "num_overflows": self.num_overflows,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state saved by :meth:`state_dict` exactly."""
+        self.scale = float(state["scale"])
+        self._good_steps = int(state["good_steps"])
+        self.num_overflows = int(state["num_overflows"])

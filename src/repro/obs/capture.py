@@ -68,7 +68,7 @@ def run_traced_step(
     :func:`~repro.obs.export.load_trace_events`) and ``report.txt``
     (per-step report) into it.  ``compute_skew`` maps ranks to
     slowdown multipliers (straggler injection via
-    :class:`~repro.parallel.compute.SkewedCompute`).
+    :class:`~repro.faults.degradation.SkewedCompute`).
     """
     # Deferred: repro.obs's package __init__ imports this module.
     from repro.models import OrbitConfig

@@ -42,21 +42,20 @@ class PeakFractionCompute:
         return flops / (peak * self.efficiency)
 
 
-class SkewedCompute:
-    """Per-rank slowdown wrapper around any compute-time model.
+def __getattr__(name):
+    # SkewedCompute moved to repro.faults.degradation (straggler
+    # injection is a fault-model concern); this shim keeps the old
+    # import path working with a warning.
+    if name == "SkewedCompute":
+        import warnings
 
-    Multiplies the base model's seconds by a rank-specific factor —
-    the controlled way to inject stragglers (a flaky GCD, a thermally
-    throttled node) into a simulated run, used by the health-monitor
-    tests and ``run_traced_step(compute_skew=...)``.
-    """
+        from repro.faults.degradation import SkewedCompute
 
-    def __init__(self, base, multipliers: dict[int, float]):
-        for rank, factor in multipliers.items():
-            if factor <= 0:
-                raise ValueError(f"skew multiplier for rank {rank} must be positive")
-        self.base = base
-        self.multipliers = dict(multipliers)
-
-    def seconds_for(self, flops: float, rank: int) -> float:
-        return self.base.seconds_for(flops, rank) * self.multipliers.get(rank, 1.0)
+        warnings.warn(
+            "repro.parallel.compute.SkewedCompute has moved to "
+            "repro.faults.degradation.SkewedCompute; update the import",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return SkewedCompute
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -35,6 +35,7 @@ from repro.runtime.session import Session, build_cluster, fabricate_batch
 from repro.runtime.steploop import StepEvent, StepHooks, StepLoop
 from repro.runtime.checkpoint import (
     CHECKPOINT_SCHEMA,
+    CheckpointCorruptError,
     load_archive,
     resume_trainer,
     save_archive,
@@ -43,6 +44,7 @@ from repro.runtime.checkpoint import (
 
 __all__ = [
     "CHECKPOINT_SCHEMA",
+    "CheckpointCorruptError",
     "POLICY_METADATA_KEY",
     "RunSpec",
     "RunSpecError",

@@ -12,6 +12,8 @@ makes bitwise resume-parity possible.
 from __future__ import annotations
 
 import json
+import zipfile
+import zlib
 from pathlib import Path
 
 import numpy as np
@@ -19,9 +21,58 @@ import numpy as np
 from repro.obs.tracer import NULL_TRACER
 
 #: Archive format version; bumped on any incompatible layout change.
-CHECKPOINT_SCHEMA = 1
+#: Schema 2 adds a per-array integrity manifest (crc32/shape/dtype);
+#: schema-1 archives are still readable, just unverifiable.
+CHECKPOINT_SCHEMA = 2
 
 _META_KEY = "runtime::metadata"
+
+
+class CheckpointCorruptError(ValueError):
+    """A checkpoint archive failed structural or integrity validation.
+
+    The message always names the archive and — when the damage is
+    localized — the offending member, so an operator knows whether to
+    discard one checkpoint or suspect the whole directory.
+    """
+
+
+def _manifest_for(arrays: dict[str, np.ndarray]) -> dict:
+    """Per-array integrity records: crc32 over the raw bytes + shape/dtype."""
+    manifest = {}
+    for key, value in arrays.items():
+        value = np.asarray(value)
+        manifest[key] = {
+            "crc32": zlib.crc32(np.ascontiguousarray(value).tobytes()) & 0xFFFFFFFF,
+            "shape": list(value.shape),
+            "dtype": str(value.dtype),
+        }
+    return manifest
+
+
+def _verify_manifest(path: Path, arrays: dict, manifest: dict) -> None:
+    for key, entry in manifest.items():
+        if key not in arrays:
+            raise CheckpointCorruptError(
+                f"{path}: array member {key!r} named by the manifest is missing"
+            )
+        value = np.asarray(arrays[key])
+        if list(value.shape) != list(entry["shape"]) or str(value.dtype) != entry["dtype"]:
+            raise CheckpointCorruptError(
+                f"{path}: array member {key!r} is {value.dtype}{tuple(value.shape)}, "
+                f"manifest records {entry['dtype']}{tuple(entry['shape'])}"
+            )
+        crc = zlib.crc32(np.ascontiguousarray(value).tobytes()) & 0xFFFFFFFF
+        if crc != entry["crc32"]:
+            raise CheckpointCorruptError(
+                f"{path}: checksum mismatch for array member {key!r} "
+                f"(stored crc32 {entry['crc32']}, computed {crc})"
+            )
+    extras = sorted(set(arrays) - set(manifest))
+    if extras:
+        raise CheckpointCorruptError(
+            f"{path}: array member(s) {extras} not named by the manifest"
+        )
 
 
 def save_archive(path, arrays: dict[str, np.ndarray], metadata: dict,
@@ -40,6 +91,7 @@ def save_archive(path, arrays: dict[str, np.ndarray], metadata: dict,
     payload = {key: np.asarray(value) for key, value in arrays.items()}
     meta = dict(metadata)
     meta.setdefault("schema", CHECKPOINT_SCHEMA)
+    meta.setdefault("manifest", _manifest_for(payload))
     payload[_META_KEY] = np.frombuffer(
         json.dumps(meta).encode("utf-8"), dtype=np.uint8
     )
@@ -52,26 +104,58 @@ def save_archive(path, arrays: dict[str, np.ndarray], metadata: dict,
     return path
 
 
-def load_archive(path, tracer=None) -> tuple[dict[str, np.ndarray], dict]:
+def load_archive(path, tracer=None,
+                 verify: bool = True) -> tuple[dict[str, np.ndarray], dict]:
     """Read an archive written by :func:`save_archive`.
 
-    Returns ``(arrays, metadata)``; raises ``ValueError`` for archives
-    from an unknown schema version.
+    Returns ``(arrays, metadata)``.  Raises
+    :class:`CheckpointCorruptError` — naming the offending member —
+    when the archive is unreadable, a member fails to decompress, or a
+    schema-2 manifest check (checksum, shape, dtype, missing/extra
+    member) fails; raises ``ValueError`` for archives from an unknown
+    schema version.  ``verify=False`` skips the manifest pass (already
+    trusted archives).
     """
     tracer = tracer if tracer is not None else NULL_TRACER
     path = Path(path)
-    with np.load(path) as archive:
+    try:
+        archive = np.load(path)
+    except (OSError, ValueError, EOFError, zipfile.BadZipFile) as err:
+        raise CheckpointCorruptError(
+            f"{path} is not a readable checkpoint archive: {err}"
+        ) from err
+    with archive:
         if _META_KEY not in archive.files:
-            raise ValueError(f"{path} is not a runtime checkpoint archive")
-        metadata = json.loads(bytes(archive[_META_KEY]).decode("utf-8"))
-        arrays = {
-            key: archive[key] for key in archive.files if key != _META_KEY
-        }
-    if metadata.get("schema") != CHECKPOINT_SCHEMA:
+            raise CheckpointCorruptError(
+                f"{path} is not a runtime checkpoint archive "
+                f"(no {_META_KEY!r} member)"
+            )
+        try:
+            metadata = json.loads(bytes(archive[_META_KEY]).decode("utf-8"))
+        except (ValueError, UnicodeDecodeError, zipfile.BadZipFile,
+                zlib.error, OSError) as err:
+            raise CheckpointCorruptError(
+                f"{path}: metadata member {_META_KEY!r} is corrupt: {err}"
+            ) from err
+        arrays = {}
+        for key in archive.files:
+            if key == _META_KEY:
+                continue
+            try:
+                arrays[key] = archive[key]
+            except (ValueError, OSError, EOFError, zipfile.BadZipFile,
+                    zlib.error, KeyError) as err:
+                raise CheckpointCorruptError(
+                    f"{path}: array member {key!r} is corrupt: {err}"
+                ) from err
+    schema = metadata.get("schema")
+    if schema not in (1, CHECKPOINT_SCHEMA):
         raise ValueError(
-            f"unsupported checkpoint schema {metadata.get('schema')!r} "
+            f"unsupported checkpoint schema {schema!r} "
             f"(this build reads {CHECKPOINT_SCHEMA})"
         )
+    if verify and schema >= 2:
+        _verify_manifest(path, arrays, metadata.get("manifest", {}))
     nbytes = float(sum(np.asarray(a).nbytes for a in arrays.values()))
     tracer.instant("checkpoint", "load", nbytes=nbytes, arrays=len(arrays),
                    path=str(path))

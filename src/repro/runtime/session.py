@@ -87,6 +87,10 @@ class Session:
     lat_weights / lr / weight_decay / schedule / precision:
         Trainer settings for numeric sessions (defaults mirror the
         traced-step capture: uniform latitude weights, AdamW at 1e-3).
+    grad_scaler:
+        Optional :class:`~repro.nn.grad_scaler.DynamicGradScaler` for
+        the numeric trainer; its state is persisted by :meth:`save` and
+        restored by :meth:`resume`.
     """
 
     def __init__(
@@ -98,10 +102,12 @@ class Session:
         weight_decay: float = 0.0,
         schedule=None,
         precision=None,
+        grad_scaler=None,
     ):
+        from repro.faults.degradation import SkewedCompute
         from repro.models import build_model
         from repro.parallel import HybridParallelPlan, HybridSTOPEngine
-        from repro.parallel.compute import PeakFractionCompute, SkewedCompute
+        from repro.parallel.compute import PeakFractionCompute
 
         self.spec = spec
         self.config = spec.config
@@ -144,6 +150,7 @@ class Session:
         self._weight_decay = weight_decay
         self._schedule = schedule
         self._precision = precision
+        self._grad_scaler = grad_scaler
         self._trainer = None
 
     # -- numeric training ----------------------------------------------------
@@ -171,6 +178,7 @@ class Session:
                 weight_decay=self._weight_decay,
                 schedule=self._schedule,
                 precision=self._precision,
+                grad_scaler=self._grad_scaler,
             )
         return self._trainer
 
@@ -294,6 +302,8 @@ class Session:
             "rng": self.data_rng.bit_generator.state,
             "user": metadata or {},
         }
+        if trainer.grad_scaler is not None:
+            meta["grad_scaler"] = trainer.grad_scaler.state_dict()
         if loop is not None:
             meta["loop"] = {
                 "step": loop.step,
@@ -342,6 +352,89 @@ class Session:
             "scalars": meta["optimizer"],
         })
         trainer.step_count = meta["step"]
+        if trainer.grad_scaler is not None and "grad_scaler" in meta:
+            trainer.grad_scaler.load_state_dict(meta["grad_scaler"])
+        self.data_rng.bit_generator.state = meta["rng"]
+        return meta
+
+    def resume_elastic(self, path) -> dict:
+        """Restore a checkpoint into a *shrunken* world (DDP axis only).
+
+        The elastic-recovery path: after losing a node, the supervisor
+        rebuilds the session with a smaller ``ddp_size`` (micro-batch
+        rescaled so the global batch is unchanged) and resumes from the
+        pre-loss archive.  Replicas are synchronized by construction —
+        every replica holds identical dense parameters, FSDP shards,
+        and optimizer moments — so the archive's replica 0 seeds every
+        surviving replica.  The model configuration, ``tp x fsdp``
+        shape, rank layout, and dtype must still match exactly; only
+        the DDP extent (and with it ``num_gpus`` / ``micro_batch``) may
+        differ.  Returns the archive metadata.
+        """
+        from repro.runtime.checkpoint import load_archive
+
+        if self.spec.meta:
+            raise RuntimeError("meta-mode sessions cannot resume numeric state")
+        arrays, meta = load_archive(path, tracer=self.tracer)
+        if meta.get("kind") != "session":
+            raise ValueError(f"{path} is not a session checkpoint")
+        theirs, mine = meta["spec"], self.spec.identity()
+        fixed = ("config", "dtype", "tp_innermost")
+        for key in fixed:
+            if theirs[key] != mine[key]:
+                raise ValueError(
+                    f"elastic resume may only change the DDP extent; "
+                    f"{key} differs: {theirs[key]!r} vs {mine[key]!r}"
+                )
+        if theirs["grid"][:2] != mine["grid"][:2]:
+            raise ValueError(
+                f"elastic resume may only change the DDP extent; "
+                f"tp/fsdp differ: {theirs['grid'][:2]} vs {mine['grid'][:2]}"
+            )
+        old_ddp = int(theirs["grid"][2])
+        old_global = theirs["micro_batch"] * theirs["grid"][1] * old_ddp
+        if old_global != self.spec.observations:
+            raise ValueError(
+                f"elastic resume must preserve the global batch: archive "
+                f"carries {old_global}, this session {self.spec.observations}"
+            )
+        for d in range(self.spec.ddp_size):
+            for name, param in self._dense_parameters(d).items():
+                value = arrays[f"{_DENSE}::0::{name}"]
+                if tuple(value.shape) != tuple(np.asarray(param.data).shape):
+                    raise ValueError(f"shape mismatch restoring dense {name}")
+                param.data = value.copy()
+            for i, sharded in enumerate(self.engine.sharded_parameters(d)):
+                for j in range(sharded.num_shards):
+                    sharded.shards[j] = arrays[f"{_SHARD}::0::{i}::{j}"].copy()
+        # Optimizer moments are positional over per-replica handle
+        # blocks (dense handles then shard views); reuse replica 0's
+        # block for every surviving replica.
+        opt_arrays = {
+            key[len("opt::"):]: value
+            for key, value in arrays.items()
+            if key.startswith("opt::")
+        }
+        total_old = len(opt_arrays) // 2
+        if total_old % old_ddp:
+            raise ValueError(
+                f"optimizer state holds {total_old} moment pairs, not a "
+                f"whole number of {old_ddp} replica blocks"
+            )
+        per_replica = total_old // old_ddp
+        remapped = {}
+        for d in range(self.spec.ddp_size):
+            for i in range(per_replica):
+                remapped[f"m::{d * per_replica + i}"] = opt_arrays[f"m::{i}"]
+                remapped[f"v::{d * per_replica + i}"] = opt_arrays[f"v::{i}"]
+        trainer = self.trainer
+        trainer.optimizer.load_state_dict({
+            "arrays": remapped,
+            "scalars": meta["optimizer"],
+        })
+        trainer.step_count = meta["step"]
+        if trainer.grad_scaler is not None and "grad_scaler" in meta:
+            trainer.grad_scaler.load_state_dict(meta["grad_scaler"])
         self.data_rng.bit_generator.state = meta["rng"]
         return meta
 

@@ -32,6 +32,14 @@ class DistributedTrainer:
         Optimizer settings; one AdamW instance covers every replica's
         dense parameters and every parameter shard (updates are
         deterministic, so replicas stay synchronized).
+    grad_scaler:
+        Optional :class:`~repro.nn.grad_scaler.DynamicGradScaler`.  When
+        set, seed gradients are scaled before backprop and unscaled
+        (through the shard-aware optimizer handles) before the update;
+        a non-finite gradient — BF16 overflow or an injected bit-flip —
+        backs the scale off and skips the optimizer step, so corrupted
+        gradients never reach the parameters.  Scales are powers of two,
+        so a clean scaled step is bitwise identical to an unscaled one.
     """
 
     def __init__(
@@ -42,16 +50,19 @@ class DistributedTrainer:
         weight_decay: float = 0.0,
         schedule: WarmupCosineSchedule | None = None,
         precision=None,
+        grad_scaler=None,
     ):
         self.engine = engine
         self.lat_weights = lat_weights
         self.schedule = schedule
         #: optional :class:`~repro.nn.precision.PrecisionPolicy`; with
         #: BF16 the engine's matmuls round through bfloat16 exactly as
-        #: the serial trainer's do.  (Dynamic gradient scaling for the
-        #: sharded path is intentionally not wired here: shard-aware
-        #: unscaling belongs to the optimizer views, not the trainer.)
+        #: the serial trainer's do.
         self.precision = precision
+        self.grad_scaler = grad_scaler
+        #: Whether the most recent :meth:`train_step` skipped its
+        #: optimizer update (grad-scaler overflow backoff).
+        self.last_step_skipped = False
         #: The cluster's tracer: step scopes and optimizer markers land
         #: next to the engine's compute/collective spans.
         self.tracer = engine.plan.cluster.tracer
@@ -103,18 +114,41 @@ class DistributedTrainer:
                         losses.append(loss)
                         # Micro-batch gradients are means over `micro` samples;
                         # rescale so the reduced sum is the global-batch mean.
-                        row.append(grad * (micro / global_batch))
+                        grad = grad * (micro / global_batch)
+                        if self.grad_scaler is not None:
+                            grad = self.grad_scaler.scale_loss_grad(grad)
+                        row.append(grad)
                     grads.append(row)
                 self.engine.zero_grad()
                 self.engine.backward(grads)
             self.engine.allreduce_gradients()
-            lr = self.schedule(self.step_count) if self.schedule else None
-            self.optimizer.step(lr=lr)
-            self.tracer.instant(
-                "optimizer", "apply", t0=timeline.walltime_s(), step=self.step_count
-            )
+            # Fault-injection hook: a scheduled grad corruption lands
+            # here, after reduction and before the finiteness check —
+            # the exact route a real bit-flip would take.
+            cluster = self.engine.plan.cluster
+            cluster.injector.poison_gradients(self.step_count, self.optimizer.params)
+            apply_update = True
+            if self.grad_scaler is not None:
+                apply_update = self.grad_scaler.unscale_and_check(
+                    self.optimizer.params
+                )
+            self.last_step_skipped = not apply_update
+            if apply_update:
+                lr = self.schedule(self.step_count) if self.schedule else None
+                self.optimizer.step(lr=lr)
+                self.tracer.instant(
+                    "optimizer", "apply", t0=timeline.walltime_s(),
+                    step=self.step_count,
+                )
+            else:
+                self.tracer.instant(
+                    "optimizer", "skip", t0=timeline.walltime_s(),
+                    step=self.step_count, scale=self.grad_scaler.scale,
+                )
+                self.tracer.metrics.counter("optimizer.skipped_steps").inc()
         mean_loss = float(np.mean(losses))
-        self.tracer.metrics.counter("optimizer.steps").inc()
+        if apply_update:
+            self.tracer.metrics.counter("optimizer.steps").inc()
         self.tracer.metrics.histogram("train.loss").observe(mean_loss)
         self.tracer.metrics.histogram("step.walltime_s").observe(
             timeline.walltime_s() - step_start

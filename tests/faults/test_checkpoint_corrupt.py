@@ -1,0 +1,128 @@
+"""Checkpoint integrity: the manifest catches corruption, typed and named."""
+
+import json
+import zipfile
+
+import numpy as np
+import pytest
+
+from repro.runtime import CheckpointCorruptError, load_archive, save_archive
+from repro.runtime.checkpoint import _META_KEY, CHECKPOINT_SCHEMA
+
+
+@pytest.fixture
+def archive(tmp_path):
+    path = tmp_path / "ckpt.npz"
+    save_archive(
+        path,
+        {"dense::0::w": np.arange(6.0).reshape(2, 3),
+         "opt::m::0": np.zeros(4)},
+        {"kind": "session", "step": 3},
+    )
+    return path
+
+
+class TestManifest:
+    def test_round_trip_verifies_clean(self, archive):
+        arrays, meta = load_archive(archive)
+        assert meta["schema"] == CHECKPOINT_SCHEMA == 2
+        assert set(meta["manifest"]) == {"dense::0::w", "opt::m::0"}
+        entry = meta["manifest"]["dense::0::w"]
+        assert entry["shape"] == [2, 3] and entry["dtype"] == "float64"
+        np.testing.assert_array_equal(
+            arrays["dense::0::w"], np.arange(6.0).reshape(2, 3)
+        )
+
+    def test_checksum_mismatch_names_the_member(self, archive, tmp_path):
+        arrays, meta = load_archive(archive)
+        arrays["opt::m::0"] = np.ones(4)  # silently flipped bits
+        tampered = tmp_path / "tampered.npz"
+        save_archive(tampered, arrays, {**meta, "manifest": meta["manifest"]})
+        with pytest.raises(CheckpointCorruptError, match="opt::m::0"):
+            load_archive(tampered)
+
+    def test_missing_member_named(self, archive, tmp_path):
+        arrays, meta = load_archive(archive)
+        del arrays["dense::0::w"]
+        broken = tmp_path / "missing.npz"
+        save_archive(broken, arrays, meta)
+        with pytest.raises(CheckpointCorruptError, match="dense::0::w"):
+            load_archive(broken)
+
+    def test_extra_member_rejected(self, archive, tmp_path):
+        arrays, meta = load_archive(archive)
+        arrays["rogue"] = np.ones(2)
+        broken = tmp_path / "extra.npz"
+        save_archive(broken, arrays, meta)
+        with pytest.raises(CheckpointCorruptError, match="rogue"):
+            load_archive(broken)
+
+    def test_verify_false_skips_the_manifest_pass(self, archive, tmp_path):
+        arrays, meta = load_archive(archive)
+        arrays["opt::m::0"] = np.ones(4)
+        tampered = tmp_path / "tampered.npz"
+        save_archive(tampered, arrays, meta)
+        loaded, _ = load_archive(tampered, verify=False)
+        np.testing.assert_array_equal(loaded["opt::m::0"], np.ones(4))
+
+
+class TestStructuralDamage:
+    def test_truncated_file_is_typed_not_raw(self, archive):
+        data = archive.read_bytes()
+        archive.write_bytes(data[: len(data) // 2])
+        with pytest.raises(CheckpointCorruptError, match=str(archive)):
+            load_archive(archive)
+
+    def test_not_a_zip_at_all(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"this is not an archive")
+        with pytest.raises(CheckpointCorruptError):
+            load_archive(path)
+
+    def test_corrupted_zip_member_names_the_member(self, archive, tmp_path):
+        # Rewrite the zip with one member's compressed payload mangled.
+        broken = tmp_path / "member.npz"
+        with zipfile.ZipFile(archive) as src, \
+                zipfile.ZipFile(broken, "w", zipfile.ZIP_STORED) as dst:
+            for info in src.infolist():
+                payload = src.read(info.filename)
+                if info.filename == "opt::m::0.npy":
+                    payload = payload[:-8] + b"XXXXXXXX"
+                dst.writestr(info, payload)
+        with pytest.raises(CheckpointCorruptError, match="opt::m::0"):
+            load_archive(broken)
+
+    def test_missing_metadata_member_is_typed(self, archive, tmp_path):
+        broken = tmp_path / "meta.npz"
+        with zipfile.ZipFile(archive) as src, \
+                zipfile.ZipFile(broken, "w", zipfile.ZIP_STORED) as dst:
+            for info in src.infolist():
+                if info.filename == f"{_META_KEY}.npy":
+                    continue
+                dst.writestr(info, src.read(info.filename))
+        with pytest.raises(CheckpointCorruptError, match=_META_KEY):
+            load_archive(broken)
+
+    def test_schema_one_archives_still_load(self, tmp_path):
+        """Back-compat: schema-1 archives (no manifest) load unverified."""
+        path = tmp_path / "v1.npz"
+        payload = {"a": np.arange(3.0)}
+        meta = {"kind": "session", "schema": 1}
+        payload[_META_KEY] = np.frombuffer(
+            json.dumps(meta).encode("utf-8"), dtype=np.uint8
+        )
+        np.savez_compressed(path, **payload)
+        arrays, loaded = load_archive(path)
+        assert loaded["schema"] == 1
+        np.testing.assert_array_equal(arrays["a"], np.arange(3.0))
+
+    def test_unknown_schema_still_value_error(self, tmp_path):
+        path = tmp_path / "v99.npz"
+        payload = {
+            _META_KEY: np.frombuffer(
+                json.dumps({"schema": 99}).encode("utf-8"), dtype=np.uint8
+            )
+        }
+        np.savez_compressed(path, **payload)
+        with pytest.raises(ValueError, match="unsupported checkpoint schema"):
+            load_archive(path)

@@ -1,0 +1,114 @@
+"""GoodputLedger arithmetic and the Young/Daly analytic model."""
+
+import math
+
+import pytest
+
+from repro.faults import (
+    GoodputLedger,
+    bench_goodput,
+    expected_goodput_fraction,
+    recommend_checkpoint_interval,
+)
+
+
+class TestLedger:
+    def test_clean_run_is_all_useful(self):
+        ledger = GoodputLedger()
+        for step in range(4):
+            ledger.commit_step(step, 1.5)
+        assert ledger.useful_s == pytest.approx(6.0)
+        assert ledger.lost_s == 0.0
+        assert ledger.goodput_fraction == pytest.approx(1.0)
+
+    def test_skipped_step_is_lost_not_useful(self):
+        ledger = GoodputLedger()
+        ledger.commit_step(0, 1.0)
+        ledger.commit_step(1, 1.0, skipped=True)
+        assert ledger.useful_s == pytest.approx(1.0)
+        assert ledger.lost_skipped_s == pytest.approx(1.0)
+        assert ledger.skipped_steps == 1
+        assert ledger.goodput_fraction == pytest.approx(0.5)
+
+    def test_rollback_moves_window_to_lost(self):
+        ledger = GoodputLedger()
+        ledger.commit_step(0, 1.0)
+        ledger.commit_step(1, 1.0)
+        ledger.checkpoint(0.25)  # seals the window
+        ledger.commit_step(2, 1.0)
+        ledger.commit_step(3, 1.0)
+        lost_steps, lost_s = ledger.rollback(attempt_s=0.5)
+        assert lost_steps == 2
+        assert lost_s == pytest.approx(2.5)
+        assert ledger.useful_s == pytest.approx(2.0)  # pre-checkpoint work survives
+        assert ledger.lost_rollback_s == pytest.approx(2.5)
+
+    def test_total_is_the_sum_of_buckets(self):
+        ledger = GoodputLedger()
+        ledger.commit_step(0, 2.0)
+        ledger.retry(0.5, backoff_s=0.1)
+        ledger.checkpoint(0.25)
+        ledger.restart(1.0)
+        assert ledger.total_s == pytest.approx(2.0 + 0.6 + 0.25 + 1.0)
+        assert ledger.retries == 1 and ledger.restarts == 1
+
+    def test_replayed_steps_recount_as_useful(self):
+        ledger = GoodputLedger()
+        ledger.commit_step(0, 1.0)
+        ledger.rollback()
+        ledger.restart(0.5)
+        ledger.commit_step(0, 1.0)  # replay
+        assert ledger.useful_s == pytest.approx(1.0)
+        assert ledger.lost_rollback_s == pytest.approx(1.0)
+
+    def test_as_dict_round_numbers(self):
+        ledger = GoodputLedger()
+        ledger.commit_step(0, 1.0)
+        doc = ledger.as_dict()
+        assert doc["useful_s"] == 1.0
+        assert doc["goodput_fraction"] == 1.0
+        assert "_window" not in doc
+
+
+class TestAnalyticModel:
+    def test_young_daly_interval(self):
+        assert recommend_checkpoint_interval(1800, 25) == pytest.approx(
+            math.sqrt(2 * 25 * 1800)
+        )
+
+    def test_interval_floored_to_one_step(self):
+        assert recommend_checkpoint_interval(100, 0.001, step_time_s=5.0) == 5.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            recommend_checkpoint_interval(0, 10)
+        with pytest.raises(ValueError):
+            expected_goodput_fraction(100, 10, 10, 0)
+
+    def test_goodput_fraction_decreases_with_failure_rate(self):
+        frequent = expected_goodput_fraction(600, 30, 120, 190)
+        rare = expected_goodput_fraction(86400, 30, 120, 190)
+        assert 0 < frequent < rare < 1
+
+    def test_fraction_formula(self):
+        T, C, R, M = 200.0, 20.0, 100.0, 3600.0
+        expected = 1.0 / (1.0 + C / T + (R + (T + C) / 2) / M)
+        assert expected_goodput_fraction(M, C, R, T) == pytest.approx(expected)
+
+
+class TestBenchGoodput:
+    DOC = {
+        "cases": {
+            "tiny-2n": {"step_time_s": 0.5, "time_per_obs_s": 0.05},
+        }
+    }
+
+    def test_goodput_trails_throughput_by_exactly_the_fraction(self):
+        out = bench_goodput(self.DOC, mtbf_s=3600.0)
+        entry = out["tiny-2n"]
+        assert entry["throughput_obs_per_s"] == pytest.approx(20.0)
+        assert entry["goodput_obs_per_s"] == pytest.approx(
+            entry["throughput_obs_per_s"] * entry["goodput_fraction"]
+        )
+        assert entry["goodput_obs_per_s"] < entry["throughput_obs_per_s"]
+        assert entry["checkpoint_every_steps"] >= 1

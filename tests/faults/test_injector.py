@@ -1,0 +1,208 @@
+"""FaultInjector: exact-event firing, fire-once semantics, degradations."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import VirtualCluster
+from repro.cluster.timeline import NULL_INJECTOR
+from repro.faults import (
+    CollectiveTimeoutError,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    GpuCrashError,
+    NodeLossError,
+    seeded_skew_profile,
+)
+
+
+def _injected_cluster(plan, num_gpus=8, gpus_per_node=8):
+    cluster = VirtualCluster(num_gpus=num_gpus, gpus_per_node=gpus_per_node)
+    injector = FaultInjector(plan, gpus_per_node=gpus_per_node)
+    cluster.attach_injector(injector)
+    return cluster, injector
+
+
+class TestAttachment:
+    def test_default_injector_is_null(self):
+        cluster = VirtualCluster(num_gpus=4, gpus_per_node=4)
+        assert cluster.injector is NULL_INJECTOR
+        assert cluster.timeline.injector is NULL_INJECTOR
+
+    def test_attach_and_detach(self):
+        cluster, injector = _injected_cluster(FaultPlan())
+        assert cluster.timeline.injector is injector
+        cluster.attach_injector(None)
+        assert cluster.timeline.injector is NULL_INJECTOR
+
+
+class TestCrashFiring:
+    def test_timeout_fires_only_on_named_collective(self):
+        plan = FaultPlan(faults=(
+            FaultSpec(kind="collective_timeout", step=0, rank=2,
+                      op="all_gather"),
+        ))
+        cluster, injector = _injected_cluster(plan)
+        injector.begin_step(0)
+        # compute events never trigger a collective timeout
+        cluster.timeline.record_compute(2, 1.0, op="gemm")
+        # a different collective passes
+        cluster.timeline.record_comm((0, 1, 2, 3), 0.1, 64, op="all_reduce")
+        with pytest.raises(CollectiveTimeoutError) as err:
+            cluster.timeline.record_comm((0, 1, 2, 3), 0.1, 64, op="all_gather")
+        assert err.value.fault is plan.faults[0]
+
+    def test_fires_only_when_target_rank_participates(self):
+        plan = FaultPlan(faults=(
+            FaultSpec(kind="gpu_crash", step=0, rank=6),
+        ))
+        cluster, injector = _injected_cluster(plan)
+        injector.begin_step(0)
+        cluster.timeline.record_comm((0, 1), 0.1, 64, op="all_gather")
+        cluster.timeline.record_compute(5, 1.0, op="gemm")
+        with pytest.raises(GpuCrashError):
+            cluster.timeline.record_compute(6, 1.0, op="gemm")
+
+    def test_fires_only_at_armed_step(self):
+        plan = FaultPlan(faults=(FaultSpec(kind="gpu_crash", step=3, rank=0),))
+        cluster, injector = _injected_cluster(plan)
+        injector.begin_step(2)
+        cluster.timeline.record_compute(0, 1.0, op="gemm")
+        injector.begin_step(3)
+        with pytest.raises(GpuCrashError):
+            cluster.timeline.record_compute(0, 1.0, op="gemm")
+
+    def test_fire_once_across_replay(self):
+        """Replaying the faulted step after recovery must not re-fire —
+        the basis of bitwise crash-resume parity."""
+        plan = FaultPlan(faults=(FaultSpec(kind="gpu_crash", step=1, rank=0),))
+        cluster, injector = _injected_cluster(plan)
+        injector.begin_step(1)
+        with pytest.raises(GpuCrashError):
+            cluster.timeline.record_compute(0, 1.0, op="gemm")
+        # same injector, rebuilt cluster, replayed step
+        cluster2 = VirtualCluster(num_gpus=8, gpus_per_node=8)
+        cluster2.attach_injector(injector)
+        injector.begin_step(1)
+        cluster2.timeline.record_compute(0, 1.0, op="gemm")
+        assert injector.fired() == [plan.faults[0]]
+        assert injector.pending() == []
+
+    def test_node_loss_names_the_node(self):
+        plan = FaultPlan(faults=(FaultSpec(kind="node_loss", step=0, rank=9),))
+        cluster, injector = _injected_cluster(plan, num_gpus=16)
+        injector.begin_step(0)
+        with pytest.raises(NodeLossError, match="node 1"):
+            cluster.timeline.record_compute(9, 1.0, op="gemm")
+
+    def test_unrecorded_when_fired(self):
+        """A faulted event never lands on the ledgers — the collective
+        did not complete."""
+        plan = FaultPlan(faults=(FaultSpec(kind="gpu_crash", step=0, rank=0),))
+        cluster, injector = _injected_cluster(plan)
+        injector.begin_step(0)
+        with pytest.raises(GpuCrashError):
+            cluster.timeline.record_compute(0, 1.0, op="gemm")
+        assert cluster.timeline.ledger(0).compute_s == 0.0
+
+
+class TestDegradations:
+    def test_straggler_scales_compute_within_window(self):
+        plan = FaultPlan(faults=(
+            FaultSpec(kind="straggler", step=1, rank=2, factor=3.0,
+                      duration_steps=2),
+        ))
+        cluster, injector = _injected_cluster(plan)
+        injector.begin_step(0)
+        cluster.timeline.record_compute(2, 1.0, op="gemm")
+        injector.begin_step(1)
+        cluster.timeline.record_compute(2, 1.0, op="gemm")
+        cluster.timeline.record_compute(3, 1.0, op="gemm")
+        injector.begin_step(2)
+        cluster.timeline.record_compute(2, 1.0, op="gemm")
+        injector.begin_step(3)  # window over
+        cluster.timeline.record_compute(2, 1.0, op="gemm")
+        assert cluster.timeline.ledger(2).compute_s == pytest.approx(1 + 3 + 3 + 1)
+        assert cluster.timeline.ledger(3).compute_s == pytest.approx(1.0)
+
+    def test_link_degrade_scales_collectives_touching_rank(self):
+        plan = FaultPlan(faults=(
+            FaultSpec(kind="link_degrade", step=0, rank=1, factor=2.0),
+        ))
+        cluster, injector = _injected_cluster(plan)
+        injector.begin_step(0)
+        cluster.timeline.record_comm((0, 1), 1.0, 64, op="all_gather")
+        cluster.timeline.record_comm((2, 3), 1.0, 64, op="all_gather")
+        assert cluster.timeline.ledger(1).comm_s == pytest.approx(2.0)
+        assert cluster.timeline.ledger(2).comm_s == pytest.approx(1.0)
+
+
+class TestGradFaults:
+    def test_poison_plants_nan_in_first_numeric_grad(self):
+        class P:
+            def __init__(self):
+                self.grad = np.ones(4)
+
+        plan = FaultPlan(faults=(
+            FaultSpec(kind="grad_corruption", step=2, rank=0),
+        ))
+        injector = FaultInjector(plan)
+        params = [P(), P()]
+        assert injector.poison_gradients(1, params) is None
+        spec = injector.poison_gradients(2, params)
+        assert spec is plan.faults[0]
+        assert np.isnan(params[0].grad[0])
+        # fire-once: a replay leaves gradients clean
+        params2 = [P()]
+        assert injector.poison_gradients(2, params2) is None
+        assert np.isfinite(params2[0].grad).all()
+
+    def test_meta_mode_acknowledgement(self):
+        plan = FaultPlan(faults=(
+            FaultSpec(kind="grad_corruption", step=4, rank=0),
+        ))
+        injector = FaultInjector(plan)
+        assert injector.grad_fault(3, fire=True) is None
+        spec = injector.grad_fault(4, fire=True)
+        assert spec is plan.faults[0]
+        assert injector.fired_at(4) == [spec]
+
+
+class TestRemap:
+    def test_remap_renumbers_and_drops(self):
+        plan = FaultPlan(faults=(
+            FaultSpec(kind="gpu_crash", step=5, rank=12),
+            FaultSpec(kind="collective_timeout", step=6, rank=3),
+        ))
+        injector = FaultInjector(plan, gpus_per_node=8)
+        # node 0 (ranks 0..7) is lost; survivors 8..15 renumber to 0..7
+        dropped = injector.remap_ranks({r: r - 8 for r in range(8, 16)})
+        assert dropped == [plan.faults[1]]
+        assert injector.moot() == [plan.faults[1]]
+        assert injector.pending() == [plan.faults[0]]
+
+
+class TestSeededSkew:
+    def test_profile_is_deterministic(self):
+        a = seeded_skew_profile(3, 16, num_stragglers=2)
+        b = seeded_skew_profile(3, 16, num_stragglers=2)
+        assert a == b
+        assert len(a) == 2
+        assert all(1.2 <= f <= 2.5 for f in a.values())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            seeded_skew_profile(0, 0)
+        with pytest.raises(ValueError):
+            seeded_skew_profile(0, 4, num_stragglers=5)
+        with pytest.raises(ValueError):
+            seeded_skew_profile(0, 4, min_factor=0.9)
+
+
+class TestDeprecationShim:
+    def test_old_import_path_warns_and_resolves(self):
+        import repro.faults.degradation as degradation
+
+        with pytest.warns(DeprecationWarning, match="repro.faults.degradation"):
+            from repro.parallel.compute import SkewedCompute
+        assert SkewedCompute is degradation.SkewedCompute
