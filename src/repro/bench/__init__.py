@@ -8,6 +8,8 @@ a JSON baseline (``BENCH_obs.json``) and a CI tolerance gate.
 from repro.bench.harness import (
     DEFAULT_MATRIX,
     DEFAULT_TOLERANCE,
+    FRONTIER_MATRIX,
+    FULL_MATRIX,
     BenchCase,
     BenchRecord,
     compare,
@@ -23,6 +25,8 @@ from repro.bench.harness import (
 __all__ = [
     "DEFAULT_MATRIX",
     "DEFAULT_TOLERANCE",
+    "FRONTIER_MATRIX",
+    "FULL_MATRIX",
     "BenchCase",
     "BenchRecord",
     "compare",

@@ -1,9 +1,11 @@
 """Performance-regression harness over the trace layer.
 
 Runs a fixed matrix of simulated Hybrid-STOP configurations — the
-paper's ORBIT-115M and ORBIT-1B models at 2 and 4 Frontier nodes — in
-meta mode (shape-only arrays, full engine code path, exact cost-model
-accounting), and derives every headline number *from the trace*:
+paper's ORBIT-115M and ORBIT-1B models at 2 and 4 Frontier nodes, plus
+the 113B model at up to the full 49,152-GCD machine (symmetry-folded;
+see :mod:`repro.cluster.symmetry`) — in meta mode (shape-only arrays,
+full engine code path, exact cost-model accounting), and derives every
+headline number *from the trace*:
 
 * **step time** — the critical path of the traced step
   (bitwise-equal to ``Timeline.walltime_s`` by the analyzer invariant);
@@ -57,6 +59,11 @@ class BenchCase:
     prefetch: bool = True
     recompute: bool = False
     tp_innermost: bool = True
+    #: Rank-symmetry folding policy (see :mod:`repro.cluster.symmetry`).
+    #: Folded runs are bitwise-equal to exact ones, so this never moves
+    #: a committed measurement; the frontier-scale cases need it to be
+    #: affordable at all.
+    fold: str = "off"
 
     @property
     def nodes(self) -> int:
@@ -81,6 +88,28 @@ DEFAULT_MATRIX: tuple[BenchCase, ...] = (
     BenchCase("orbit-1b-4n", "orbit-1b", 32, 8, tp_size=8, fsdp_size=4,
               ddp_size=1, micro_batch=2),
 )
+
+#: Frontier-scale points: the paper's 113B model at 128, 1,024, and
+#: 6,144 nodes (49,152 GCDs — the full Fig 7 machine).  Affordable only
+#: because symmetry folding simulates one representative rank per
+#: equivalence class; folded accounting is bitwise-equal to exact, so
+#: these entries are measurements, not estimates.  Not part of the
+#: ``--quick`` subset (the wall-clock gate lives in
+#: ``benchmarks/test_bench_frontier.py``).
+FRONTIER_MATRIX: tuple[BenchCase, ...] = (
+    BenchCase("orbit-113b-128n", "orbit-113b", 1024, 8, tp_size=8,
+              fsdp_size=32, ddp_size=4, micro_batch=3, fold="on"),
+    BenchCase("orbit-113b-1024n", "orbit-113b", 8192, 8, tp_size=8,
+              fsdp_size=64, ddp_size=16, micro_batch=3, fold="on"),
+    BenchCase("orbit-113b-6144n", "orbit-113b", 49152, 8, tp_size=8,
+              fsdp_size=64, ddp_size=96, micro_batch=3, fold="on"),
+)
+
+#: Everything in ``BENCH_obs.json``: the paper-model matrix plus the
+#: frontier-scale points.  This is the ``run_matrix`` default so a
+#: ``require_all`` comparison against the committed baseline always
+#: has every case to compare.
+FULL_MATRIX: tuple[BenchCase, ...] = DEFAULT_MATRIX + FRONTIER_MATRIX
 
 
 @dataclass
@@ -153,7 +182,7 @@ def run_case(case: BenchCase, config=None, tracer=None) -> BenchRecord:
 
 
 def run_matrix(
-    cases: Sequence[BenchCase] = DEFAULT_MATRIX, quick: bool = False
+    cases: Sequence[BenchCase] = FULL_MATRIX, quick: bool = False
 ) -> list[BenchRecord]:
     """Run the matrix (or its ``quick`` subset)."""
     selected = [c for c in cases if c.quick] if quick else list(cases)

@@ -12,7 +12,10 @@ Frontier) is reproduced here as a single-process virtual cluster:
   reduce-scatter / all-reduce / broadcast over per-rank buffers with
   alpha-beta communication cost accounting;
 * :mod:`~repro.cluster.timeline` — per-rank compute/communication time
-  ledger including prefetch overlap.
+  ledger including prefetch overlap, plus the rank-symmetry-folded
+  variant that simulates one representative per equivalence class;
+* :mod:`~repro.cluster.symmetry` — the (TP, FSDP, DDP) rank-class
+  partition and the fold-eligibility decision.
 """
 
 from repro.cluster.cluster import VirtualCluster
@@ -29,15 +32,20 @@ from repro.cluster.collectives import (
 from repro.cluster.costmodel import CollectiveCostModel
 from repro.cluster.device import VirtualGPU
 from repro.cluster.process_group import ProcessGroup
-from repro.cluster.timeline import Timeline
+from repro.cluster.symmetry import FoldDecision, RankClassPartition, decide_fold
+from repro.cluster.timeline import FoldedTimeline, Timeline
 from repro.cluster.topology import FrontierTopology, LinkKind
 
 __all__ = [
     "CollectiveCostModel",
+    "FoldDecision",
+    "FoldedTimeline",
     "FrontierTopology",
     "LinkKind",
     "ProcessGroup",
+    "RankClassPartition",
     "Timeline",
+    "decide_fold",
     "VirtualCluster",
     "VirtualGPU",
     "all_gather",

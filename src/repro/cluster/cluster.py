@@ -82,6 +82,14 @@ class VirtualCluster:
         """Create a process group over the given global ranks."""
         return ProcessGroup(self, ranks)
 
+    def install_timeline(self, timeline: Timeline) -> None:
+        """Replace the timeline (e.g. with a
+        :class:`~repro.cluster.timeline.FoldedTimeline`), preserving the
+        attached tracer and fault injector."""
+        timeline.tracer = self.tracer
+        timeline.injector = self.injector
+        self.timeline = timeline
+
     def attach_tracer(self, tracer) -> None:
         """Install (or replace) the tracer receiving timeline events."""
         self.tracer = tracer if tracer is not None else NULL_TRACER

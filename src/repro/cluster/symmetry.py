@@ -1,0 +1,228 @@
+"""Rank-symmetry analysis for folded Timeline simulation.
+
+ORBIT's Hybrid-STOP layout is almost perfectly symmetric: every DDP
+replica runs the identical event stream, and within a replica every
+FSDP shard index ``f`` runs the identical stream *except* that the
+dense (unsharded) gradient all-reduce involves only the ``f == 0``
+lead ranks.  That leaves exactly ``2 * tp_size`` behaviourally
+distinct rank classes (``tp_size`` when ``fsdp_size == 1``), keyed by
+
+    ``(k, f == 0)``   where ``k`` is the tensor-parallel index.
+
+:class:`RankClassPartition` is the arithmetic of that partition;
+:func:`decide_fold` is the eligibility gate that checks — with one
+vectorized numpy sweep over every collective-group family — that the
+machine topology really does give every class member the identical
+alpha-beta cost, so one representative per class can stand in for the
+whole class bitwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.costmodel import CollectiveCostModel
+from repro.cluster.topology import FrontierTopology
+
+#: (tp index k, is lead shard f == 0)
+ClassKey = tuple[int, bool]
+
+#: Byte size used by the vectorized alpha-beta probe in
+#: :func:`decide_fold`; any positive finite value works because the
+#: probe only compares predictions *within* a group family.
+PROBE_BYTES = 1 << 20
+
+
+@dataclass(frozen=True)
+class RankClassPartition:
+    """The (TP, FSDP, DDP) equivalence classes of a Hybrid-STOP layout."""
+
+    tp_size: int
+    fsdp_size: int
+    ddp_size: int
+    tp_innermost: bool = True
+
+    @property
+    def num_gpus(self) -> int:
+        return self.tp_size * self.fsdp_size * self.ddp_size
+
+    def rank(self, d: int, f: int, k: int) -> int:
+        """Mirror of :meth:`repro.parallel.plan.HybridParallelPlan.rank`."""
+        if self.tp_innermost:
+            return (d * self.fsdp_size + f) * self.tp_size + k
+        return (d * self.tp_size + k) * self.fsdp_size + f
+
+    def coords(self, rank: int) -> tuple[int, int, int]:
+        """Inverse of :meth:`rank` -> (ddp, fsdp, tp) coordinates."""
+        if not 0 <= rank < self.num_gpus:
+            raise ValueError(f"rank {rank} outside world of {self.num_gpus}")
+        per_replica = self.fsdp_size * self.tp_size
+        d, rem = divmod(rank, per_replica)
+        if self.tp_innermost:
+            f, k = divmod(rem, self.tp_size)
+        else:
+            k, f = divmod(rem, self.fsdp_size)
+        return d, f, k
+
+    def class_of(self, rank: int) -> ClassKey:
+        _, f, k = self.coords(rank)
+        return (k, f == 0)
+
+    @property
+    def keys(self) -> tuple[ClassKey, ...]:
+        """All class keys, ordered by representative rank."""
+        out = [(k, True) for k in range(self.tp_size)]
+        if self.fsdp_size > 1:
+            out.extend((k, False) for k in range(self.tp_size))
+        return tuple(sorted(out, key=self.representative))
+
+    def representative(self, key: ClassKey) -> int:
+        k, lead = key
+        return self.rank(0, 0 if lead else 1, k)
+
+    def size(self, key: ClassKey) -> int:
+        _, lead = key
+        if lead:
+            return self.ddp_size
+        return self.ddp_size * (self.fsdp_size - 1)
+
+    def members(self, key: ClassKey) -> list[int]:
+        k, lead = key
+        shards = (0,) if lead else range(1, self.fsdp_size)
+        return sorted(
+            self.rank(d, f, k)
+            for d in range(self.ddp_size) for f in shards
+        )
+
+    @property
+    def fsdp_stride(self) -> int:
+        """Rank delta between consecutive FSDP shard indices."""
+        return self.rank(0, 1, 0) - self.rank(0, 0, 0) if self.fsdp_size > 1 \
+            else 0
+
+    @property
+    def ddp_stride(self) -> int:
+        """Rank delta between consecutive DDP replicas (both layouts)."""
+        return self.fsdp_size * self.tp_size
+
+    def rank_grid(self) -> np.ndarray:
+        """``R[d, f, k]`` rank array, vectorized."""
+        dd, ff, kk = np.meshgrid(
+            np.arange(self.ddp_size), np.arange(self.fsdp_size),
+            np.arange(self.tp_size), indexing="ij",
+        )
+        if self.tp_innermost:
+            return (dd * self.fsdp_size + ff) * self.tp_size + kk
+        return (dd * self.tp_size + kk) * self.fsdp_size + ff
+
+
+@dataclass(frozen=True)
+class FoldDecision:
+    """Outcome of :func:`decide_fold`: whether to fold, and why (not)."""
+
+    folded: bool
+    reason: str
+    partition: RankClassPartition | None = None
+
+
+def _effective_specs(topology: FrontierTopology,
+                     rows: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized mirror of :meth:`FrontierTopology.effective_bandwidth`.
+
+    ``rows`` is an (n_groups, group_size) rank matrix; returns per-row
+    (latency_s, bandwidth_Bps) arrays that match the scalar method
+    float-for-float.
+    """
+    rows = np.asarray(rows)
+    n, g = rows.shape
+    if g <= 1:  # SELF links
+        return np.zeros(n), np.full(n, np.inf)
+    nodes = rows // topology.gpus_per_node
+    inter = nodes.max(axis=1) > nodes.min(axis=1)
+    # max ranks sharing one node, per group (mirrors the per_node dict)
+    eq = nodes[:, :, None] == nodes[:, None, :]
+    sharers = eq.sum(axis=2).max(axis=1)
+    occupancy = min(topology.gpus_per_node, topology.num_gpus)
+    contention = np.maximum(1, occupancy // sharers)
+    lat = np.where(inter, topology.inter_node.latency_s,
+                   topology.intra_node.latency_s)
+    bw = np.where(inter, topology.inter_node.bandwidth_Bps / contention,
+                  topology.intra_node.bandwidth_Bps)
+    return lat, bw
+
+
+def _family_uniform(topology: FrontierTopology, rows: np.ndarray) -> bool:
+    """True iff every group in the family has the identical effective
+    link spec *and* the identical vectorized alpha-beta prediction."""
+    rows = np.asarray(rows)
+    if rows.shape[0] <= 1:
+        return True
+    lat, bw = _effective_specs(topology, rows)
+    if not (np.all(lat == lat[0]) and np.all(bw == bw[0])):
+        return False
+    # Belt and braces: evaluate the ring all-reduce alpha-beta model
+    # across every group at once and require bitwise-equal predictions.
+    g = rows.shape[1]
+    seconds = CollectiveCostModel._steps_batch(
+        lat, bw, 2 * (g - 1), PROBE_BYTES / g if g else 0.0
+    )
+    return bool(np.all(seconds == seconds[0]))
+
+
+def symmetry_blockers(spec, topology: FrontierTopology) -> list[str]:
+    """Every reason the given RunSpec cannot be folded on ``topology``.
+
+    Empty list means the (TP, FSDP, DDP) class partition is exact: for
+    each collective-group family, all groups a class replicates over
+    share one effective link spec, so one representative's alpha-beta
+    costs are bitwise valid for every member.
+    """
+    blockers: list[str] = []
+    part = RankClassPartition(spec.tp_size, spec.fsdp_size, spec.ddp_size,
+                              tp_innermost=spec.tp_innermost)
+    grid = part.rank_grid()
+    D, F, K = spec.ddp_size, spec.fsdp_size, spec.tp_size
+    families = {
+        "tensor-parallel": grid.reshape(D * F, K),
+        "fsdp-shard": grid.transpose(0, 2, 1).reshape(D * K, F),
+        "ddp-replica-sync": grid.transpose(1, 2, 0).reshape(F * K, D),
+        "dense-replica": grid.reshape(D, F * K),
+    }
+    for name, rows in families.items():
+        if not _family_uniform(topology, rows):
+            blockers.append(f"{name} groups have non-uniform link specs")
+    if K > spec.config.num_heads:
+        # Sub-head sharding all-reduces over per-head subsets of the TP
+        # group; they share one spec only when TP groups stay on-node.
+        tp_rows = families["tensor-parallel"]
+        nodes = tp_rows // topology.gpus_per_node
+        if np.any(nodes.max(axis=1) > nodes.min(axis=1)):
+            blockers.append("sub-head regime with node-spanning TP groups")
+    return blockers
+
+
+def decide_fold(spec, topology: FrontierTopology,
+                compute_model=None) -> FoldDecision:
+    """Should this run fold ranks into equivalence classes?
+
+    ``fold="off"`` never folds; ``"on"``/``"auto"`` fold whenever the
+    run is eligible and silently fall back to exact mode otherwise
+    (numeric runs, skewed compute, asymmetric topologies).
+    """
+    if spec.fold == "off":
+        return FoldDecision(False, "fold=off")
+    if not spec.meta:
+        return FoldDecision(False, "numeric runs always use exact mode")
+    if spec.compute_skew:
+        return FoldDecision(False, "compute_skew breaks rank symmetry")
+    if compute_model is not None and \
+            not getattr(compute_model, "rank_invariant", False):
+        return FoldDecision(False, "compute model is rank-dependent")
+    blockers = symmetry_blockers(spec, topology)
+    if blockers:
+        return FoldDecision(False, "; ".join(blockers))
+    part = RankClassPartition(spec.tp_size, spec.fsdp_size, spec.ddp_size,
+                              tp_innermost=spec.tp_innermost)
+    return FoldDecision(True, "eligible", part)

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Iterable, Sequence
 
 from repro.obs.tracer import NULL_TRACER
 
@@ -51,6 +51,10 @@ class _NullInjector:
 
     def poison_gradients(self, step, params):
         return None
+
+    def affects_step(self, step):
+        """No armed fault can touch ``step`` (there are none)."""
+        return False
 
 
 #: Shared no-op injector (mirrors :data:`~repro.obs.tracer.NULL_TRACER`).
@@ -157,6 +161,34 @@ class Timeline:
             led.exposed_comm_s += seconds - hidden
             self.tracer.on_comm(rank, t0, seconds, hidden, nbytes, op, ranks, cid=cid)
 
+    def record_free(self, ranks: Iterable[int], name: str, nbytes: float) -> None:
+        """Log a zero-duration release marker (freed gathered shards)."""
+        self.tracer.mark_free(self, tuple(ranks), name, nbytes)
+
+    # -- symmetry folding hooks (no-ops on the exact timeline) -------------
+    def fold_iter(self, axis: str, iterable):
+        """Iterate a symmetric loop; the exact timeline runs every item."""
+        return iter(iterable)
+
+    def fold_pad(self, axis: str, items: list, size: int) -> list:
+        """Pad a folded loop's outputs back to full length (no-op here)."""
+        return items
+
+    def folds_axis(self, axis: str) -> bool:
+        """Whether loops over ``axis`` ('fsdp'/'ddp') are being folded."""
+        return False
+
+    def tracked_ranks(self, ranks: Sequence[int]) -> Sequence[int]:
+        """The subset of ``ranks`` whose device memory is worth tracking.
+
+        The exact timeline tracks everything; a folded one narrows
+        symmetric bulk operations (FSDP gathers registering the same
+        transient buffer on every group member) to the class
+        representatives, whose devices see the full allocation pattern
+        — so per-device *maxima* are unchanged.
+        """
+        return ranks
+
     # -- summaries ---------------------------------------------------------
     def walltime_s(self, ranks: Iterable[int] | None = None) -> float:
         """Bulk-synchronous walltime: the slowest participating rank."""
@@ -176,3 +208,376 @@ class Timeline:
         """Zero every ledger and restart the collective-id sequence."""
         self._ledgers = [RankLedger() for _ in self._ledgers]
         self._collective_ids = itertools.count()
+
+
+def _ledger_values(led: RankLedger) -> tuple:
+    return (led.compute_s, led.comm_s, led.exposed_comm_s, led.flops,
+            led.comm_bytes, led.overlap_budget_s)
+
+
+def _copy_ledger(led: RankLedger) -> RankLedger:
+    return RankLedger(*_ledger_values(led))
+
+
+def _apply_renames(text: str, renames: tuple) -> str:
+    for old, new in renames:
+        text = text.replace(old, new)
+    return text
+
+
+class _ReplayTracer:
+    """Span sink for :meth:`FoldedTimeline.expand`.
+
+    Mirrors the span construction of :class:`~repro.obs.tracer.Tracer`
+    field-for-field, but takes scope/kind from the event log (set via
+    :meth:`set_context` before each replayed event) instead of from a
+    live scope stack.
+    """
+
+    __slots__ = ("spans", "_scope", "_kind")
+
+    def __init__(self):
+        self.spans = []
+        self._scope = ""
+        self._kind = "collective"
+
+    def set_context(self, scope: str, kind: str | None) -> None:
+        self._scope = scope
+        self._kind = kind or "collective"
+
+    def on_compute(self, rank, t0, seconds, flops, op, members=None):
+        from repro.obs.tracer import Span
+
+        self.spans.append(Span("compute", op, rank, t0, seconds,
+                               flops=flops, scope=self._scope))
+
+    def on_comm(self, rank, t0, seconds, hidden_s, nbytes, op, group,
+                cid=None, members=None):
+        from repro.obs.tracer import Span
+
+        attrs = {} if cid is None else {"cid": cid}
+        self.spans.append(Span(self._kind, op, rank, t0, seconds,
+                               hidden_s=hidden_s, nbytes=nbytes,
+                               group=tuple(group), scope=self._scope,
+                               attrs=attrs))
+
+    def mark_free(self, timeline, ranks, name, nbytes):
+        from repro.obs.tracer import Span
+
+        for rank in ranks:
+            self.spans.append(Span("gather", f"free.{name}", rank,
+                                   timeline.ledger(rank).walltime_s, 0.0,
+                                   nbytes=nbytes, scope=self._scope))
+
+
+class FoldedTimeline(Timeline):
+    """A Timeline that simulates one representative rank per symmetry class.
+
+    Ranks are partitioned by a
+    :class:`~repro.cluster.symmetry.RankClassPartition` into ``(k, f==0)``
+    equivalence classes.  Symmetric loops (the engine's DDP replica loop,
+    the modules' FSDP shard loops) are *folded*: only their first
+    iteration executes, bracketed in the event log by a segment marker
+    carrying the iteration count and the rank stride between iterations.
+    Each recorded event updates one ledger per covered class — bitwise
+    the same arithmetic a member rank's ledger would see — and emits one
+    class-annotated compact span at the representative rank.
+
+    :meth:`expand` replays the log through a fresh exact
+    :class:`Timeline`, unrolling segments with rank offsets (and the
+    ``trunk{d}`` rename on the DDP axis), reproducing the full per-rank
+    ledgers and span list float-for-float.
+
+    :meth:`unfold` drops to exact per-rank recording mid-run (fault
+    windows); :meth:`try_refold` returns to folded mode once every
+    class's member ledgers are value-identical again.  Events are logged
+    in both modes, so a mixed run still expands completely.
+    """
+
+    _RENAMES = {"ddp": ("trunk0", "trunk{}")}
+
+    def __init__(self, num_ranks: int, partition, tracer=None):
+        super().__init__(num_ranks, tracer=tracer)
+        if partition.num_gpus != num_ranks:
+            raise ValueError(
+                f"partition covers {partition.num_gpus} ranks, "
+                f"timeline has {num_ranks}"
+            )
+        self.partition = partition
+        self._keys = partition.keys
+        self._reps = {key: partition.representative(key) for key in self._keys}
+        self._sizes = {key: partition.size(key) for key in self._keys}
+        self._class_ledgers = {key: RankLedger() for key in self._keys}
+        self._rep_set = frozenset(self._reps.values())
+        self._folded = True
+        self._seg_stack: list[str] = []
+        self._log: list[tuple] = []
+        self._covered_cache: dict[tuple, list] = {}
+
+    # -- mode --------------------------------------------------------------
+    @property
+    def folded(self) -> bool:
+        return self._folded
+
+    def _axis_count(self, axis: str) -> int:
+        if axis == "fsdp":
+            return self.partition.fsdp_size
+        if axis == "ddp":
+            return self.partition.ddp_size
+        raise ValueError(f"unknown fold axis {axis!r}")
+
+    def _axis_stride(self, axis: str) -> int:
+        if axis == "fsdp":
+            return self.partition.fsdp_stride
+        return self.partition.ddp_stride
+
+    def folds_axis(self, axis: str) -> bool:
+        return self._folded and self._axis_count(axis) > 1
+
+    def fold_iter(self, axis: str, iterable):
+        if not self.folds_axis(axis):
+            yield from iterable
+            return
+        first = next(iter(iterable), None)
+        if first is None:
+            return
+        self._log.append(("push", axis, self._axis_count(axis),
+                          self._axis_stride(axis), self._RENAMES.get(axis)))
+        self._seg_stack.append(axis)
+        try:
+            yield first
+        finally:
+            self._log.append(("pop",))
+            self._seg_stack.pop()
+
+    def fold_pad(self, axis: str, items: list, size: int) -> list:
+        if not self._folded or len(items) >= size:
+            return items
+        return list(items) + [items[-1]] * (size - len(items))
+
+    # -- class coverage ----------------------------------------------------
+    def _covered(self, ranks):
+        """Class keys an event over ``ranks`` lands on, in rep-rank order.
+
+        Inside a folded FSDP segment the recorded rank stands for every
+        shard index, so its tensor-parallel column covers both the lead
+        (``f == 0``) and non-lead class; outside, a rank covers only its
+        own class (this is what keeps the dense lead-rank all-reduce off
+        the non-lead ledgers).
+        """
+        in_fsdp = self.partition.fsdp_size > 1 and "fsdp" in self._seg_stack
+        cache_key = (tuple(ranks), in_fsdp)
+        cached = self._covered_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        keys = set()
+        for rank in ranks:
+            k, lead = self.partition.class_of(rank)
+            if in_fsdp:
+                keys.add((k, True))
+                keys.add((k, False))
+            else:
+                keys.add((k, lead))
+        covered = sorted(keys, key=self._reps.__getitem__)
+        self._covered_cache[cache_key] = covered
+        return covered
+
+    def tracked_ranks(self, ranks):
+        if not self._folded:
+            return ranks
+        return [r for r in ranks if r in self._rep_set]
+
+    # -- recording ---------------------------------------------------------
+    def record_compute(self, rank, seconds, flops=0.0, op="compute"):
+        if seconds < 0:
+            raise ValueError("compute seconds must be non-negative")
+        seconds = self.injector.on_compute(rank, seconds, op)
+        self._log.append(("compute", rank, seconds, flops, op,
+                          self.tracer.current_scope))
+        if not self._folded:
+            led = self._ledgers[rank]
+            t0 = led.walltime_s
+            led.compute_s += seconds
+            led.flops += flops
+            led.overlap_budget_s += seconds
+            self.tracer.on_compute(rank, t0, seconds, flops, op)
+            return
+        for key in self._covered((rank,)):
+            led = self._class_ledgers[key]
+            t0 = led.walltime_s
+            led.compute_s += seconds
+            led.flops += flops
+            led.overlap_budget_s += seconds
+            self.tracer.on_compute(self._reps[key], t0, seconds, flops, op,
+                                   members=self._sizes[key])
+
+    def record_comm(self, ranks, seconds, nbytes, overlappable=False, op="comm"):
+        if seconds < 0:
+            raise ValueError("comm seconds must be non-negative")
+        ranks = tuple(ranks)
+        seconds = self.injector.on_comm(ranks, seconds, op)
+        self._log.append(("comm", ranks, seconds, nbytes, overlappable, op,
+                          self.tracer.current_scope,
+                          self.tracer.current_comm_kind))
+        cid = next(self._collective_ids)
+        if not self._folded:
+            for rank in ranks:
+                led = self._ledgers[rank]
+                t0 = led.walltime_s
+                led.comm_s += seconds
+                led.comm_bytes += nbytes
+                if overlappable:
+                    hidden = min(seconds, led.overlap_budget_s)
+                    led.overlap_budget_s -= hidden
+                else:
+                    hidden = 0.0
+                    led.overlap_budget_s = 0.0
+                led.exposed_comm_s += seconds - hidden
+                self.tracer.on_comm(rank, t0, seconds, hidden, nbytes, op,
+                                    ranks, cid=cid)
+            return
+        for key in self._covered(ranks):
+            led = self._class_ledgers[key]
+            t0 = led.walltime_s
+            led.comm_s += seconds
+            led.comm_bytes += nbytes
+            if overlappable:
+                hidden = min(seconds, led.overlap_budget_s)
+                led.overlap_budget_s -= hidden
+            else:
+                hidden = 0.0
+                led.overlap_budget_s = 0.0
+            led.exposed_comm_s += seconds - hidden
+            self.tracer.on_comm(self._reps[key], t0, seconds, hidden, nbytes,
+                                op, ranks, cid=cid, members=self._sizes[key])
+
+    def record_free(self, ranks, name, nbytes):
+        ranks = tuple(ranks)
+        self._log.append(("free", ranks, name, nbytes,
+                          self.tracer.current_scope))
+        if not self._folded:
+            self.tracer.mark_free(self, ranks, name, nbytes)
+            return
+        reps = [self._reps[key] for key in self._covered(ranks)]
+        self.tracer.mark_free(self, reps, name, nbytes)
+
+    # -- summaries ---------------------------------------------------------
+    def ledger(self, rank):
+        if self._folded:
+            return self._class_ledgers[self.partition.class_of(rank)]
+        return self._ledgers[rank]
+
+    def class_ledger(self, key) -> RankLedger:
+        """Ledger of one equivalence class (folded mode)."""
+        return self._class_ledgers[key]
+
+    def walltime_s(self, ranks=None):
+        if not self._folded:
+            return super().walltime_s(ranks)
+        if ranks is None:
+            ledgers = self._class_ledgers.values()
+        else:
+            keys = {self.partition.class_of(r) for r in ranks}
+            ledgers = [self._class_ledgers[key] for key in keys]
+        return max((led.walltime_s for led in ledgers), default=0.0)
+
+    def total_flops(self):
+        if not self._folded:
+            return super().total_flops()
+        return sum(self._sizes[key] * led.flops
+                   for key, led in self._class_ledgers.items())
+
+    def reset(self):
+        super().reset()
+        self._class_ledgers = {key: RankLedger() for key in self._keys}
+        self._folded = True
+        self._seg_stack = []
+        self._log = []
+        self._covered_cache = {}
+
+    # -- exact fallback ----------------------------------------------------
+    def unfold(self) -> None:
+        """Switch to exact per-rank recording (e.g. a fault window opens).
+
+        Every member rank's ledger is materialized as a bitwise copy of
+        its class ledger; subsequent events record per rank, still
+        logged (without segments) so :meth:`expand` covers mixed runs.
+        """
+        if not self._folded:
+            return
+        for rank in range(self.num_ranks):
+            self._ledgers[rank] = _copy_ledger(
+                self._class_ledgers[self.partition.class_of(rank)])
+        self._folded = False
+
+    def try_refold(self) -> bool:
+        """Return to folded mode if every class is value-uniform again.
+
+        A timing-divergent fault (straggler, link degradation) leaves
+        member ledgers unequal forever, so the run correctly stays
+        exact; timing-neutral faults refold on the next clean step.
+        """
+        if self._folded:
+            return True
+        for key in self._keys:
+            members = self.partition.members(key)
+            ref = _ledger_values(self._ledgers[members[0]])
+            if any(_ledger_values(self._ledgers[m]) != ref
+                   for m in members[1:]):
+                return False
+        for key in self._keys:
+            self._class_ledgers[key] = _copy_ledger(
+                self._ledgers[self._reps[key]])
+        self._folded = True
+        return True
+
+    # -- expansion ---------------------------------------------------------
+    def expand(self):
+        """Replay the event log into full per-rank form.
+
+        Returns ``(ledgers, spans)``: a per-rank ledger list and a span
+        list bitwise equal to what an exact-mode run of the same
+        workload records (same floats, same order, same collective ids).
+        """
+        tracer = _ReplayTracer()
+        replay = Timeline(self.num_ranks, tracer=tracer)
+        self._replay(self._log, 0, len(self._log), replay, tracer, 0, ())
+        return replay._ledgers, tracer.spans
+
+    def _replay(self, log, start, end, replay, tracer, offset, renames):
+        i = start
+        while i < end:
+            entry = log[i]
+            tag = entry[0]
+            if tag == "push":
+                _, axis, count, stride, rename = entry
+                depth, j = 1, i + 1
+                while depth:
+                    t = log[j][0]
+                    depth += (t == "push") - (t == "pop")
+                    j += 1
+                for it in range(count):
+                    sub = renames
+                    if rename is not None and it > 0:
+                        sub = renames + ((rename[0], rename[1].format(it)),)
+                    self._replay(log, i + 1, j - 1, replay, tracer,
+                                 offset + it * stride, sub)
+                i = j
+                continue
+            if tag == "compute":
+                _, rank, seconds, flops, op, scope = entry
+                tracer.set_context(_apply_renames(scope, renames), "compute")
+                replay.record_compute(rank + offset, seconds, flops,
+                                      op=_apply_renames(op, renames))
+            elif tag == "comm":
+                _, ranks, seconds, nbytes, overlappable, op, scope, kind = entry
+                tracer.set_context(_apply_renames(scope, renames), kind)
+                replay.record_comm(tuple(r + offset for r in ranks), seconds,
+                                   nbytes, overlappable=overlappable,
+                                   op=_apply_renames(op, renames))
+            elif tag == "free":
+                _, ranks, name, nbytes, scope = entry
+                tracer.set_context(_apply_renames(scope, renames), "gather")
+                replay.record_free(tuple(r + offset for r in ranks),
+                                   _apply_renames(name, renames), nbytes)
+            i += 1

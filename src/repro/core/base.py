@@ -66,6 +66,20 @@ class HybridModuleBase:
     def rank(self, fsdp: int, tp: int) -> int:
         return self.plan.rank(self.ddp_index, fsdp, tp)
 
+    # -- symmetry folding ------------------------------------------------------
+    def fold_fsdp(self, iterable):
+        """Iterate a per-shard (``f``) loop, folded when the timeline is.
+
+        On a :class:`~repro.cluster.timeline.FoldedTimeline` only the
+        first iteration runs (bracketed by a replayable segment marker);
+        on the exact timeline this is plain iteration.
+        """
+        return self.plan.cluster.timeline.fold_iter("fsdp", iterable)
+
+    def fold_pad(self, items: list) -> list:
+        """Pad a folded ``f``-loop's outputs back to ``fsdp_size``."""
+        return self.plan.cluster.timeline.fold_pad("fsdp", items, self.fsdp_size)
+
     # -- accounting --------------------------------------------------------------
     @contextmanager
     def ranked_compute(self, fsdp: int, tp: int):

@@ -45,7 +45,11 @@ class GatheredParam:
         for device, alloc in zip(self._devices, self._allocations):
             device.memory.free(alloc)
         self.released = True
-        if self._tracer is not None:
+        if self._timeline is not None:
+            # Routed through the timeline so a folded run logs the
+            # release for replay; lands on Tracer.mark_free either way.
+            self._timeline.record_free(self._ranks, self._name, self._nbytes)
+        elif self._tracer is not None:
             self._tracer.mark_free(self._timeline, self._ranks, self._name, self._nbytes)
 
     def __enter__(self):
@@ -80,7 +84,8 @@ def gather_param(
     nbytes = nbytes_of(gathered[0])
     devices, allocations = [], []
     if track_memory:
-        devices = [group.cluster.device(r) for r in group.ranks]
+        tracked = group.cluster.timeline.tracked_ranks(group.ranks)
+        devices = [group.cluster.device(r) for r in tracked]
         allocations = [
             device.memory.allocate(nbytes, tag=f"gathered.{param.name}") for device in devices
         ]
@@ -110,15 +115,23 @@ def reduce_scatter_grads(
         raise ValueError(
             f"{param.name}: expected {group.size} gradient buffers, got {len(per_rank_grads)}"
         )
+    # A folded engine pads its gradient list by repeating one object;
+    # flatten each distinct buffer once (id-keyed, so numeric runs with
+    # per-rank arrays are untouched).
+    flat_cache: dict[int, object] = {}
     flat_per_rank = []
     for grad in per_rank_grads:
-        if tuple(grad.shape) != param.logical_shape:
-            raise ValueError(
-                f"{param.name}: gradient shape {tuple(grad.shape)} != logical "
-                f"{param.logical_shape}"
-            )
-        shards = flat_pad_shard(grad, group.size)
-        flat_per_rank.append(ops.concat(shards, axis=0))
+        flat = flat_cache.get(id(grad))
+        if flat is None:
+            if tuple(grad.shape) != param.logical_shape:
+                raise ValueError(
+                    f"{param.name}: gradient shape {tuple(grad.shape)} != logical "
+                    f"{param.logical_shape}"
+                )
+            shards = flat_pad_shard(grad, group.size)
+            flat = ops.concat(shards, axis=0)
+            flat_cache[id(grad)] = flat
+        flat_per_rank.append(flat)
     with group.cluster.tracer.scope("grad", param.name):
         shard_lists = reduce_scatter(group, flat_per_rank, op="sum", overlappable=overlappable)
     param.set_grad_shards(shard_lists)

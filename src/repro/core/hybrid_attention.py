@@ -239,7 +239,7 @@ class HybridSTOPAttention(HybridModuleBase):
                     self._gather(self._params["wk_bias"][k], group) as bk, \
                     self._gather(self._params["wv"][k], group) as wv, \
                     self._gather(self._params["wv_bias"][k], group) as bv:
-                for f in range(F_):
+                for f in self.fold_fsdp(range(F_)):
                     with self.ranked_compute(f, k):
                         q = self._split_local(ops.add(ops.matmul(xs[f], wq.data), bq.data), batch, seq)
                         key = self._split_local(ops.add(ops.matmul(xs[f], wk.data), bk.data), batch, seq)
@@ -257,7 +257,7 @@ class HybridSTOPAttention(HybridModuleBase):
         # Sub-head reduction (Eqn 2 on the Q K^T chain); free when s == 1.
         probs = [[None] * K for _ in range(F_)]
         out_partials = [[None] * K for _ in range(F_)]
-        for f in range(F_):
+        for f in self.fold_fsdp(range(F_)):
             if self.subhead_size > 1:
                 for head in range(self.num_heads):
                     members = range(head * self.subhead_size, (head + 1) * self.subhead_size)
@@ -281,7 +281,7 @@ class HybridSTOPAttention(HybridModuleBase):
         ]
         with self._gather(self.wo_bias, self.fsdp_group(0)) as bo:
             merged = [[None] * K for _ in range(F_)]
-            for f in range(F_):
+            for f in self.fold_fsdp(range(F_)):
                 y_partials = []
                 for k in range(K):
                     with self.ranked_compute(f, k):
@@ -297,7 +297,7 @@ class HybridSTOPAttention(HybridModuleBase):
             for handle in ln_params:
                 handle.release()
         self._cache = (xs, locals_cache, probs, merged, batch, seq)
-        return ys
+        return self.fold_pad(ys)
 
     def backward(self, grad_ys: list) -> list:
         xs, locals_cache, probs, merged, batch, seq = self._require_cache()
@@ -315,7 +315,7 @@ class HybridSTOPAttention(HybridModuleBase):
             group = self.fsdp_group(k)
             with self._gather(self._params["wo"][k], group) as wo:
                 wo_grads = []
-                for f in range(F_):
+                for f in self.fold_fsdp(range(F_)):
                     with self.ranked_compute(f, k):
                         flat = batch * seq
                         m2d = ops.reshape(merged[f][k], (flat, self.local_dim))
@@ -323,13 +323,13 @@ class HybridSTOPAttention(HybridModuleBase):
                         wo_grads.append(ops.matmul(ops.swapaxes(m2d, 0, 1), g2d))
                         grad_merged = ops.matmul(grad_ys[f], ops.swapaxes(wo.data, -1, -2))
                         grad_out_local[f][k] = self._split_local(grad_merged, batch, seq)
-                reduce_scatter_grads(self._params["wo"][k], group, wo_grads)
+                reduce_scatter_grads(self._params["wo"][k], group, self.fold_pad(wo_grads))
 
         # Backward through the attention core.
         grad_q = [[None] * K for _ in range(F_)]
         grad_k = [[None] * K for _ in range(F_)]
         grad_v = [[None] * K for _ in range(F_)]
-        for f in range(F_):
+        for f in self.fold_fsdp(range(F_)):
             grad_p_partials = [None] * K
             for k in range(K):
                 with self.ranked_compute(f, k):
@@ -370,7 +370,7 @@ class HybridSTOPAttention(HybridModuleBase):
                 with self._gather(self._params[pname][k], group) as w:
                     w_grads = []
                     b_grads = []
-                    for f in range(F_):
+                    for f in self.fold_fsdp(range(F_)):
                         with self.ranked_compute(f, k):
                             g_merged = self._merge_local(grads[f][k], batch, seq)
                             flat = batch * seq
@@ -383,10 +383,14 @@ class HybridSTOPAttention(HybridModuleBase):
                                 grad_x_partials[f][k] = partial
                             else:
                                 grad_x_partials[f][k] = ops.add(grad_x_partials[f][k], partial)
-                    reduce_scatter_grads(self._params[pname][k], group, w_grads)
-                    reduce_scatter_grads(self._params[f"{pname}_bias"][k], group, b_grads)
+                    reduce_scatter_grads(self._params[pname][k], group, self.fold_pad(w_grads))
+                    reduce_scatter_grads(self._params[f"{pname}_bias"][k], group,
+                                         self.fold_pad(b_grads))
 
-        return [tensor_parallel_sum(self.tp_group(f), grad_x_partials[f]) for f in range(F_)]
+        grad_xs = []
+        for f in self.fold_fsdp(range(F_)):
+            grad_xs.append(tensor_parallel_sum(self.tp_group(f), grad_x_partials[f]))
+        return self.fold_pad(grad_xs)
 
     def _backward_qk_layernorm(self, grad_q, grad_k, locals_cache) -> None:
         """Gradients through the q/k layer norms and their (replicated) affines.
@@ -402,7 +406,7 @@ class HybridSTOPAttention(HybridModuleBase):
         qb_partials: list[list] = [[None] * K for _ in range(F_)]
         kg_partials: list[list] = [[None] * K for _ in range(F_)]
         kb_partials: list[list] = [[None] * K for _ in range(F_)]
-        for f in range(F_):
+        for f in self.fold_fsdp(range(F_)):
             for k in range(K):
                 q_cache, k_cache = locals_cache[f][k]["ln"]
                 with self.ranked_compute(f, k):
@@ -427,5 +431,7 @@ class HybridSTOPAttention(HybridModuleBase):
             (self.ln_k_gamma, kg_partials),
             (self.ln_k_beta, kb_partials),
         ):
-            per_f = [tensor_parallel_sum(self.tp_group(f), partials[f]) for f in range(F_)]
-            reduce_scatter_grads(param, self.fsdp_group(0), per_f)
+            per_f = []
+            for f in self.fold_fsdp(range(F_)):
+                per_f.append(tensor_parallel_sum(self.tp_group(f), partials[f]))
+            reduce_scatter_grads(param, self.fsdp_group(0), self.fold_pad(per_f))

@@ -62,28 +62,29 @@ class _ShardedLayerNorm(HybridModuleBase):
         outs, caches = [], []
         with self._gather(self.gamma, self.fsdp_group(0)) as gamma, \
                 self._gather(self.beta, self.fsdp_group(0)) as beta:
-            for f, x in enumerate(xs):
+            for f, x in self.fold_fsdp(enumerate(xs)):
                 with self.ranked_compute(f, 0):
                     xhat, cache = F.layernorm_forward(x, eps=self.eps)
                     outs.append(ops.add(ops.multiply(xhat, gamma.data), beta.data))
                     caches.append((xhat, cache))
-        self._cache = caches
-        return outs
+        self._cache = self.fold_pad(caches)
+        return self.fold_pad(outs)
 
     def backward(self, grad_ys: list) -> list:
         caches = self._require_cache()
         self._cache = None
         grad_xs, gamma_grads, beta_grads = [], [], []
         with self._gather(self.gamma, self.fsdp_group(0)) as gamma:
-            for f, (grad_y, (xhat, cache)) in enumerate(zip(grad_ys, caches)):
+            for f, (grad_y, (xhat, cache)) in self.fold_fsdp(
+                    enumerate(zip(grad_ys, caches))):
                 with self.ranked_compute(f, 0):
                     reduce_axes = tuple(range(grad_y.ndim - 1))
                     gamma_grads.append(ops.sum_(ops.multiply(grad_y, xhat), axis=reduce_axes))
                     beta_grads.append(ops.sum_(grad_y, axis=reduce_axes))
                     grad_xs.append(F.layernorm_backward(cache, ops.multiply(grad_y, gamma.data)))
-        reduce_scatter_grads(self.gamma, self.fsdp_group(0), gamma_grads)
-        reduce_scatter_grads(self.beta, self.fsdp_group(0), beta_grads)
-        return grad_xs
+        reduce_scatter_grads(self.gamma, self.fsdp_group(0), self.fold_pad(gamma_grads))
+        reduce_scatter_grads(self.beta, self.fsdp_group(0), self.fold_pad(beta_grads))
+        return self.fold_pad(grad_xs)
 
 
 class HybridSTOPBlock(HybridModuleBase):

@@ -117,24 +117,24 @@ class HybridSTOPMLP(HybridModuleBase):
             # Fig 3(a) T2/T3: the FSDP group gathers rank k's column shard.
             with self._gather(self.a[k], self.fsdp_group(k)) as a_k, \
                     self._gather(self.b1[k], self.fsdp_group(k)) as b1_k:
-                for f in range(F_):
+                for f in self.fold_fsdp(range(F_)):
                     with self.ranked_compute(f, k):
                         pre = ops.add(ops.matmul(xs[f], a_k.data), b1_k.data)
                         act, cache = F.gelu_forward(pre)
                         hidden_caches[f][k] = (act, cache)
             # Fig 3(a) T6: gather rank k's row shard of B.
             with self._gather(self.b[k], self.fsdp_group(k)) as b_k:
-                for f in range(F_):
+                for f in self.fold_fsdp(range(F_)):
                     with self.ranked_compute(f, k):
                         partials[f][k] = ops.matmul(hidden_caches[f][k][0], b_k.data)
         with self._gather(self.b2, self.fsdp_group(0)) as b2:
             ys = []
-            for f in range(F_):
+            for f in self.fold_fsdp(range(F_)):
                 # Eqn 2: sum the K partial products over the tensor-parallel group.
                 partials[f][0] = ops.add(partials[f][0], b2.data)
                 ys.append(tensor_parallel_sum(self.tp_group(f), partials[f]))
         self._cache = (xs, hidden_caches)
-        return ys
+        return self.fold_pad(ys)
 
     def backward(self, grad_ys: list) -> list:
         xs, hidden_caches = self._require_cache()
@@ -153,7 +153,7 @@ class HybridSTOPMLP(HybridModuleBase):
             with self._gather(self.b[k], self.fsdp_group(k)) as b_k:
                 grad_hidden_acts = []
                 b_grads = []
-                for f in range(F_):
+                for f in self.fold_fsdp(range(F_)):
                     act, _ = hidden_caches[f][k]
                     with self.ranked_compute(f, k):
                         flat = math.prod(act.shape[:-1])
@@ -161,12 +161,13 @@ class HybridSTOPMLP(HybridModuleBase):
                         g2d = ops.reshape(grad_ys[f], (flat, self.dim))
                         b_grads.append(ops.matmul(ops.swapaxes(act2d, 0, 1), g2d))
                         grad_hidden_acts.append(ops.matmul(grad_ys[f], ops.swapaxes(b_k.data, -1, -2)))
-                reduce_scatter_grads(self.b[k], self.fsdp_group(k), b_grads)
+                grad_hidden_acts = self.fold_pad(grad_hidden_acts)
+                reduce_scatter_grads(self.b[k], self.fsdp_group(k), self.fold_pad(b_grads))
             # Fig 3(b) T3/T4: gather A_k, compute + reduce-scatter its grads.
             with self._gather(self.a[k], self.fsdp_group(k)) as a_k:
                 a_grads = []
                 b1_grads = []
-                for f in range(F_):
+                for f in self.fold_fsdp(range(F_)):
                     _, gelu_cache = hidden_caches[f][k]
                     with self.ranked_compute(f, k):
                         grad_pre = F.gelu_backward(gelu_cache, grad_hidden_acts[f])
@@ -176,8 +177,11 @@ class HybridSTOPMLP(HybridModuleBase):
                         a_grads.append(ops.matmul(ops.swapaxes(x2d, 0, 1), g2d))
                         b1_grads.append(ops.sum_(g2d, axis=0))
                         grad_x_partials[f][k] = ops.matmul(grad_pre, ops.swapaxes(a_k.data, -1, -2))
-                reduce_scatter_grads(self.a[k], self.fsdp_group(k), a_grads)
-                reduce_scatter_grads(self.b1[k], self.fsdp_group(k), b1_grads)
+                reduce_scatter_grads(self.a[k], self.fsdp_group(k), self.fold_pad(a_grads))
+                reduce_scatter_grads(self.b1[k], self.fsdp_group(k), self.fold_pad(b1_grads))
 
         # Fig 3(b) T5: Eqn 3 — all-reduce the input gradient per TP group.
-        return [tensor_parallel_sum(self.tp_group(f), grad_x_partials[f]) for f in range(F_)]
+        grad_xs = []
+        for f in self.fold_fsdp(range(F_)):
+            grad_xs.append(tensor_parallel_sum(self.tp_group(f), grad_x_partials[f]))
+        return self.fold_pad(grad_xs)

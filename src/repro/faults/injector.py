@@ -143,6 +143,27 @@ class FaultInjector:
             factor *= spec.factor
         return factor
 
+    # -- symmetry-fold coordination --------------------------------------------
+    def affects_step(self, step: int) -> bool:
+        """Could any injection touch an event of ``step``?
+
+        The folded timeline consults this before each step: a step a
+        fault can touch must run in exact (per-rank) mode, because the
+        fault singles out one rank and breaks the class symmetry.
+        Degradations count for their whole step window; crash-class and
+        corruption injections only while still live at their step.
+        """
+        step = int(step)
+        for armed in self._armed:
+            spec = armed.spec
+            if spec.kind in DEGRADATION_KINDS:
+                if not armed.moot and \
+                        spec.step <= step < spec.step + spec.duration_steps:
+                    return True
+            elif armed.live and spec.step == step:
+                return True
+        return False
+
     # -- gradient corruption ---------------------------------------------------
     def grad_fault(self, step: int, fire: bool = False) -> FaultSpec | None:
         """The grad-corruption injection of ``step``, if any.

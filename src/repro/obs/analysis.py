@@ -101,7 +101,22 @@ def top_operations(
 
 
 def exposed_comm_ratio(spans: Sequence[Span]) -> float:
-    """Exposed communication as a fraction of total busy time."""
-    busy = math.fsum(busy_seconds_by_rank(spans).values())
-    exposed = math.fsum(exposed_comm_seconds_by_rank(spans).values())
+    """Exposed communication as a fraction of total busy time.
+
+    Compact spans from a folded timeline stand for a whole symmetry
+    class; their ``members`` attribute weights them back to the
+    machine-wide ratio.  Exact traces carry no ``members``, and the
+    weight of 1 leaves the per-rank accumulation bitwise unchanged.
+    """
+    busy_totals: dict[int, float] = defaultdict(float)
+    exposed_totals: dict[int, float] = defaultdict(float)
+    for span in spans:
+        if span.kind not in TIMED_KINDS:
+            continue
+        weighted = span.busy_s * span.attrs.get("members", 1)
+        busy_totals[span.rank] += weighted
+        if span.kind in COMM_KINDS:
+            exposed_totals[span.rank] += weighted
+    busy = math.fsum(busy_totals.values())
+    exposed = math.fsum(exposed_totals.values())
     return exposed / busy if busy > 0 else 0.0

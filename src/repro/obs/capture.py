@@ -58,6 +58,7 @@ def run_traced_step(
     layer_wrapping: bool = True,
     num_steps: int = 1,
     compute_skew: Mapping[int, float] | None = None,
+    fold: str = "off",
     out_dir=None,
 ) -> TraceRun:
     """``num_steps`` traced optimizer steps of the hierarchical engine.
@@ -68,7 +69,10 @@ def run_traced_step(
     :func:`~repro.obs.export.load_trace_events`) and ``report.txt``
     (per-step report) into it.  ``compute_skew`` maps ranks to
     slowdown multipliers (straggler injection via
-    :class:`~repro.faults.degradation.SkewedCompute`).
+    :class:`~repro.faults.degradation.SkewedCompute`).  ``fold`` is the
+    rank-symmetry policy; traced steps run real numerics, so folding
+    silently stays in exact mode — the knob is threaded through for
+    spec fidelity.
     """
     # Deferred: repro.obs's package __init__ imports this module.
     from repro.models import OrbitConfig
@@ -89,6 +93,7 @@ def run_traced_step(
         seed=seed,
         num_steps=num_steps,
         compute_skew=dict(compute_skew or {}),
+        fold=fold,
     )
     session = Session(spec)
     result = StepLoop(session.numeric_step).run(num_steps)

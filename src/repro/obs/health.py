@@ -150,9 +150,13 @@ def check_group_imbalance(
         for ranks in groups(axis):
             if len(ranks) < 2:
                 continue
-            compute = [
-                totals[r].compute_s if r in totals else 0.0 for r in ranks
-            ]
+            if any(r not in totals for r in ranks):
+                # A folded trace records only class representatives;
+                # comparing a traced member against absent (not idle)
+                # ones would fabricate spread.  An exact engine run
+                # traces every rank, so nothing is skipped there.
+                continue
+            compute = [totals[r].compute_s for r in ranks]
             if max(compute) <= floor:
                 continue
             spread = _spread(compute)

@@ -167,6 +167,11 @@ class Tracer:
     def current_scope(self) -> str:
         return "/".join(self._scope_parts)
 
+    @property
+    def current_comm_kind(self) -> str:
+        """Span kind the active scope assigns to collectives."""
+        return self._kind_override[-1] if self._kind_override else "collective"
+
     # -- recording ----------------------------------------------------------
     def span(
         self,
@@ -206,9 +211,17 @@ class Tracer:
         return self.span(kind, name, rank, t0, 0.0, **attrs)
 
     # -- Timeline hooks -----------------------------------------------------
-    def on_compute(self, rank: int, t0: float, seconds: float, flops: float, op: str) -> None:
-        """Called by ``Timeline.record_compute`` with the pre-record clock."""
-        self.span("compute", op, rank, t0, seconds, flops=flops)
+    def on_compute(
+        self, rank: int, t0: float, seconds: float, flops: float, op: str,
+        members: int | None = None,
+    ) -> None:
+        """Called by ``Timeline.record_compute`` with the pre-record clock.
+
+        ``members`` marks a class-annotated compact span from a folded
+        timeline: the event stands for that many symmetric ranks.
+        """
+        attrs = {} if members is None else {"members": members}
+        self.span("compute", op, rank, t0, seconds, flops=flops, **attrs)
 
     def on_comm(
         self,
@@ -220,15 +233,19 @@ class Tracer:
         op: str,
         group: tuple[int, ...],
         cid: int | None = None,
+        members: int | None = None,
     ) -> None:
         """Called by ``Timeline.record_comm`` once per participating rank.
 
         ``cid`` is the collective sequence id shared by every
         participant's span; the critical-path analyzer uses it to match
-        the per-rank spans of one collective back together.
+        the per-rank spans of one collective back together.  ``members``
+        marks a class-annotated compact span (folded timeline).
         """
-        kind = self._kind_override[-1] if self._kind_override else "collective"
+        kind = self.current_comm_kind
         attrs = {} if cid is None else {"cid": cid}
+        if members is not None:
+            attrs["members"] = members
         self.span(
             kind, op, rank, t0, seconds,
             hidden_s=hidden_s, nbytes=nbytes, group=group, **attrs,
@@ -288,16 +305,21 @@ class NullTracer:
     def current_scope(self) -> str:
         return ""
 
+    @property
+    def current_comm_kind(self) -> str:
+        return "collective"
+
     def span(self, *args, **kwargs) -> None:
         return None
 
     def instant(self, *args, **kwargs) -> None:
         return None
 
-    def on_compute(self, rank, t0, seconds, flops, op) -> None:
+    def on_compute(self, rank, t0, seconds, flops, op, members=None) -> None:
         pass
 
-    def on_comm(self, rank, t0, seconds, hidden_s, nbytes, op, group, cid=None) -> None:
+    def on_comm(self, rank, t0, seconds, hidden_s, nbytes, op, group,
+                cid=None, members=None) -> None:
         pass
 
     def mark_free(self, timeline, ranks, name, nbytes) -> None:

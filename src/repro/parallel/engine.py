@@ -113,48 +113,69 @@ class HybridSTOPEngine:
             )
         self.plan = plan
         self.compute_model = compute_model
+        self.prefetch = prefetch
+        self.layer_wrapping = layer_wrapping
         self.recompute = recompute
         self.tracer = plan.cluster.tracer
         self.config = model.config
-        D, F, K = plan.ddp_size, plan.fsdp_size, plan.tp_size
+        D = plan.ddp_size
 
         self.fronts: list[list[_DenseFront]] = []
         self.heads: list[list[_DenseHead]] = []
         self.trunks = []
         self._dense_allocs = []
-        for d in range(D):
-            replica_model = model if d == 0 else clone_module(model)
-            front = _DenseFront(replica_model)
-            head = _DenseHead(replica_model)
-            self.fronts.append(
-                [front] + [clone_module_shared_params(front) for _ in range(F - 1)]
-            )
-            self.heads.append(
-                [head] + [clone_module_shared_params(head) for _ in range(F - 1)]
-            )
-            trunk_template = make_trunk_template(replica_model)
-            from repro.core.hybrid_block import HybridSTOPTrunk
+        #: Kept to materialize skipped replicas if a folded run must
+        #: drop to exact mode (see :meth:`materialize_replicas`).
+        self._model_template = model
+        replicas = 1 if plan.cluster.timeline.folds_axis("ddp") else D
+        for d in range(replicas):
+            self._build_replica(d, model if d == 0 else clone_module(model))
 
-            self.trunks.append(
-                HybridSTOPTrunk(
-                    trunk_template,
-                    plan,
-                    ddp_index=d,
-                    prefetch=prefetch,
-                    layer_wrapping=layer_wrapping,
-                    recompute=recompute,
-                    compute_model=compute_model,
-                    name=f"trunk{d}",
-                )
+    def _build_replica(self, d: int, replica_model: ClimaXViT) -> None:
+        plan = self.plan
+        F, K = plan.fsdp_size, plan.tp_size
+        front = _DenseFront(replica_model)
+        head = _DenseHead(replica_model)
+        self.fronts.append(
+            [front] + [clone_module_shared_params(front) for _ in range(F - 1)]
+        )
+        self.heads.append(
+            [head] + [clone_module_shared_params(head) for _ in range(F - 1)]
+        )
+        trunk_template = make_trunk_template(replica_model)
+        from repro.core.hybrid_block import HybridSTOPTrunk
+
+        self.trunks.append(
+            HybridSTOPTrunk(
+                trunk_template,
+                plan,
+                ddp_index=d,
+                prefetch=self.prefetch,
+                layer_wrapping=self.layer_wrapping,
+                recompute=self.recompute,
+                compute_model=self.compute_model,
+                name=f"trunk{d}",
             )
-            # Dense parameters are fully replicated on every rank of the replica.
-            dense_bytes = front.parameter_bytes() + head.parameter_bytes()
-            for f in range(F):
-                for k in range(K):
-                    device = plan.cluster.device(plan.rank(d, f, k))
-                    self._dense_allocs.append(
-                        (device, device.memory.allocate(dense_bytes, tag="params.dense"))
-                    )
+        )
+        # Dense parameters are fully replicated on every rank of the replica.
+        dense_bytes = front.parameter_bytes() + head.parameter_bytes()
+        for f in range(F):
+            for k in range(K):
+                device = plan.cluster.device(plan.rank(d, f, k))
+                self._dense_allocs.append(
+                    (device, device.memory.allocate(dense_bytes, tag="params.dense"))
+                )
+
+    def materialize_replicas(self) -> None:
+        """Build the DDP replicas a folded construction skipped.
+
+        Called when a folded run drops to exact mode (fault window): the
+        per-replica module structure must exist for every ``d`` before
+        the next unfolded step executes.  Construction is pure
+        bookkeeping — it records no timeline events.
+        """
+        for d in range(len(self.trunks), self.plan.ddp_size):
+            self._build_replica(d, clone_module(self._model_template))
 
     # -- accounting helpers -------------------------------------------------------
     def _ranked(self, d: int, f: int, op: str = "dense"):
@@ -183,45 +204,54 @@ class HybridSTOPEngine:
         D, F = self.plan.ddp_size, self.plan.fsdp_size
         if len(xs) != D or any(len(batch) != F for batch in xs):
             raise ValueError(f"expected xs nested as [{D}][{F}]")
+        timeline = self.plan.cluster.timeline
         ys = []
         with self.tracer.scope("engine.forward"):
-            for d in range(D):
+            for d in timeline.fold_iter("ddp", range(D)):
                 tokens = []
-                for f in range(F):
+                for f in timeline.fold_iter("fsdp", range(F)):
                     with self._ranked(d, f, op="dense.front"):
                         tokens.append(self.fronts[d][f](xs[d][f], lead_times[d][f]))
-                tokens = self.trunks[d].forward(tokens)
+                tokens = self.trunks[d].forward(
+                    timeline.fold_pad("fsdp", tokens, F))
                 preds = []
-                for f in range(F):
+                for f in timeline.fold_iter("fsdp", range(F)):
                     with self._ranked(d, f, op="dense.head"):
                         preds.append(self.heads[d][f](tokens[f]))
-                ys.append(preds)
-        return ys
+                ys.append(timeline.fold_pad("fsdp", preds, F))
+        return timeline.fold_pad("ddp", ys, D)
 
     def backward(self, grad_ys: list) -> list:
         """Backprop; returns per-micro-batch input gradients."""
         D, F = self.plan.ddp_size, self.plan.fsdp_size
+        timeline = self.plan.cluster.timeline
         grad_xs = []
         with self.tracer.scope("engine.backward"):
-            for d in range(D):
+            for d in timeline.fold_iter("ddp", range(D)):
                 grads = []
-                for f in range(F):
+                for f in timeline.fold_iter("fsdp", range(F)):
                     with self._ranked(d, f, op="dense.head"):
                         grads.append(self.heads[d][f].backward(grad_ys[d][f]))
-                grads = self.trunks[d].backward(grads)
+                grads = self.trunks[d].backward(
+                    timeline.fold_pad("fsdp", grads, F))
                 replica_grad_xs = []
-                for f in range(F):
+                for f in timeline.fold_iter("fsdp", range(F)):
                     with self._ranked(d, f, op="dense.front"):
                         replica_grad_xs.append(self.fronts[d][f].backward(grads[f]))
-                grad_xs.append(replica_grad_xs)
+                grad_xs.append(timeline.fold_pad("fsdp", replica_grad_xs, F))
                 self._record_dense_grad_sync(d)
-        return grad_xs
+        return timeline.fold_pad("ddp", grad_xs, D)
 
     # -- gradient synchronization ----------------------------------------------------
     def allreduce_gradients(self) -> None:
         """DDP reduction: sum gradients across replicas (trunk shards + dense)."""
         D = self.plan.ddp_size
         if D == 1:
+            return
+        timeline = self.plan.cluster.timeline
+        if timeline.folds_axis("ddp"):
+            with self.tracer.scope("engine.grad_sync"):
+                self._allreduce_gradients_folded()
             return
         with self.tracer.scope("engine.grad_sync"):
             # Trunk: reduce shard-by-shard over the matching device positions.
@@ -254,6 +284,41 @@ class HybridSTOPEngine:
                     dense_per_replica[d][name].grad = (
                         grad if is_meta(grad) else np.array(grad, copy=True)
                     )
+
+    def _allreduce_gradients_folded(self) -> None:
+        """DDP reduction with only replica 0 materialized.
+
+        Every replica's event stream is identical, so the per-shard
+        groups are synthesized arithmetically (replica stride
+        ``fsdp_size * tp_size``) and the shard-``j`` loop folds on the
+        FSDP axis: in exact mode each rank participates in exactly the
+        ``j == f`` reduction, which is what one folded event per
+        parameter replays to.
+        """
+        plan = self.plan
+        D = plan.ddp_size
+        timeline = plan.cluster.timeline
+        ddp_stride = plan.fsdp_size * plan.tp_size
+        for p0 in self.trunks[0].sharded_parameters():
+            for j in timeline.fold_iter("fsdp", range(p0.num_shards)):
+                base = p0.devices[j].rank
+                ranks = [base + d * ddp_stride for d in range(D)]
+                group = plan.cluster.new_group(ranks)
+                reduced = all_reduce(group, [p0.grad_shards[j]] * D, op="sum")
+                grad = reduced[0]
+                p0.grad_shards[j] = grad if is_meta(grad) else np.array(grad, copy=True)
+        lead_group = plan.cluster.new_group(
+            [plan.rank(d, 0, 0) for d in range(D)]
+        )
+        dense = dict(self.fronts[0][0].named_parameters()) | {
+            f"head.{n}": p for n, p in self.heads[0][0].named_parameters()
+        }
+        for name, param in dense.items():
+            if param.grad is None:
+                raise RuntimeError(f"dense parameter {name} missing a replica gradient")
+            reduced = all_reduce(lead_group, [param.grad] * D, op="sum")
+            grad = reduced[0]
+            param.grad = grad if is_meta(grad) else np.array(grad, copy=True)
 
     # -- checkpoint interoperability ---------------------------------------------
     def gathered_state_dict(self, replica: int = 0) -> dict:
@@ -290,7 +355,7 @@ class HybridSTOPEngine:
         return self.trunks[replica].sharded_parameters()
 
     def zero_grad(self) -> None:
-        for d in range(self.plan.ddp_size):
+        for d in range(len(self.trunks)):
             self.fronts[d][0].zero_grad()
             self.heads[d][0].zero_grad()
             self.trunks[d].zero_grad()

@@ -20,6 +20,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.cluster.cluster import VirtualCluster
+from repro.cluster.timeline import FoldedTimeline
 from repro.obs.tracer import Tracer
 from repro.runtime.spec import RunSpec
 
@@ -104,6 +105,7 @@ class Session:
         precision=None,
         grad_scaler=None,
     ):
+        from repro.cluster.symmetry import decide_fold
         from repro.faults.degradation import SkewedCompute
         from repro.models import build_model
         from repro.parallel import HybridParallelPlan, HybridSTOPEngine
@@ -129,6 +131,14 @@ class Session:
         if spec.compute_skew:
             compute_model = SkewedCompute(compute_model, dict(spec.compute_skew))
         self.compute_model = compute_model
+        #: Why this session folds (or doesn't); see repro.cluster.symmetry.
+        self.fold_decision = decide_fold(
+            spec, self.cluster.topology, compute_model=compute_model
+        )
+        if self.fold_decision.folded:
+            self.cluster.install_timeline(
+                FoldedTimeline(spec.num_gpus, self.fold_decision.partition)
+            )
         if spec.meta:
             self.model = build_model(self.config, meta=True)
         else:
@@ -229,6 +239,7 @@ class Session:
         from repro.meta import MetaArray
 
         D, F = self.spec.ddp_size, self.spec.fsdp_size
+        self._sync_fold_mode(step)
         xs, leads = self.meta_batch()
         with self.tracer.scope("step", step):
             ys = self.engine.forward(xs, leads)
@@ -236,6 +247,26 @@ class Session:
             self.engine.backward(grads)
             self.engine.allreduce_gradients()
         return math.nan, self.spec.observations
+
+    def _sync_fold_mode(self, step: int) -> None:
+        """Drop to exact mode for fault-touched steps; refold after.
+
+        A scheduled fault singles out one rank, which breaks the class
+        symmetry the folded timeline relies on — so any step the
+        injector could touch runs per-rank, with the skipped DDP
+        replicas materialized first.  Once the fault window has passed
+        and the per-rank ledgers have re-converged, the timeline folds
+        again (timing-divergent faults keep it exact permanently).
+        """
+        timeline = self.cluster.timeline
+        if not isinstance(timeline, FoldedTimeline):
+            return
+        if self.cluster.injector.affects_step(step):
+            if timeline.folded:
+                timeline.unfold()
+                self.engine.materialize_replicas()
+        elif not timeline.folded:
+            timeline.try_refold()
 
     def step_fn(self):
         """The mode-appropriate StepLoop step function."""

@@ -138,6 +138,12 @@ class RunSpec:
     tp_innermost: bool = field(default=True, metadata=_POLICY)
     layer_wrapping: bool = field(default=True, metadata=_POLICY)
     bf16: bool = field(default=False, metadata=_POLICY)
+    #: Rank-symmetry folding: ``"off"`` always simulates every rank,
+    #: ``"on"``/``"auto"`` fold symmetric ranks into equivalence
+    #: classes when eligible (meta mode, no skew, uniform topology) and
+    #: silently run exact otherwise.  Folded and exact runs are bitwise
+    #: identical, so this is a policy knob, not an identity field.
+    fold: str = field(default="off", metadata=_POLICY)
     #: Run mode: shape-only meta arrays (exact cost accounting, no
     #: numerics) vs real numeric training.
     meta: bool = True
@@ -202,6 +208,10 @@ class RunSpec:
         if self.num_steps < 1:
             problems.append(
                 f"invalid num_steps {self.num_steps}: must be at least 1"
+            )
+        if self.fold not in ("off", "on", "auto"):
+            problems.append(
+                f"invalid fold {self.fold!r}: must be 'off', 'on', or 'auto'"
             )
         return problems
 
@@ -291,6 +301,7 @@ class RunSpec:
             prefetch=case.prefetch,
             recompute=case.recompute,
             tp_innermost=case.tp_innermost,
+            fold=case.fold,
             meta=True,
         )
 

@@ -1,0 +1,218 @@
+"""Exactness harness for rank-symmetry folding.
+
+The folded timeline's contract is *bitwise* equality, not statistical
+closeness: for any eligible run, expanding the folded event log must
+reproduce the exact-mode per-rank ledgers, the full span list, and the
+step walltime float-for-float.  Randomized (TP, FSDP, DDP, micro-batch,
+depth, prefetch, recompute) specs up to 32 GCDs pin the property; the
+fault cases pin the exact-fallback machinery (a fault singles out one
+rank, so its step must run unfolded, and a timing fault must keep the
+run unfolded afterwards).
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.timeline import FoldedTimeline, _ledger_values
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+from repro.models.configs import OrbitConfig
+from repro.runtime import RunSpec, Session
+
+
+def _config(depth=2):
+    return OrbitConfig(
+        name="fold-tiny", embed_dim=64, depth=depth, num_heads=4,
+        in_vars=3, out_vars=3, img_height=32, img_width=64,
+        patch_size=8, mlp_ratio=4.0, qk_layernorm=False,
+    )
+
+
+#: Whole-node (8-GCD) grids up to 32 GCDs; tp=8 exercises the
+#: sub-head sharding regime (num_heads=4 < tp).
+LEGAL_GRIDS = sorted(
+    (tp, fsdp, ddp)
+    for tp in (1, 2, 4, 8)
+    for fsdp in (1, 2, 4, 8)
+    for ddp in (1, 2, 4, 8)
+    if tp * fsdp * ddp in (8, 16, 32)
+)
+
+
+def _spec(grid, micro_batch=2, depth=2, prefetch=True, recompute=False,
+          num_steps=1, fold="off", compute_skew=()):
+    tp, fsdp, ddp = grid
+    return RunSpec(
+        config=_config(depth), num_gpus=tp * fsdp * ddp, gpus_per_node=8,
+        tp_size=tp, fsdp_size=fsdp, ddp_size=ddp, micro_batch=micro_batch,
+        prefetch=prefetch, recompute=recompute, num_steps=num_steps,
+        fold=fold, compute_skew=compute_skew,
+    )
+
+
+def _run(spec, fault_plan=None):
+    session = Session(spec)
+    injector = None
+    if fault_plan is not None:
+        injector = FaultInjector(fault_plan, gpus_per_node=spec.gpus_per_node)
+        session.cluster.attach_injector(injector)
+    modes = []
+    for step in range(spec.num_steps):
+        if injector is not None:
+            injector.begin_step(step)
+        session.meta_step(step)
+        modes.append(getattr(session.cluster.timeline, "folded", None))
+    return session, modes
+
+
+def _assert_bitwise_equal(exact, folded):
+    """Expanded folded state must equal the exact run float-for-float."""
+    timeline = folded.cluster.timeline
+    assert isinstance(timeline, FoldedTimeline)
+    ledgers, spans = timeline.expand()
+    world = exact.cluster.world_size
+    for rank in range(world):
+        assert _ledger_values(exact.cluster.timeline.ledger(rank)) == \
+            _ledger_values(ledgers[rank]), f"ledger mismatch at rank {rank}"
+    exact_spans = [s.to_dict() for s in exact.tracer.spans]
+    folded_spans = [s.to_dict() for s in spans]
+    assert exact_spans == folded_spans
+    assert exact.cluster.timeline.walltime_s() == timeline.walltime_s()
+    assert exact.cluster.timeline.total_flops() == timeline.total_flops()
+    assert exact.peak_memory_bytes() == folded.peak_memory_bytes()
+
+
+class TestFoldedExactParity:
+    @given(
+        grid=st.sampled_from(LEGAL_GRIDS),
+        micro_batch=st.integers(min_value=1, max_value=3),
+        depth=st.integers(min_value=1, max_value=2),
+        prefetch=st.booleans(),
+        recompute=st.booleans(),
+        num_steps=st.integers(min_value=1, max_value=2),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_folded_run_is_bitwise_equal_to_exact(
+        self, grid, micro_batch, depth, prefetch, recompute, num_steps
+    ):
+        kwargs = dict(micro_batch=micro_batch, depth=depth,
+                      prefetch=prefetch, recompute=recompute,
+                      num_steps=num_steps)
+        exact, _ = _run(_spec(grid, fold="off", **kwargs))
+        folded, modes = _run(_spec(grid, fold="on", **kwargs))
+        assert folded.fold_decision.folded, folded.fold_decision.reason
+        assert all(modes)
+        _assert_bitwise_equal(exact, folded)
+
+    def test_auto_mode_folds_when_eligible(self):
+        session = Session(_spec((2, 2, 4), fold="auto"))
+        assert session.fold_decision.folded
+        assert isinstance(session.cluster.timeline, FoldedTimeline)
+
+    def test_compact_trace_is_smaller_but_walltime_identical(self):
+        exact, _ = _run(_spec((2, 2, 4), fold="off"))
+        folded, _ = _run(_spec((2, 2, 4), fold="on"))
+        assert len(folded.tracer.spans) < len(exact.tracer.spans)
+        assert folded.cluster.timeline.walltime_s() == \
+            exact.cluster.timeline.walltime_s()
+
+    def test_compact_spans_carry_class_sizes(self):
+        folded, _ = _run(_spec((2, 2, 4), fold="on"))
+        partition = folded.cluster.timeline.partition
+        class_sizes = {partition.size(key) for key in partition.keys}
+        sized = [s for s in folded.tracer.spans if "members" in s.attrs]
+        assert sized
+        # Every compact span's weight is a class size, every span lands
+        # at a representative rank, and the sizes cover the world.
+        reps = {partition.representative(key) for key in partition.keys}
+        assert {s.attrs["members"] for s in sized} <= class_sizes
+        assert {s.rank for s in sized} <= reps
+        assert sum(partition.size(key) for key in partition.keys) == \
+            partition.num_gpus
+
+
+class TestFaultFallback:
+    def test_straggler_forces_exact_and_stays_exact(self):
+        """A timing fault unfolds its step and divergence blocks refold."""
+        plan = FaultPlan(faults=(
+            FaultSpec(FaultKind.STRAGGLER, step=1, rank=5, factor=2.0),
+        ))
+        kwargs = dict(num_steps=3)
+        exact, _ = _run(_spec((2, 2, 4), fold="off", **kwargs), plan)
+        folded, modes = _run(_spec((2, 2, 4), fold="on", **kwargs), plan)
+        # Step 1 is the fault window; rank 5's ledger diverges there, so
+        # the timeline can never legally refold.
+        assert modes == [True, False, False]
+        _assert_bitwise_equal(exact, folded)
+
+    def test_link_degrade_forces_exact_for_its_window(self):
+        plan = FaultPlan(faults=(
+            FaultSpec(FaultKind.LINK_DEGRADE, step=1, rank=3, factor=3.0,
+                      duration_steps=2),
+        ))
+        kwargs = dict(num_steps=4)
+        exact, _ = _run(_spec((2, 2, 2), fold="off", **kwargs), plan)
+        folded, modes = _run(_spec((2, 2, 2), fold="on", **kwargs), plan)
+        assert modes[0] is True and modes[1] is False and modes[2] is False
+        _assert_bitwise_equal(exact, folded)
+
+    def test_timing_neutral_fault_refolds_after_its_step(self):
+        """Grad corruption never touches timing, so the class ledgers
+        stay converged and the timeline folds again the next step."""
+        plan = FaultPlan(faults=(
+            FaultSpec(FaultKind.GRAD_CORRUPTION, step=1, rank=2),
+        ))
+        kwargs = dict(num_steps=3)
+        exact, _ = _run(_spec((2, 2, 4), fold="off", **kwargs), plan)
+        folded, modes = _run(_spec((2, 2, 4), fold="on", **kwargs), plan)
+        assert modes == [True, False, True]
+        _assert_bitwise_equal(exact, folded)
+
+
+class TestEligibility:
+    def test_fold_off_never_folds(self):
+        session = Session(_spec((2, 2, 4), fold="off"))
+        assert not session.fold_decision.folded
+        assert session.fold_decision.reason == "fold=off"
+        assert not isinstance(session.cluster.timeline, FoldedTimeline)
+
+    def test_compute_skew_is_ineligible(self):
+        """SkewedCompute singles out ranks, so folding must refuse."""
+        session = Session(
+            _spec((2, 2, 4), fold="on", compute_skew=((5, 2.0),))
+        )
+        assert not session.fold_decision.folded
+        assert "skew" in session.fold_decision.reason
+        assert not isinstance(session.cluster.timeline, FoldedTimeline)
+
+    def test_skewed_run_still_simulates_correctly(self):
+        """fold="on" with skew silently runs exact; both specs agree."""
+        skew = ((5, 2.0),)
+        off, _ = _run(_spec((2, 2, 2), fold="off", compute_skew=skew))
+        on, _ = _run(_spec((2, 2, 2), fold="on", compute_skew=skew))
+        for rank in range(8):
+            assert _ledger_values(off.cluster.timeline.ledger(rank)) == \
+                _ledger_values(on.cluster.timeline.ledger(rank))
+
+    def test_numeric_sessions_never_fold(self):
+        spec = RunSpec(config=_config(1), num_gpus=8, tp_size=2, fsdp_size=2,
+                       ddp_size=2, meta=False, fold="on",
+                       track_device_memory=False)
+        session = Session(spec)
+        assert not session.fold_decision.folded
+        assert "numeric" in session.fold_decision.reason
+
+    def test_invalid_fold_value_rejected(self):
+        with pytest.raises(Exception, match="invalid fold"):
+            _spec((2, 2, 2), fold="sometimes")
+
+
+class TestMetaStepContract:
+    def test_meta_step_returns_nan_loss_under_folding(self):
+        session = Session(_spec((2, 2, 4), fold="on"))
+        loss, observations = session.meta_step(0)
+        assert math.isnan(loss)
+        assert observations == session.spec.observations

@@ -15,11 +15,17 @@ from repro.obs import analysis, run_traced_step, to_chrome_trace
 from repro.obs.tracer import SPAN_KINDS
 
 
-@pytest.fixture(scope="module")
-def run():
-    """One traced step on the default 2-node, 16-GCD layout."""
+@pytest.fixture(scope="module", params=["off", "on"])
+def run(request):
+    """One traced step on the default 2-node, 16-GCD layout.
+
+    Parameterized over the symmetry-folding policy: traced steps are
+    numeric, so ``fold="on"`` silently stays in exact mode — every
+    invariant must hold identically under both settings.
+    """
     return run_traced_step(num_gpus=16, gpus_per_node=8,
-                           tp_size=4, fsdp_size=2, ddp_size=2, seed=0)
+                           tp_size=4, fsdp_size=2, ddp_size=2, seed=0,
+                           fold=request.param)
 
 
 class TestLedgerEquality:

@@ -1,0 +1,19 @@
+"""The SkewedCompute deprecation shim in repro.parallel.compute."""
+
+import pytest
+
+
+class TestSkewedComputeShim:
+    def test_old_import_path_warns_and_resolves(self):
+        import repro.parallel.compute as compute
+        from repro.faults.degradation import SkewedCompute
+
+        with pytest.warns(DeprecationWarning, match="repro.faults.degradation"):
+            resolved = compute.SkewedCompute
+        assert resolved is SkewedCompute
+
+    def test_unknown_attribute_still_raises(self):
+        import repro.parallel.compute as compute
+
+        with pytest.raises(AttributeError, match="NoSuchThing"):
+            compute.NoSuchThing

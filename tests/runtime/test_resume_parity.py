@@ -5,6 +5,7 @@ import os
 from pathlib import Path
 
 import numpy as np
+import pytest
 
 from repro.runtime import RunSpec, Session, StepLoop
 from repro.runtime.checkpoint import resume_trainer, save_trainer
@@ -24,14 +25,19 @@ def _artifact_path(tmp_path, name):
     return tmp_path / name
 
 
-def _numeric_spec():
+def _numeric_spec(fold="off"):
     return RunSpec(config=TINY, num_gpus=8, tp_size=2, fsdp_size=2, ddp_size=2,
-                   micro_batch=2, meta=False, seed=5, track_device_memory=False)
+                   micro_batch=2, meta=False, seed=5, track_device_memory=False,
+                   fold=fold)
 
 
 class TestShardedResumeParity:
-    def test_killed_and_resumed_run_matches_bitwise(self, tmp_path):
-        spec = _numeric_spec()
+    # Numeric sessions never actually fold (symmetry folding is a
+    # meta-mode accounting optimization), so the kill-and-resume loss
+    # trajectory must be bitwise identical under either policy.
+    @pytest.mark.parametrize("fold", ["off", "on"])
+    def test_killed_and_resumed_run_matches_bitwise(self, tmp_path, fold):
+        spec = _numeric_spec(fold)
 
         uninterrupted = StepLoop(Session(spec).numeric_step).run(TOTAL_STEPS)
 
