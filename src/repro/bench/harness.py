@@ -145,21 +145,25 @@ class BenchRecord:
         return out
 
 
-def run_case(case: BenchCase, config=None, tracer=None) -> BenchRecord:
+def run_case(case: BenchCase, config=None, tracer=None,
+             monitor=None) -> BenchRecord:
     """One traced meta-mode step of ``case``; measurements from the trace.
 
     ``config`` overrides the ``PAPER_MODELS[case.model]`` lookup — the
     tuner's validation stage passes its own :class:`OrbitConfig` here.
     Passing a ``tracer`` lets the caller keep the span stream (the
-    tuner's winner explanation re-analyzes it).
+    tuner's winner explanation re-analyzes it).  Passing a ``monitor``
+    (a :class:`~repro.obs.monitor.RunMonitor`) additionally captures
+    the per-step timeseries — telemetry reads the ledgers without
+    writing them, so the measurements are bitwise unaffected.
     """
     from repro.obs import analysis
     from repro.obs.critical_path import analyze_trace
     from repro.runtime import RunSpec, Session, StepLoop
 
     spec = RunSpec.from_case(case, config=config)
-    session = Session(spec, tracer=tracer)
-    StepLoop(session.meta_step).run(1)
+    session = Session(spec, tracer=tracer, monitor=monitor)
+    StepLoop(session.meta_step, hooks=session.loop_hooks()).run(1)
 
     tracer = session.tracer
     decomposition = analyze_trace(tracer)
@@ -182,13 +186,35 @@ def run_case(case: BenchCase, config=None, tracer=None) -> BenchRecord:
 
 
 def run_matrix(
-    cases: Sequence[BenchCase] = FULL_MATRIX, quick: bool = False
+    cases: Sequence[BenchCase] = FULL_MATRIX,
+    quick: bool = False,
+    timeseries_dir=None,
 ) -> list[BenchRecord]:
-    """Run the matrix (or its ``quick`` subset)."""
+    """Run the matrix (or its ``quick`` subset).
+
+    ``timeseries_dir`` persists one monitored timeseries artifact per
+    case (``<dir>/<case>_timeseries.jsonl``) alongside whatever bench
+    document the caller writes — the raw per-step telemetry behind the
+    headline numbers.  Monitoring reads the ledgers without writing
+    them, so the records are bitwise identical either way.
+    """
     selected = [c for c in cases if c.quick] if quick else list(cases)
     if not selected:
         raise ValueError("bench matrix selection is empty")
-    return [run_case(case) for case in selected]
+    if timeseries_dir is None:
+        return [run_case(case) for case in selected]
+    from repro.obs.monitor import RunMonitor
+
+    timeseries_dir = Path(timeseries_dir)
+    timeseries_dir.mkdir(parents=True, exist_ok=True)
+    records = []
+    for case in selected:
+        monitor = RunMonitor()
+        records.append(run_case(case, monitor=monitor))
+        monitor.store.write_jsonl(
+            timeseries_dir / f"{case.name}_timeseries.jsonl"
+        )
+    return records
 
 
 def scaling_efficiencies(records: Iterable[BenchRecord]) -> dict[str, dict]:

@@ -14,6 +14,7 @@ Usage::
     python -m repro bench --check        # performance-regression gate
     python -m repro tune                 # automatic parallelism planner
     python -m repro faults --plan p.json # replay a fault plan, print recovery
+    python -m repro monitor              # live telemetry: alerts + event journal
 """
 
 from __future__ import annotations
@@ -185,6 +186,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--restart-latency", type=float, default=120.0, metavar="SECONDS",
         help="restart latency for the goodput model (default: 120)",
     )
+    bench.add_argument(
+        "--timeseries", default=None, metavar="DIR",
+        help="also monitor each case and write per-case timeseries JSONL here",
+    )
 
     tune = sub.add_parser(
         "tune",
@@ -278,6 +283,61 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the recovery report document here",
     )
     faults.set_defaults(steps=8)
+
+    monitor = sub.add_parser(
+        "monitor",
+        help="run with streaming telemetry: live alerts, timeseries, event journal",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "examples:\n"
+            "  repro monitor --steps 12\n"
+            "  repro monitor --plan examples/fault_plan.json\n"
+            "  repro monitor --random 7 --count 4 --json\n"
+            "  repro monitor --steps 8 --out results/monitor\n"
+            "\n"
+            "tails the event journal live, then prints an end-of-run summary\n"
+            "table.  exits 1 when any critical alert fired (or an injected\n"
+            "fault went unrecovered), 2 on an invalid topology or plan."
+        ),
+    )
+    _add_topology_args(monitor)
+    monitor.add_argument(
+        "--plan", default=None, metavar="JSON",
+        help="replay this fault plan under the supervisor while monitoring",
+    )
+    monitor.add_argument(
+        "--random", type=int, default=None, metavar="SEED",
+        help="generate a seeded random fault plan instead of reading one",
+    )
+    monitor.add_argument(
+        "--count", type=int, default=3,
+        help="number of injections for --random (default: 3)",
+    )
+    monitor.add_argument(
+        "--numeric", action="store_true",
+        help="run real numeric training instead of meta (shape-only) mode",
+    )
+    monitor.add_argument(
+        "--checkpoint-every", type=int, default=2, metavar="STEPS",
+        help="supervisor checkpoint cadence when a plan is given (default: 2)",
+    )
+    monitor.add_argument(
+        "--checkpoint-dir", default=None,
+        help="where periodic checkpoints land (default: a temp directory)",
+    )
+    monitor.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the live journal tail (summary still prints)",
+    )
+    monitor.add_argument(
+        "--json", action="store_true",
+        help="print the machine-readable monitor document instead of tables",
+    )
+    monitor.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="write journal.jsonl and timeseries.jsonl artifacts here",
+    )
+    monitor.set_defaults(steps=8)
 
     return parser
 
@@ -420,9 +480,11 @@ def main(argv: list[str] | None = None) -> int:
             write_baseline,
         )
 
-        records = run_matrix(quick=args.quick)
+        records = run_matrix(quick=args.quick, timeseries_dir=args.timeseries)
         doc = to_document(records)
         print(summary_table(doc))
+        if args.timeseries:
+            print(f"wrote per-case timeseries under {args.timeseries}/")
         if args.out:
             print(f"wrote {write_baseline(records, args.out)}")
         if args.check:
@@ -560,6 +622,98 @@ def main(argv: list[str] | None = None) -> int:
             out.write_text(json.dumps(report.as_dict(), indent=1) + "\n")
             print(f"wrote {out}")
         if not report.recovered:
+            return 1
+    elif args.command == "monitor":
+        import tempfile
+        from pathlib import Path
+
+        from repro.models import OrbitConfig
+        from repro.obs import RunMonitor
+        from repro.obs.capture import TRACE_CONFIG_KWARGS
+        from repro.runtime import RunSpec, Session, StepLoop
+
+        error = _topology_error(args)
+        if error is not None:
+            print(error, file=sys.stderr)
+            return 2
+        try:
+            if args.plan is not None and args.random is not None:
+                raise ValueError("--plan and --random are mutually exclusive")
+            plan = None
+            if args.plan is not None:
+                from repro.faults import FaultPlan
+
+                plan = FaultPlan.from_json(args.plan)
+            elif args.random is not None:
+                from repro.faults import FaultPlan
+
+                plan = FaultPlan.random(
+                    args.random, args.steps, args.gpus, count=args.count
+                )
+        except (OSError, ValueError) as plan_error:
+            print(f"repro monitor: invalid plan: {plan_error}", file=sys.stderr)
+            return 2
+        tail = None if (args.quiet or args.json) else (
+            lambda event: print(event.render())
+        )
+        run_monitor = RunMonitor(on_event=tail)
+        spec = RunSpec(
+            config=OrbitConfig("trace-tiny", **TRACE_CONFIG_KWARGS),
+            num_gpus=args.gpus,
+            gpus_per_node=args.gpus_per_node,
+            tp_size=args.tp,
+            fsdp_size=args.fsdp,
+            ddp_size=args.ddp,
+            micro_batch=args.micro_batch,
+            prefetch=not args.no_prefetch,
+            meta=not args.numeric,
+            seed=args.seed,
+            num_steps=args.steps,
+            compute_skew=_parse_skew(args.skew),
+            monitor="on",
+        )
+        recovered = True
+        if plan is not None:
+            from repro.faults import Supervisor
+
+            checkpoint_dir = args.checkpoint_dir or tempfile.mkdtemp(
+                prefix="repro-monitor-"
+            )
+            try:
+                supervisor = Supervisor(
+                    spec,
+                    plan,
+                    checkpoint_every=args.checkpoint_every,
+                    checkpoint_dir=(
+                        checkpoint_dir if args.checkpoint_every else None
+                    ),
+                    session_kwargs={"monitor": run_monitor},
+                )
+            except ValueError as sup_error:
+                print(f"repro monitor: {sup_error}", file=sys.stderr)
+                return 2
+            recovered = supervisor.run(args.steps).recovered
+        else:
+            session = Session(spec, monitor=run_monitor)
+            run_monitor.record_run(
+                0, "start", f"monitored run: {args.steps} step(s), no faults"
+            )
+            step_fn = session.meta_step if spec.meta else session.numeric_step
+            StepLoop(step_fn, hooks=session.loop_hooks()).run(args.steps)
+            run_monitor.record_run(
+                args.steps, "end", f"run complete: {args.steps} step(s)"
+            )
+        if args.json:
+            print(run_monitor.to_json())
+        else:
+            if tail is not None:
+                print()
+            print(run_monitor.summary_table())
+        if args.out:
+            out = Path(args.out)
+            print(f"wrote {run_monitor.journal.write_jsonl(out / 'journal.jsonl')}")
+            print(f"wrote {run_monitor.store.write_jsonl(out / 'timeseries.jsonl')}")
+        if run_monitor.critical_alerts or not recovered:
             return 1
     else:  # pragma: no cover - argparse enforces choices
         raise AssertionError(args.command)

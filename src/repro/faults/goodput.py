@@ -116,6 +116,40 @@ class GoodputLedger:
         total = self.total_s
         return self.useful_s / total if total > 0 else 1.0
 
+    def bucket_fractions(self) -> dict:
+        """Every bucket as a fraction of total walltime, gauge-named.
+
+        ``goodput.fraction`` is the headline number (1.0 for a clean
+        run, even before any step commits); the per-bucket fractions
+        attribute the remainder.
+        """
+        total = self.total_s
+
+        def frac(seconds: float) -> float:
+            return seconds / total if total > 0 else 0.0
+
+        return {
+            "goodput.fraction": self.goodput_fraction,
+            "goodput.useful_fraction": frac(self.useful_s),
+            "goodput.retry_fraction": frac(self.lost_retry_s),
+            "goodput.rollback_fraction": frac(self.lost_rollback_s),
+            "goodput.restart_fraction": frac(self.lost_restart_s),
+            "goodput.skipped_fraction": frac(self.lost_skipped_s),
+            "goodput.checkpoint_fraction": frac(self.checkpoint_s),
+        }
+
+    def publish_gauges(self, metrics) -> dict:
+        """Set every bucket fraction on a MetricsRegistry; returns them.
+
+        Called once per committed step by the Supervisor, so goodput
+        shows up in step reports and the monitor's timeseries without
+        a separate code path.
+        """
+        fractions = self.bucket_fractions()
+        for name, value in fractions.items():
+            metrics.gauge(name).set(value)
+        return fractions
+
     def as_dict(self) -> dict:
         return {
             "useful_s": self.useful_s,

@@ -120,6 +120,21 @@ class Supervisor:
         self.health_every = health_every
         self._grad_scaler = grad_scaler
         self.session_kwargs = dict(session_kwargs or {})
+        # One monitor instance across every incarnation: the session is
+        # rebuilt after crashes/regroups, so the telemetry stream must
+        # be owned here (the injector pattern) and passed through.
+        monitor = self.session_kwargs.get("monitor")
+        if monitor is None:
+            if spec.monitor == "on":
+                from repro.obs.monitor import RunMonitor
+
+                monitor = RunMonitor()
+            else:
+                from repro.obs.monitor import NULL_MONITOR
+
+                monitor = NULL_MONITOR
+            self.session_kwargs["monitor"] = monitor
+        self.monitor = monitor
         self.ledger = GoodputLedger()
         self.session = None
         self.loop = None
@@ -154,11 +169,13 @@ class Supervisor:
             spec, grad_scaler=self._make_grad_scaler(), **self.session_kwargs
         )
         self.session.cluster.attach_injector(self.injector)
+        hooks = self.session.loop_hooks()
         if loop_state is None:
-            self.loop = StepLoop(self.session.step_fn())
+            self.loop = StepLoop(self.session.step_fn(), hooks=hooks)
         else:
             self.loop = StepLoop(
                 self.session.step_fn(),
+                hooks=hooks,
                 start_step=loop_state["step"],
                 observations_seen=loop_state["observations_seen"],
                 history=[tuple(pair) for pair in loop_state["history"]],
@@ -173,6 +190,11 @@ class Supervisor:
     def _restore_rng(self, state) -> None:
         self.session.data_rng.bit_generator.state = state
 
+    def _record(self, report: RecoveryReport, event: RecoveryEvent) -> None:
+        """Append to the report and mirror into the monitor's journal."""
+        report.events.append(event)
+        self.monitor.record_recovery(event)
+
     # -- the supervised loop ----------------------------------------------------
     def run(self, num_steps: int) -> RecoveryReport:
         """Drive ``num_steps`` steps through the plan; never raises for
@@ -182,6 +204,11 @@ class Supervisor:
         report = RecoveryReport(ledger=self.ledger)
         if self.session is None:
             self._build_session(self.spec)
+        self.monitor.record_run(
+            self.loop.step, "start",
+            f"supervised run: {num_steps} step(s), "
+            f"{len(self.plan.faults)} scheduled fault(s)",
+        )
         while self.loop.step < num_steps and not report.unrecovered:
             step = self.loop.step
             self.injector.begin_step(step)
@@ -204,6 +231,12 @@ class Supervisor:
         report.pending = self.injector.pending()
         report.moot = self.injector.moot()
         report.final_spec = self.spec.identity()
+        outcome = "recovered" if report.recovered else "unrecovered"
+        self.monitor.record_run(
+            self.loop.step, "end",
+            f"run {outcome}: {report.steps_completed} step(s) committed, "
+            f"goodput {self.ledger.goodput_fraction:.4f}",
+        )
         return report
 
     # -- commit + periodic work -------------------------------------------------
@@ -218,9 +251,15 @@ class Supervisor:
                 getattr(self.session.trainer, "last_step_skipped", False)
             )
         self.ledger.commit_step(step, seconds, skipped=skipped)
+        # Goodput fractions land on the session's metrics and in the
+        # monitor's timeseries every committed step (the goodput_decay
+        # detector watches goodput.fraction).
+        fractions = self.ledger.publish_gauges(self.session.tracer.metrics)
+        self.monitor.observe_gauges(step, fractions)
         if skipped:
             kind = grad_fault.kind.value if grad_fault else "grad_overflow"
-            report.events.append(
+            self._record(
+                report,
                 RecoveryEvent(
                     step=step,
                     kind=kind,
@@ -234,7 +273,8 @@ class Supervisor:
         for spec in self.injector.fired_at(step):
             if spec.kind in DEGRADATION_KINDS and id(spec) not in self._reported_degradations:
                 self._reported_degradations.add(id(spec))
-                report.events.append(
+                self._record(
+                    report,
                     RecoveryEvent(
                         step=step,
                         kind=spec.kind.value,
@@ -276,6 +316,9 @@ class Supervisor:
             self.session.save(path, loop=self.loop)
         self._last_checkpoint = {"path": path, "step": self.loop.step}
         self.ledger.checkpoint(self.checkpoint_cost_s)
+        self.monitor.record_checkpoint(
+            self.loop.step, "save", detail=f"durable checkpoint at {path.name}"
+        )
 
     def _maybe_health(self, report: RecoveryReport) -> None:
         if not self.health_every or self.loop.step % self.health_every:
@@ -283,7 +326,8 @@ class Supervisor:
         findings = self.session.check_health()
         for finding in findings:
             if finding.category == "straggler":
-                report.events.append(
+                self._record(
+                    report,
                     RecoveryEvent(
                         step=self.loop.step - 1,
                         kind="health." + finding.category,
@@ -316,7 +360,8 @@ class Supervisor:
             except FatalFaultError as fatal:
                 self._recover_crash(fatal, step, t0, report)
                 return
-            report.events.append(
+            self._record(
+                report,
                 RecoveryEvent(
                     step=step,
                     kind=self._kind_of(fault),
@@ -331,7 +376,8 @@ class Supervisor:
             self._commit(event, self._wall() - t0, report)
             return
         # Retry budget exhausted: escalate to rollback-restart.
-        report.events.append(
+        self._record(
+            report,
             RecoveryEvent(
                 step=step,
                 kind=self._kind_of(fault),
@@ -378,7 +424,8 @@ class Supervisor:
                 f"restart budget ({self.max_restarts}) exhausted at step "
                 f"{step}: {err}"
             )
-            report.events.append(
+            self._record(
+                report,
                 RecoveryEvent(
                     step=step, kind=self._kind_of(err), action="unrecovered",
                     rank=self._rank_of(err), detail=str(err),
@@ -391,10 +438,15 @@ class Supervisor:
         resume_from = (
             self._last_checkpoint["step"] if self._last_checkpoint else 0
         )
+        self.monitor.record_checkpoint(
+            step, "rollback",
+            detail=f"rolling back from step {step} to step {resume_from}",
+        )
         self._build_session(self.spec)
         state = self._resume_state()
         self._build_loop_from(state)
-        report.events.append(
+        self._record(
+            report,
             RecoveryEvent(
                 step=step,
                 kind=self._kind_of(err),
@@ -414,10 +466,12 @@ class Supervisor:
         from repro.runtime import StepLoop
 
         if state is None:
-            self.loop = StepLoop(self.session.step_fn())
+            self.loop = StepLoop(self.session.step_fn(),
+                                 hooks=self.session.loop_hooks())
         else:
             self.loop = StepLoop(
                 self.session.step_fn(),
+                hooks=self.session.loop_hooks(),
                 start_step=state["step"],
                 observations_seen=state["observations_seen"],
                 history=[tuple(pair) for pair in state["history"]],
@@ -434,7 +488,8 @@ class Supervisor:
             new_spec = self._shrunken_spec(old, lost_ranks)
         except ElasticRecoveryError as impossible:
             report.unrecovered.append(str(impossible))
-            report.events.append(
+            self._record(
+                report,
                 RecoveryEvent(
                     step=step, kind=self._kind_of(err), action="unrecovered",
                     rank=rank, detail=str(impossible),
@@ -459,11 +514,17 @@ class Supervisor:
         resume_from = (
             self._last_checkpoint["step"] if self._last_checkpoint else 0
         )
+        self.monitor.record_checkpoint(
+            step, "rollback",
+            detail=f"rolling back from step {step} to step {resume_from} "
+                   f"(elastic regroup)",
+        )
         self.spec = new_spec
         self._build_session(new_spec)
         state = self._resume_state_elastic()
         self._build_loop_from(state)
-        report.events.append(
+        self._record(
+            report,
             RecoveryEvent(
                 step=step,
                 kind=self._kind_of(err),

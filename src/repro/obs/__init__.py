@@ -33,10 +33,13 @@ from repro.obs.metrics import (
 from repro.obs.tracer import NULL_TRACER, SPAN_KINDS, NullTracer, Span, Tracer
 from repro.obs.export import (
     load_trace_events,
+    parse_prometheus,
     step_report,
     to_chrome_trace,
     to_dict,
+    to_prometheus,
     write_chrome_trace,
+    write_prometheus,
     write_step_report,
     write_trace_events,
 )
@@ -53,9 +56,39 @@ from repro.obs.health import (
     check_run,
     health_report,
 )
+from repro.obs.timeseries import (
+    P2Quantile,
+    Series,
+    StreamingStats,
+    TimeseriesStore,
+    load_timeseries,
+)
+from repro.obs.detect import AlertRule, DetectorBank, default_rules
+from repro.obs.journal import (
+    EventJournal,
+    JournalEvent,
+    journal_summary,
+    load_journal,
+)
+from repro.obs.monitor import NULL_MONITOR, NullMonitor, RunMonitor
 from repro.obs.capture import TraceRun, run_traced_step
 
 __all__ = [
+    "AlertRule",
+    "DetectorBank",
+    "EventJournal",
+    "JournalEvent",
+    "NULL_MONITOR",
+    "NullMonitor",
+    "P2Quantile",
+    "RunMonitor",
+    "Series",
+    "StreamingStats",
+    "TimeseriesStore",
+    "default_rules",
+    "journal_summary",
+    "load_journal",
+    "load_timeseries",
     "Counter",
     "Finding",
     "Gauge",
@@ -78,11 +111,14 @@ __all__ = [
     "critical_path_report",
     "health_report",
     "load_trace_events",
+    "parse_prometheus",
     "run_traced_step",
     "step_report",
     "to_chrome_trace",
     "to_dict",
+    "to_prometheus",
     "write_chrome_trace",
+    "write_prometheus",
     "write_step_report",
     "write_trace_events",
 ]

@@ -44,6 +44,8 @@ class TraceRun:
     loss: float
     walltime_s: float
     files: dict[str, Path] = field(default_factory=dict)
+    #: The session's monitor handle (NULL_MONITOR when telemetry is off).
+    monitor: object = None
 
 
 def run_traced_step(
@@ -59,6 +61,7 @@ def run_traced_step(
     num_steps: int = 1,
     compute_skew: Mapping[int, float] | None = None,
     fold: str = "off",
+    monitor: str = "off",
     out_dir=None,
 ) -> TraceRun:
     """``num_steps`` traced optimizer steps of the hierarchical engine.
@@ -94,9 +97,12 @@ def run_traced_step(
         num_steps=num_steps,
         compute_skew=dict(compute_skew or {}),
         fold=fold,
+        monitor=monitor,
     )
     session = Session(spec)
-    result = StepLoop(session.numeric_step).run(num_steps)
+    result = StepLoop(
+        session.numeric_step, hooks=session.loop_hooks()
+    ).run(num_steps)
     loss = result.final_loss
 
     # The trainer already recorded step.walltime_s / train.loss /
@@ -115,7 +121,7 @@ def run_traced_step(
 
     run = TraceRun(
         cluster=cluster, plan=session.plan, tracer=tracer, loss=loss,
-        walltime_s=walltime,
+        walltime_s=walltime, monitor=session.monitor,
     )
     if out_dir is not None:
         out_dir = Path(out_dir)

@@ -1,0 +1,224 @@
+"""Unified append-only event journal for a monitored run.
+
+A run emits events from several subsystems — detector alerts, post-hoc
+health findings, Supervisor/FaultInjector recovery actions, checkpoint
+saves and rollbacks, fold/unfold mode switches.  Each previously lived
+in its own structure (``DetectorBank.alerts``, ``RecoveryReport``,
+logs); the journal merges them into **one ordered, schema-versioned
+stream** so "what happened to this run?" has a single answer.
+
+Ordering guarantee: events are journaled in the order the run emits
+them — program order, which for the simulated stack is deterministic
+given the seed and fault plan.  Each event gets a monotonically
+increasing ``seq`` stamped at append time; the serialized file sorts
+by nothing (append order *is* the order).  Combined with canonical
+JSON encoding (sorted keys, compact separators, pure floats from the
+cost model), two identical seeded runs write **byte-identical**
+journal files — the repo's bitwise-reproducibility invariant extended
+to telemetry.
+
+Event kinds (``JOURNAL_KINDS``): ``run`` (start/end markers), ``alert``
+(detector findings), ``health`` (post-hoc check findings), ``recovery``
+(Supervisor actions, incl. fault skips), ``checkpoint`` (save /
+rollback), ``fold`` (mode switches).  New kinds may be added under the
+same schema as long as existing fields keep their meaning; breaking
+changes bump ``JOURNAL_SCHEMA``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable
+
+#: Format version of the journal JSONL artifact.
+JOURNAL_SCHEMA = 1
+
+#: Known event kinds (open set — see module docstring).
+JOURNAL_KINDS = ("run", "alert", "health", "recovery", "checkpoint", "fold")
+
+_JSON_KWARGS = dict(sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class JournalEvent:
+    """One journal line: where (step), what (kind), and details."""
+
+    seq: int
+    step: int
+    kind: str
+    category: str = ""
+    severity: str = "info"
+    message: str = ""
+    data: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "seq": self.seq,
+            "step": self.step,
+            "kind": self.kind,
+            "category": self.category,
+            "severity": self.severity,
+            "message": self.message,
+            "data": self.data,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), **_JSON_KWARGS)
+
+    def render(self) -> str:
+        """One human-readable tail line."""
+        return (
+            f"[{self.seq:4d}] step {self.step:>4} "
+            f"{self.kind}/{self.category or '-'} "
+            f"[{self.severity}] {self.message}"
+        )
+
+
+class EventJournal:
+    """Append-only, seq-stamped event stream.
+
+    ``on_event`` (optional) is invoked synchronously with each appended
+    :class:`JournalEvent` — the live-tail hook for ``repro monitor``.
+    """
+
+    def __init__(self, on_event: Callable[[JournalEvent], None] | None = None):
+        self.events: list[JournalEvent] = []
+        self.on_event = on_event
+
+    def append(self, step: int, kind: str, *, category: str = "",
+               severity: str = "info", message: str = "",
+               data: dict | None = None) -> JournalEvent:
+        event = JournalEvent(
+            seq=len(self.events),
+            step=int(step),
+            kind=kind,
+            category=category,
+            severity=severity,
+            message=message,
+            data=dict(data or {}),
+        )
+        self.events.append(event)
+        if self.on_event is not None:
+            self.on_event(event)
+        return event
+
+    # -- typed appenders ----------------------------------------------------
+    def record_finding(self, step: int, finding, *, kind: str = "alert") -> JournalEvent:
+        """Journal a :class:`~repro.obs.health.Finding` (alert or health)."""
+        return self.append(
+            step, kind,
+            category=finding.category,
+            severity=finding.severity,
+            message=finding.message,
+            data={
+                "ranks": list(finding.ranks),
+                "value": finding.value,
+                "threshold": finding.threshold,
+            },
+        )
+
+    def record_recovery(self, event) -> JournalEvent:
+        """Journal a :class:`~repro.faults.report.RecoveryEvent`."""
+        return self.append(
+            event.step, "recovery",
+            category=event.kind,
+            severity="warning",
+            message=f"{event.action} (rank {event.rank}, attempt {event.attempts})",
+            data=event.as_dict(),
+        )
+
+    def record_checkpoint(self, step: int, action: str, *,
+                          detail: str = "") -> JournalEvent:
+        """Journal a checkpoint ``save`` or ``rollback``."""
+        return self.append(
+            step, "checkpoint",
+            category=action,
+            severity="info" if action == "save" else "warning",
+            message=detail or f"checkpoint {action} at step {step}",
+        )
+
+    def record_fold(self, step: int, mode: str, reason: str = "") -> JournalEvent:
+        """Journal a fold/unfold timeline mode switch."""
+        return self.append(
+            step, "fold",
+            category=mode,
+            severity="info",
+            message=reason or f"timeline switched to {mode} mode",
+        )
+
+    def record_run(self, step: int, phase: str, detail: str = "") -> JournalEvent:
+        """Journal a run lifecycle marker (``start`` / ``end``)."""
+        return self.append(
+            step, "run", category=phase, severity="info",
+            message=detail or f"run {phase}",
+        )
+
+    # -- queries ------------------------------------------------------------
+    def by_kind(self, kind: str) -> list[JournalEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def critical(self) -> list[JournalEvent]:
+        return [e for e in self.events if e.severity == "critical"]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    # -- persistence ---------------------------------------------------------
+    def to_jsonl(self) -> str:
+        """Canonical byte-deterministic JSONL (header + one line/event)."""
+        lines = [json.dumps(
+            {"kind": "journal", "schema": JOURNAL_SCHEMA,
+             "events": len(self.events)},
+            **_JSON_KWARGS,
+        )]
+        lines.extend(event.to_json() for event in self.events)
+        return "\n".join(lines) + "\n"
+
+    def write_jsonl(self, path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_jsonl())
+        return path
+
+
+def load_journal(path) -> list[JournalEvent]:
+    """Read a journal artifact back into :class:`JournalEvent` records."""
+    lines = [json.loads(line) for line in
+             Path(path).read_text().splitlines() if line]
+    if not lines or lines[0].get("kind") != "journal":
+        raise ValueError(f"{path} is not a journal artifact (no header)")
+    header = lines[0]
+    if header.get("schema") != JOURNAL_SCHEMA:
+        raise ValueError(
+            f"{path} has journal schema {header.get('schema')!r}, "
+            f"expected {JOURNAL_SCHEMA}"
+        )
+    events = [JournalEvent(**entry) for entry in lines[1:]]
+    if [e.seq for e in events] != list(range(len(events))):
+        raise ValueError(f"{path} has a gap or reorder in event seq numbers")
+    if len(events) != header.get("events"):
+        raise ValueError(
+            f"{path} header promises {header.get('events')} events, "
+            f"found {len(events)}"
+        )
+    return events
+
+
+def journal_summary(events: Iterable[JournalEvent]) -> dict:
+    """Counts by kind and severity (the summary table's numbers)."""
+    events = list(events)
+    kinds: dict[str, int] = {}
+    severities: dict[str, int] = {}
+    for event in events:
+        kinds[event.kind] = kinds.get(event.kind, 0) + 1
+        severities[event.severity] = severities.get(event.severity, 0) + 1
+    return {
+        "events": len(events),
+        "by_kind": dict(sorted(kinds.items())),
+        "by_severity": dict(sorted(severities.items())),
+    }

@@ -145,6 +145,24 @@ class MetricsRegistry:
                 out["histograms"][name] = instrument.summary()
         return out
 
+    def snapshot(self) -> dict:
+        """Flat point-in-time view, sorted by name.
+
+        Counters and gauges map to their scalar value; histograms to
+        their :meth:`Histogram.summary` dict.  The result shares no
+        state with the registry — mutate instruments afterwards and the
+        snapshot stands still (the Prometheus exporter and the bench
+        artifacts both rely on that).
+        """
+        out: dict = {}
+        for name in self.names():
+            instrument = self._instruments[name]
+            if isinstance(instrument, Histogram):
+                out[name] = instrument.summary()
+            else:
+                out[name] = instrument.value
+        return out
+
     def reset(self) -> None:
         self._instruments.clear()
 
@@ -192,6 +210,9 @@ class NullMetrics:
 
     def as_dict(self) -> dict:
         return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def snapshot(self) -> dict:
+        return {}
 
     def reset(self) -> None:
         pass

@@ -1,0 +1,313 @@
+"""RunMonitor: the streaming-telemetry StepLoop hook.
+
+The monitor is the live counterpart of the post-hoc analysis stack: it
+rides the :class:`~repro.runtime.steploop.StepLoop` hook protocol,
+reads per-step deltas straight off the Timeline ledgers, feeds a
+:class:`~repro.obs.timeseries.TimeseriesStore`, evaluates a
+:class:`~repro.obs.detect.DetectorBank`, and journals everything —
+alerts, health findings, recovery actions, checkpoints, fold switches
+— into one :class:`~repro.obs.journal.EventJournal`.
+
+Ledger reads are safe across fold-mode switches: ``unfold()``
+materializes member ledgers as bitwise copies of their class ledger
+and ``try_refold()`` copies the representative back, so
+``timeline.ledger(rank)`` is value-continuous no matter when the mode
+flips relative to the step boundary.  Per-step deltas (and sums over
+the whole world) therefore never see a discontinuity.
+
+One monitor instance survives Supervisor incarnations: the Supervisor
+rebuilds the Session after a crash or node loss, and
+:meth:`RunMonitor.attach_session` re-bases the ledger baselines on the
+fresh (zeroed) timeline — the same external-ownership pattern as the
+:class:`~repro.faults.injector.FaultInjector`.
+
+:data:`NULL_MONITOR` mirrors ``NULL_TRACER``: the default handle is a
+no-op object, so unmonitored runs pay one attribute lookup per hook
+and allocate nothing.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import statistics
+
+from repro.obs.detect import AlertRule, DetectorBank
+from repro.obs.journal import EventJournal, journal_summary
+from repro.obs.timeseries import TimeseriesStore
+
+
+class RunMonitor:
+    """Streaming telemetry over one run (possibly many sessions).
+
+    Parameters
+    ----------
+    rules:
+        Alert rules for the detector bank; defaults to
+        :func:`~repro.obs.detect.default_rules`.
+    capacity / rollup_every:
+        Timeseries raw-tail and rollup-bucket geometry.
+    on_event:
+        Optional callable invoked with each appended
+        :class:`~repro.obs.journal.JournalEvent` — the live tail.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        rules: tuple[AlertRule, ...] | None = None,
+        capacity: int = 1024,
+        rollup_every: int = 64,
+        on_event=None,
+    ):
+        self.store = TimeseriesStore(capacity=capacity,
+                                     rollup_every=rollup_every)
+        self.bank = DetectorBank(rules)
+        self.journal = EventJournal(on_event)
+        self._session = None
+        #: rank -> (compute_s, exposed_comm_s) at step start.
+        self._baseline: dict[int, tuple[float, float]] = {}
+        #: rank -> first observed per-step busy time: the run's own
+        #: static imbalance profile.  ``step.straggler_excess`` measures
+        #: *emergence* — per-rank slowdown relative to this profile —
+        #: because topology-induced spread (FSDP lead ranks do extra
+        #: dense work) is structural, not a degradation.
+        self._busy_profile: dict[int, float] = {}
+
+    # -- session lifecycle ---------------------------------------------------
+    def attach_session(self, session) -> None:
+        """(Re-)bind to a session; re-bases ledger baselines.
+
+        Called at Session construction and again by the Supervisor when
+        it rebuilds the stack after a crash/elastic regroup — the new
+        timeline starts from zero, so the old baselines are void.
+        """
+        self._session = session
+        self._baseline = {}
+        self._busy_profile = {}
+        self._snapshot_baseline()
+
+    def _snapshot_baseline(self) -> None:
+        session = self._session
+        if session is None:
+            return
+        timeline = session.cluster.timeline
+        self._baseline = {
+            rank: (ledger.compute_s, ledger.exposed_comm_s)
+            for rank in range(session.cluster.world_size)
+            for ledger in (timeline.ledger(rank),)
+        }
+
+    # -- StepLoop hook protocol ---------------------------------------------
+    def on_step_start(self, loop, step: int) -> None:
+        self._snapshot_baseline()
+
+    def on_step_end(self, loop, event) -> None:
+        session = self._session
+        if session is None:
+            return
+        step = event.step
+        timeline = session.cluster.timeline
+        compute_sum = exposed_sum = 0.0
+        busy_deltas: dict[int, float] = {}
+        for rank in range(session.cluster.world_size):
+            ledger = timeline.ledger(rank)
+            base_c, base_e = self._baseline.get(rank, (0.0, 0.0))
+            d_compute = ledger.compute_s - base_c
+            d_exposed = ledger.exposed_comm_s - base_e
+            compute_sum += d_compute
+            exposed_sum += d_exposed
+            busy_deltas[rank] = d_compute + d_exposed
+        if not self._busy_profile:
+            self._busy_profile = dict(busy_deltas)
+        values: dict[str, float] = {}
+        if busy_deltas:
+            values["step.time_s"] = max(busy_deltas.values())
+            # Per-rank slowdown vs the run's own first-step profile:
+            # a clean step reproduces the profile exactly (every ratio
+            # 1.0, excess 0), so only emergent degradation registers.
+            ratios = [
+                delta / self._busy_profile[rank]
+                if self._busy_profile.get(rank, 0.0) > 0.0 else 1.0
+                for rank, delta in busy_deltas.items()
+            ]
+            median = statistics.median(ratios)
+            values["step.straggler_excess"] = (
+                max(ratios) / median - 1.0 if median > 0.0 else 0.0
+            )
+        total = compute_sum + exposed_sum
+        values["step.exposed_comm_ratio"] = (
+            exposed_sum / total if total > 0.0 else 0.0
+        )
+        if math.isfinite(event.loss):
+            values["step.loss"] = event.loss
+        fraction = self._peak_memory_fraction()
+        if fraction is not None:
+            values["memory.peak_fraction"] = fraction
+        self._observe(step, values)
+
+    def on_loss(self, loop, step: int, loss: float) -> None:
+        pass
+
+    def on_checkpoint(self, loop, event) -> None:
+        self.record_checkpoint(event.step, "save")
+
+    def on_health(self, loop, findings) -> None:
+        for finding in findings:
+            self.journal.record_finding(
+                self._loop_step(loop), finding, kind="health"
+            )
+
+    def _loop_step(self, loop) -> int:
+        return getattr(loop, "step", 0)
+
+    def _peak_memory_fraction(self):
+        cluster = self._session.cluster
+        best = None
+        for rank in range(cluster.world_size):
+            fraction = cluster.device(rank).memory.peak_fraction
+            if fraction is not None and (best is None or fraction > best):
+                best = fraction
+        return best
+
+    def _observe(self, step: int, values: dict[str, float]) -> None:
+        """Detectors first (their baselines must exclude this point),
+        then the store, then the journal."""
+        for finding in self.bank.observe(step, values, self.store):
+            self.journal.record_finding(step, finding, kind="alert")
+        self.store.record(step, values)
+
+    # -- out-of-loop telemetry (Supervisor, Session) -------------------------
+    def observe_gauges(self, step: int, values: dict[str, float]) -> None:
+        """Record supervisor-side samples (e.g. goodput fractions).
+
+        The Supervisor commits a step *after* the StepLoop hooks have
+        fired, so these samples arrive through this side door instead
+        of ``on_step_end`` — same detector-then-store path, attributed
+        to the committing step.
+        """
+        self._observe(step, values)
+
+    def record_fold(self, step: int, mode: str, reason: str = "") -> None:
+        self.journal.record_fold(step, mode, reason)
+
+    def record_checkpoint(self, step: int, action: str, *, detail: str = "") -> None:
+        self.journal.record_checkpoint(step, action, detail=detail)
+
+    def record_recovery(self, event) -> None:
+        self.journal.record_recovery(event)
+
+    def record_run(self, step: int, phase: str, detail: str = "") -> None:
+        self.journal.record_run(step, phase, detail)
+
+    # -- results -------------------------------------------------------------
+    @property
+    def critical_alerts(self) -> int:
+        return self.bank.critical_count
+
+    @property
+    def warning_alerts(self) -> int:
+        return self.bank.warning_count
+
+    @property
+    def alerts(self):
+        return tuple(self.bank.alerts)
+
+    def as_document(self) -> dict:
+        """Machine-readable run summary (``repro monitor --json``)."""
+        return {
+            "journal": [event.as_dict() for event in self.journal],
+            "journal_summary": journal_summary(self.journal),
+            "timeseries": self.store.summaries(),
+            "alerts": {
+                "warning": self.warning_alerts,
+                "critical": self.critical_alerts,
+            },
+            "rules": [rule.as_dict() for rule in self.bank.rules],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.as_document(), indent=indent, sort_keys=True)
+
+    def summary_table(self) -> str:
+        """End-of-run plain-text summary: series stats + event counts."""
+        lines = ["metric                         count      last      mean       p95"]
+        for row in self.store.summaries():
+            lines.append(
+                f"{row['name']:<30s} {row['count']:>5d} "
+                f"{row['last']:>9.4g} {row['mean']:>9.4g} {row['p95']:>9.4g}"
+            )
+        summary = journal_summary(self.journal)
+        kinds = ", ".join(
+            f"{kind}={count}" for kind, count in summary["by_kind"].items()
+        ) or "none"
+        lines.append(f"journal: {summary['events']} event(s) ({kinds})")
+        lines.append(
+            f"alerts: {self.warning_alerts} warning, "
+            f"{self.critical_alerts} critical"
+        )
+        return "\n".join(lines)
+
+
+class NullMonitor:
+    """The disabled monitor: every hook is a no-op, nothing is stored.
+
+    Mirrors :class:`~repro.obs.tracer.NullTracer` — monitored code
+    holds a monitor handle and calls it unconditionally; with this
+    object installed the telemetry layer costs one dynamic dispatch
+    per hook and allocates nothing.
+    """
+
+    enabled = False
+
+    __slots__ = ()
+
+    def attach_session(self, session) -> None:
+        pass
+
+    def on_step_start(self, loop, step) -> None:
+        pass
+
+    def on_step_end(self, loop, event) -> None:
+        pass
+
+    def on_loss(self, loop, step, loss) -> None:
+        pass
+
+    def on_checkpoint(self, loop, event) -> None:
+        pass
+
+    def on_health(self, loop, findings) -> None:
+        pass
+
+    def observe_gauges(self, step, values) -> None:
+        pass
+
+    def record_fold(self, step, mode, reason="") -> None:
+        pass
+
+    def record_checkpoint(self, step, action, *, detail="") -> None:
+        pass
+
+    def record_recovery(self, event) -> None:
+        pass
+
+    def record_run(self, step, phase, detail="") -> None:
+        pass
+
+    @property
+    def critical_alerts(self) -> int:
+        return 0
+
+    @property
+    def warning_alerts(self) -> int:
+        return 0
+
+    @property
+    def alerts(self) -> tuple:
+        return ()
+
+
+#: Shared module-level no-op monitor; the default handle everywhere.
+NULL_MONITOR = NullMonitor()

@@ -92,6 +92,13 @@ class Session:
         Optional :class:`~repro.nn.grad_scaler.DynamicGradScaler` for
         the numeric trainer; its state is persisted by :meth:`save` and
         restored by :meth:`resume`.
+    monitor:
+        Optional :class:`~repro.obs.monitor.RunMonitor`.  Defaults to a
+        fresh monitor when ``spec.monitor == "on"`` and
+        :data:`~repro.obs.monitor.NULL_MONITOR` otherwise.  Pass an
+        existing instance to keep one telemetry stream across session
+        rebuilds (the Supervisor does this through ``session_kwargs``,
+        the same pattern as the fault injector).
     """
 
     def __init__(
@@ -104,6 +111,7 @@ class Session:
         schedule=None,
         precision=None,
         grad_scaler=None,
+        monitor=None,
     ):
         from repro.cluster.symmetry import decide_fold
         from repro.faults.degradation import SkewedCompute
@@ -153,6 +161,18 @@ class Session:
             recompute=spec.recompute,
             compute_model=compute_model,
         )
+        if monitor is None:
+            if spec.monitor == "on":
+                from repro.obs.monitor import RunMonitor
+
+                monitor = RunMonitor()
+            else:
+                from repro.obs.monitor import NULL_MONITOR
+
+                monitor = NULL_MONITOR
+        #: Streaming telemetry handle (never None; NULL_MONITOR when off).
+        self.monitor = monitor
+        self.monitor.attach_session(self)
         #: Synthetic-batch stream state; persisted by :meth:`save`.
         self.data_rng = np.random.default_rng(spec.seed)
         self._lat_weights = lat_weights
@@ -265,12 +285,24 @@ class Session:
             if timeline.folded:
                 timeline.unfold()
                 self.engine.materialize_replicas()
-        elif not timeline.folded:
-            timeline.try_refold()
+                self.monitor.record_fold(
+                    step, "exact",
+                    f"step {step} is inside a fault window; simulating "
+                    f"every rank",
+                )
+        elif not timeline.folded and timeline.try_refold():
+            self.monitor.record_fold(
+                step, "folded",
+                f"class ledgers re-converged before step {step}; folding",
+            )
 
     def step_fn(self):
         """The mode-appropriate StepLoop step function."""
         return self.meta_step if self.spec.meta else self.numeric_step
+
+    def loop_hooks(self) -> list:
+        """StepLoop hooks this session provides (the monitor, if any)."""
+        return [self.monitor] if self.monitor.enabled else []
 
     # -- observability --------------------------------------------------------
     def check_health(self, analysis=None):

@@ -144,6 +144,13 @@ class RunSpec:
     #: silently run exact otherwise.  Folded and exact runs are bitwise
     #: identical, so this is a policy knob, not an identity field.
     fold: str = field(default="off", metadata=_POLICY)
+    #: Streaming telemetry: ``"on"`` attaches a
+    #: :class:`~repro.obs.monitor.RunMonitor` (per-step timeseries,
+    #: anomaly detectors, event journal); ``"off"`` installs
+    #: :data:`~repro.obs.monitor.NULL_MONITOR`.  Telemetry reads the
+    #: ledgers but never writes them, so monitored and unmonitored
+    #: runs are bitwise identical — a policy knob, not identity.
+    monitor: str = field(default="off", metadata=_POLICY)
     #: Run mode: shape-only meta arrays (exact cost accounting, no
     #: numerics) vs real numeric training.
     meta: bool = True
@@ -212,6 +219,10 @@ class RunSpec:
         if self.fold not in ("off", "on", "auto"):
             problems.append(
                 f"invalid fold {self.fold!r}: must be 'off', 'on', or 'auto'"
+            )
+        if self.monitor not in ("off", "on"):
+            problems.append(
+                f"invalid monitor {self.monitor!r}: must be 'off' or 'on'"
             )
         return problems
 

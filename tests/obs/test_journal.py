@@ -1,0 +1,92 @@
+"""Event journal: ordering, typed appenders, byte-deterministic JSONL."""
+
+import pytest
+
+from repro.obs import EventJournal, Finding, journal_summary
+from repro.obs.journal import JOURNAL_SCHEMA, load_journal
+
+
+def sample_journal(on_event=None):
+    journal = EventJournal(on_event)
+    journal.record_run(0, "start", "run begins")
+    journal.record_finding(
+        2, Finding(category="straggler", severity="warning",
+                   message="rank 3 slow", ranks=(3,), value=0.4,
+                   threshold=0.1),
+    )
+    journal.record_checkpoint(2, "save", detail="ckpt_step2.npz")
+    journal.record_fold(3, "exact", "fault window")
+    journal.record_checkpoint(4, "rollback", detail="back to step 2")
+    journal.record_run(6, "end", "run ends")
+    return journal
+
+
+class TestOrdering:
+    def test_seq_is_append_order(self):
+        journal = sample_journal()
+        assert [e.seq for e in journal] == list(range(len(journal)))
+
+    def test_on_event_fires_synchronously_per_append(self):
+        seen = []
+        journal = sample_journal(on_event=seen.append)
+        assert seen == journal.events
+
+    def test_queries(self):
+        journal = sample_journal()
+        assert len(journal.by_kind("checkpoint")) == 2
+        assert journal.critical() == []
+        summary = journal_summary(journal)
+        assert summary["events"] == 6
+        assert summary["by_kind"] == {
+            "alert": 1, "checkpoint": 2, "fold": 1, "run": 2,
+        }
+        assert summary["by_severity"] == {"info": 4, "warning": 2}
+
+
+class TestTypedAppenders:
+    def test_finding_payload_preserved(self):
+        event = sample_journal().by_kind("alert")[0]
+        assert event.category == "straggler"
+        assert event.severity == "warning"
+        assert event.data == {"ranks": [3], "value": 0.4, "threshold": 0.1}
+
+    def test_rollback_is_warning_save_is_info(self):
+        saves = sample_journal().by_kind("checkpoint")
+        assert [e.severity for e in saves] == ["info", "warning"]
+
+    def test_render_mentions_kind_and_category(self):
+        line = sample_journal().events[0].render()
+        assert "run/start" in line and "[info]" in line
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path):
+        journal = sample_journal()
+        path = journal.write_jsonl(tmp_path / "journal.jsonl")
+        events = load_journal(path)
+        assert events == journal.events
+
+    def test_byte_identical_for_identical_event_sequences(self):
+        assert sample_journal().to_jsonl() == sample_journal().to_jsonl()
+
+    def test_load_rejects_corrupt_artifacts(self, tmp_path):
+        no_header = tmp_path / "a.jsonl"
+        no_header.write_text('{"seq":0,"step":0,"kind":"run"}\n')
+        with pytest.raises(ValueError, match="no header"):
+            load_journal(no_header)
+
+        wrong_schema = tmp_path / "b.jsonl"
+        wrong_schema.write_text('{"kind":"journal","schema":99,"events":0}\n')
+        with pytest.raises(ValueError, match="schema"):
+            load_journal(wrong_schema)
+
+        journal = sample_journal()
+        gap = journal.to_jsonl().splitlines()
+        del gap[2]  # drop seq 1: header promise and seq chain both break
+        torn = tmp_path / "c.jsonl"
+        torn.write_text("\n".join(gap) + "\n")
+        with pytest.raises(ValueError):
+            load_journal(torn)
+
+    def test_schema_constant_is_one(self):
+        assert JOURNAL_SCHEMA == 1

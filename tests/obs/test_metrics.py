@@ -101,3 +101,28 @@ class TestRegistry:
         reg.reset()
         assert len(reg) == 0
         assert reg.counter("a").value == 0.0
+
+
+class TestSnapshot:
+    def test_flat_sorted_view(self):
+        reg = MetricsRegistry()
+        reg.gauge("b.gauge").set(2.0)
+        reg.counter("a.counter").inc(3)
+        reg.histogram("c.hist").observe(1.0)
+        snap = reg.snapshot()
+        assert list(snap) == ["a.counter", "b.gauge", "c.hist"]
+        assert snap["a.counter"] == 3.0
+        assert snap["b.gauge"] == 2.0
+        assert snap["c.hist"]["count"] == 1
+
+    def test_snapshot_shares_no_state(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        snap = reg.snapshot()
+        reg.counter("a").inc(9)
+        assert snap["a"] == 1.0
+
+    def test_null_registry_snapshot_is_empty(self):
+        from repro.obs import NULL_METRICS
+
+        assert NULL_METRICS.snapshot() == {}

@@ -65,7 +65,7 @@ class TestPolicyMetadata:
     def test_policy_fields_are_the_knobs(self):
         assert policy_field_names() == {
             "prefetch", "recompute", "tp_innermost", "layer_wrapping", "bf16",
-            "fold",
+            "fold", "monitor",
         }
 
     def test_policy_fields_do_not_change_identity(self):

@@ -8,7 +8,7 @@ from repro.cli import build_parser, main
 
 ALL_SUBCOMMANDS = [
     "fig5", "table1", "fig6", "fig7", "fig8", "fig9", "fig10", "all", "trace",
-    "analyze", "bench", "tune",
+    "analyze", "bench", "tune", "faults", "monitor",
 ]
 
 
@@ -232,3 +232,68 @@ class TestBenchCommand:
                      "--baseline", str(baseline)]) == 1
         err = capsys.readouterr().err
         assert "DRIFT" in err and "step_time_s" in err
+
+    def test_timeseries_flag_writes_per_case_artifacts(self, tmp_path, capsys):
+        ts_dir = tmp_path / "ts"
+        assert main(["bench", "--quick", "--timeseries", str(ts_dir)]) == 0
+        written = sorted(p.name for p in ts_dir.iterdir())
+        assert written and all(n.endswith("_timeseries.jsonl") for n in written)
+        from repro.obs import load_timeseries
+
+        doc = load_timeseries(ts_dir / written[0])
+        assert "step.time_s" in doc["series"]
+
+
+class TestMonitorCommand:
+    PLAN = str(__import__("pathlib").Path("examples/fault_plan.json"))
+
+    def test_clean_run_exits_zero_with_summary(self, capsys):
+        assert main(["monitor", "--steps", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "run/start" in out and "run/end" in out  # live tail
+        assert "step.time_s" in out                     # summary table
+        assert "alerts: 0 warning, 0 critical" in out
+
+    def test_fault_plan_with_critical_alert_exits_one(self, capsys):
+        # The tiny trace model's steps are milliseconds, so the example
+        # plan's retry/restart costs push goodput.fraction into a
+        # sustained critical alert.
+        assert main(["monitor", "--plan", self.PLAN, "--quiet"]) == 1
+        out = capsys.readouterr().out
+        assert "critical" in out
+
+    def test_out_writes_loadable_byte_identical_artifacts(self, tmp_path, capsys):
+        from repro.obs import load_journal, load_timeseries
+
+        first = tmp_path / "a"
+        second = tmp_path / "b"
+        for out_dir in (first, second):
+            main(["monitor", "--plan", self.PLAN, "--quiet",
+                  "--out", str(out_dir)])
+            capsys.readouterr()
+        events = load_journal(first / "journal.jsonl")
+        assert events and events[0].kind == "run"
+        load_timeseries(first / "timeseries.jsonl")
+        assert (first / "journal.jsonl").read_bytes() == \
+            (second / "journal.jsonl").read_bytes()
+        assert (first / "timeseries.jsonl").read_bytes() == \
+            (second / "timeseries.jsonl").read_bytes()
+
+    def test_json_output_is_machine_readable(self, capsys):
+        assert main(["monitor", "--steps", "3", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["alerts"] == {"warning": 0, "critical": 0}
+        assert {"journal", "journal_summary", "timeseries", "rules"} <= set(doc)
+
+    def test_invalid_topology_exits_two(self, capsys):
+        assert main(["monitor", "--tp", "3"]) == 2
+        assert "--gpus" in capsys.readouterr().err
+
+    def test_invalid_plan_exits_two(self, tmp_path, capsys):
+        missing = tmp_path / "nope.json"
+        assert main(["monitor", "--plan", str(missing)]) == 2
+        assert "invalid plan" in capsys.readouterr().err
+
+    def test_plan_and_random_are_mutually_exclusive(self, capsys):
+        assert main(["monitor", "--plan", self.PLAN, "--random", "7"]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
