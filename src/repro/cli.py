@@ -284,6 +284,73 @@ def build_parser() -> argparse.ArgumentParser:
     )
     faults.set_defaults(steps=8)
 
+    serve = sub.add_parser(
+        "serve",
+        help="serve forecasts: micro-batching, prefix caching, autoscaling",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "examples:\n"
+            "  repro serve --smoke                       # full-stack smoke + invariant checks\n"
+            "  repro serve --smoke --artifacts results/serve\n"
+            "  repro serve --out BENCH_serve.json        # regenerate the bench baseline\n"
+            "  repro serve --check                       # serving regression gate\n"
+            "\n"
+            "exits 1 when --check finds drift or a smoke invariant fails,\n"
+            "2 on an invalid topology or serving policy."
+        ),
+    )
+    _add_topology_args(serve)
+    # The served model is tiny (4 channels, 8x16); default to one node
+    # with a legal (tp=2, fsdp=2, ddp=2) factorization for it.
+    serve.set_defaults(gpus=8, tp=2, fsdp=2, ddp=2, micro_batch=1, steps=1)
+    serve.add_argument(
+        "--smoke", action="store_true",
+        help="run a small seeded workload through the Session hand-off and "
+        "verify the serving invariants (bitwise parity, replay determinism)",
+    )
+    serve.add_argument(
+        "--rate", type=float, default=50.0,
+        help="--smoke offered load in requests/s (default: 50)",
+    )
+    serve.add_argument(
+        "--duration", type=float, default=1.0,
+        help="--smoke workload duration in simulated seconds (default: 1)",
+    )
+    serve.add_argument(
+        "--load-seed", type=int, default=0,
+        help="--smoke workload seed (default: 0)",
+    )
+    serve.add_argument(
+        "--hot-fraction", type=float, default=0.8,
+        help="--smoke fraction of requests hitting the hot windows",
+    )
+    serve.add_argument("--max-batch", type=int, default=8)
+    serve.add_argument(
+        "--window-ms", type=float, default=5.0,
+        help="micro-batch coalescing window in milliseconds (default: 5)",
+    )
+    serve.add_argument("--queue-limit", type=int, default=256)
+    serve.add_argument("--cache-entries", type=int, default=32)
+    serve.add_argument("--min-replicas", type=int, default=1)
+    serve.add_argument("--max-replicas", type=int, default=4)
+    serve.add_argument(
+        "--out", default=None,
+        help="write the serving bench document (BENCH_serve.json) here",
+    )
+    serve.add_argument(
+        "--check", action="store_true",
+        help="compare against --baseline and exit 1 on drift beyond --tolerance",
+    )
+    serve.add_argument("--baseline", default="BENCH_serve.json")
+    serve.add_argument("--tolerance", type=float, default=0.05)
+    serve.add_argument(
+        "--quick", action="store_true", help="run only the quick bench subset"
+    )
+    serve.add_argument(
+        "--artifacts", default=None, metavar="DIR",
+        help="write journal.jsonl and latency_histogram.json artifacts here",
+    )
+
     monitor = sub.add_parser(
         "monitor",
         help="run with streaming telemetry: live alerts, timeseries, event journal",
@@ -623,6 +690,146 @@ def main(argv: list[str] | None = None) -> int:
             print(f"wrote {out}")
         if not report.recovered:
             return 1
+    elif args.command == "serve":
+        from pathlib import Path
+
+        from repro.models import OrbitConfig
+        from repro.runtime import RunSpec, RunSpecError
+        from repro.serve.bench import (
+            SERVE_CONFIG_KWARGS,
+            build_serve_world,
+            compare,
+            load_baseline,
+            run_serve_matrix,
+            summary_table,
+            to_document,
+            write_baseline,
+        )
+
+        error = _topology_error(args)
+        if error is not None:
+            print(error, file=sys.stderr)
+            return 2
+        try:
+            spec = RunSpec(
+                config=OrbitConfig("serve-tiny", **SERVE_CONFIG_KWARGS),
+                num_gpus=args.gpus,
+                gpus_per_node=args.gpus_per_node,
+                tp_size=args.tp,
+                fsdp_size=args.fsdp,
+                ddp_size=args.ddp,
+                micro_batch=args.micro_batch,
+                serve_max_batch=args.max_batch,
+                serve_window_s=args.window_ms / 1e3,
+                serve_queue_limit=args.queue_limit,
+                serve_cache_entries=args.cache_entries,
+                serve_min_replicas=args.min_replicas,
+                serve_max_replicas=args.max_replicas,
+                meta=False,
+                seed=args.seed,
+                num_steps=args.steps,
+            )
+        except RunSpecError as spec_error:
+            print(f"repro serve: {spec_error}", file=sys.stderr)
+            return 2
+        legality = spec.legality_reason()
+        if legality is not None:
+            print(
+                f"repro serve: illegal topology for the serving model: "
+                f"{legality}",
+                file=sys.stderr,
+            )
+            return 2
+
+        if args.smoke:
+            from repro.runtime import Session
+            from repro.serve import ForecastServer, LoadSpec, generate_requests
+
+            try:
+                load = LoadSpec(
+                    rate_rps=args.rate,
+                    duration_s=args.duration,
+                    seed=args.load_seed,
+                    num_windows=48,
+                    num_hot=4,
+                    hot_fraction=args.hot_fraction,
+                )
+            except ValueError as load_error:
+                print(f"repro serve: invalid load: {load_error}", file=sys.stderr)
+                return 2
+            # The full hand-off: sharded Session weights gathered into
+            # one serial model, served through the async front-end.
+            session = Session(spec)
+            dataset, forecaster = build_serve_world(model=session.serving_model())
+            policy = session.serve_policy()
+            requests = generate_requests(load)
+            server = ForecastServer(forecaster, dataset, policy)
+            report = server.serve(requests)
+            stats = report.stats()
+            print(
+                f"serve smoke: {stats['completed']}/{stats['offered']} ok, "
+                f"{stats['rejected']} rejected, p50 "
+                f"{stats['latency_p50_s'] * 1e3:.2f} ms, p99 "
+                f"{stats['latency_p99_s'] * 1e3:.2f} ms, cache hit "
+                f"{stats['cache_hit_ratio']:.2f}, replicas peak "
+                f"{stats['replicas_peak']}"
+            )
+            failures = []
+            names = list(dataset.out_names)
+            for response in report.completed:
+                request = response.request
+                direct = forecaster.forecast(
+                    dataset, request.init_index, request.lead_steps
+                )[[names.index(v) for v in request.out_vars]]
+                if not (response.result == direct).all():
+                    failures.append(
+                        f"request {request.request_id}: served forecast is "
+                        "not bitwise-equal to the direct rollout"
+                    )
+                    break
+            replay = ForecastServer(forecaster, dataset, policy)
+            replay.serve(requests)
+            if server.journal.to_jsonl() != replay.journal.to_jsonl():
+                failures.append("seeded replay journal is not byte-identical")
+            if args.artifacts:
+                out = Path(args.artifacts)
+                out.mkdir(parents=True, exist_ok=True)
+                print(f"wrote {server.journal.write_jsonl(out / 'journal.jsonl')}")
+                hist = out / "latency_histogram.json"
+                hist.write_text(report.histogram_json())
+                print(f"wrote {hist}")
+            if failures:
+                for failure in failures:
+                    print(f"FAIL: {failure}", file=sys.stderr)
+                return 1
+            print(
+                "serve invariants OK: bitwise parity with direct rollout, "
+                "byte-identical seeded replay"
+            )
+            return 0
+
+        records = run_serve_matrix(quick=args.quick)
+        doc = to_document(records)
+        print(summary_table(doc))
+        if args.out:
+            print(f"wrote {write_baseline(records, args.out)}")
+        if args.check:
+            baseline = load_baseline(args.baseline)
+            problems = compare(
+                doc, baseline, tolerance=args.tolerance,
+                require_all=not args.quick,
+            )
+            if problems:
+                for problem in problems:
+                    print(f"DRIFT: {problem}", file=sys.stderr)
+                print(
+                    f"serve regression gate FAILED: {len(problems)} metric(s) "
+                    f"beyond the {args.tolerance:.0%} tolerance vs "
+                    f"{args.baseline}",
+                    file=sys.stderr,
+                )
+                return 1
+            print(f"serve regression gate OK (tolerance {args.tolerance:.0%})")
     elif args.command == "monitor":
         import tempfile
         from pathlib import Path

@@ -9,9 +9,20 @@ be compared on the same trained model.
 A rollout needs the model to predict *all* of its input channels (the
 output feeds back as the next input); static channels are carried over
 from the initial condition.
+
+The rollout is exposed **incrementally**: :meth:`~RolloutForecaster.
+iter_states` yields the normalized state after each base-lead model
+application, so a consumer that wants many leads from the same
+initialization (the serving layer's rollout prefix cache,
+:mod:`repro.serve.cache`) pays for each autoregressive step exactly
+once.  :meth:`~RolloutForecaster.forecast` is a thin loop over the same
+iterator, so the chain of float operations — and therefore the result —
+is bitwise identical whichever door a lead is computed through.
 """
 
 from __future__ import annotations
+
+from typing import Iterator
 
 import numpy as np
 
@@ -48,6 +59,59 @@ class RolloutForecaster:
         self.base_lead_steps = base_lead_steps
         self.name = name
 
+    # -- incremental interface ------------------------------------------------
+    def initial_state(self, dataset: ClimateDataset, index: int) -> np.ndarray:
+        """The normalized initial condition (state after zero steps)."""
+        return self.normalizer.normalize(dataset.snapshot(index))
+
+    def advance(self, state: np.ndarray, static_indices) -> np.ndarray:
+        """One base-lead model application; returns a *fresh* array.
+
+        The model's returned buffer is never written: static channels
+        (orography etc.) are pinned on a copy, so a model that hands
+        back a cached or shared array keeps it intact.
+        """
+        lead_hours = np.asarray([self.base_lead_steps * HOURS_PER_STEP], np.float32)
+        prediction = self.model(state[None].astype(np.float32), lead_hours)[0]
+        clear_cache = getattr(self.model, "clear_cache", None)
+        if clear_cache is not None:
+            clear_cache()
+        if prediction.shape != state.shape:
+            raise ValueError(
+                "rollout needs a model predicting all input channels: "
+                f"got {prediction.shape}, state is {state.shape}"
+            )
+        prediction = np.array(prediction)
+        prediction[static_indices] = state[static_indices]
+        return prediction
+
+    def iter_states(
+        self, dataset: ClimateDataset, index: int
+    ) -> Iterator[tuple[int, np.ndarray]]:
+        """Yield ``(k, state)`` after ``k`` base-lead applications.
+
+        ``k`` runs 1, 2, 3, ... without bound — the consumer stops
+        iterating at the lead it needs.  Each yielded state is the
+        normalized all-channel field at lead ``k * base_lead_steps``.
+        """
+        static = dataset.registry.static_indices
+        state = self.initial_state(dataset, index)
+        k = 0
+        while True:
+            state = self.advance(state, static)
+            k += 1
+            yield k, state
+
+    def finalize(
+        self, state: np.ndarray, dataset: ClimateDataset,
+        out_names: list[str] | None = None,
+    ) -> np.ndarray:
+        """Denormalize a rollout state and select the output channels."""
+        denorm = self.normalizer.denormalize(state)
+        names = dataset.out_names if out_names is None else list(out_names)
+        return denorm[dataset.registry.indices(names)]
+
+    # -- the classic one-shot interface ---------------------------------------
     def forecast(self, dataset: ClimateDataset, index: int, lead_steps: int) -> np.ndarray:
         """Roll the model forward to ``lead_steps`` and return the targets."""
         if lead_steps % self.base_lead_steps:
@@ -55,21 +119,10 @@ class RolloutForecaster:
                 f"lead {lead_steps} not a multiple of the rollout step "
                 f"{self.base_lead_steps}"
             )
-        registry = dataset.registry
-        static = registry.static_indices
-        state = self.normalizer.normalize(dataset.snapshot(index))
-        lead_hours = np.asarray([self.base_lead_steps * HOURS_PER_STEP], np.float32)
-        for _ in range(lead_steps // self.base_lead_steps):
-            prediction = self.model(state[None].astype(np.float32), lead_hours)[0]
-            self.model.clear_cache()
-            if prediction.shape != state.shape:
-                raise ValueError(
-                    "rollout needs a model predicting all input channels: "
-                    f"got {prediction.shape}, state is {state.shape}"
-                )
-            # Static channels (orography etc.) never change.
-            prediction[static] = state[static]
-            state = prediction
-        denorm = self.normalizer.denormalize(state)
-        out_indices = registry.indices(dataset.out_names)
-        return denorm[out_indices]
+        applications = lead_steps // self.base_lead_steps
+        if applications == 0:
+            return self.finalize(self.initial_state(dataset, index), dataset)
+        for k, state in self.iter_states(dataset, index):
+            if k == applications:
+                return self.finalize(state, dataset)
+        raise AssertionError("unreachable: iter_states is unbounded")

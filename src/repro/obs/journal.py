@@ -35,8 +35,14 @@ from typing import Callable, Iterable
 #: Format version of the journal JSONL artifact.
 JOURNAL_SCHEMA = 1
 
-#: Known event kinds (open set — see module docstring).
-JOURNAL_KINDS = ("run", "alert", "health", "recovery", "checkpoint", "fold")
+#: Known event kinds (open set — see module docstring).  ``serve``
+#: events come from the forecast-serving front-end (admission
+#: rejections, autoscaler actions, run markers); their ``step`` field
+#: is the response count at emission time, and — like every other kind
+#: — their payloads are pure simulated-clock floats, so seeded serve
+#: replays journal byte-identically.
+JOURNAL_KINDS = ("run", "alert", "health", "recovery", "checkpoint", "fold",
+                 "serve")
 
 _JSON_KWARGS = dict(sort_keys=True, separators=(",", ":"))
 
@@ -146,6 +152,18 @@ class EventJournal:
             category=mode,
             severity="info",
             message=reason or f"timeline switched to {mode} mode",
+        )
+
+    def record_serve(self, step: int, category: str, *,
+                     severity: str = "info", message: str = "",
+                     data: dict | None = None) -> JournalEvent:
+        """Journal a forecast-serving event (start/end/reject/scale_*)."""
+        return self.append(
+            step, "serve",
+            category=category,
+            severity=severity,
+            message=message,
+            data=data,
         )
 
     def record_run(self, step: int, phase: str, detail: str = "") -> JournalEvent:

@@ -39,9 +39,12 @@ _STEP_SCOPE = re.compile(r"^step\.(\d+)$")
 
 #: The typed event vocabulary.  ``compute`` and ``collective``/``gather``
 #: carry simulated time; ``optimizer``/``checkpoint``/``io`` are
-#: zero-duration markers for control events off the simulated clock.
+#: zero-duration markers for control events off the simulated clock;
+#: ``serve`` spans carry simulated *serving* time (one per dispatched
+#: micro-batch, ``rank`` = replica id — see :mod:`repro.serve.server`).
 SPAN_KINDS = frozenset(
-    {"compute", "collective", "gather", "optimizer", "checkpoint", "io"}
+    {"compute", "collective", "gather", "optimizer", "checkpoint", "io",
+     "serve"}
 )
 
 

@@ -300,6 +300,33 @@ class Session:
         """The mode-appropriate StepLoop step function."""
         return self.meta_step if self.spec.meta else self.numeric_step
 
+    # -- serving hand-off -----------------------------------------------------
+    def serving_model(self):
+        """The trained weights as one serial model, for the serve layer.
+
+        Gathers the engine's dense replicas and FSDP shards into a
+        fresh unsharded model (the checkpoint-export path), which is
+        what a :class:`~repro.eval.rollout.RolloutForecaster` — and
+        therefore :class:`~repro.serve.server.ForecastServer` — wants
+        to hold: inference needs no parallel plan.
+        """
+        from repro.models import build_model
+
+        if self.spec.meta:
+            raise RuntimeError(
+                "meta-mode sessions hold no numeric weights to serve; build "
+                "the spec with meta=False"
+            )
+        model = build_model(self.config, rng=0, dtype=np.dtype(self.spec.dtype))
+        model.load_state_dict(self.engine.gathered_state_dict())
+        return model
+
+    def serve_policy(self):
+        """The :class:`~repro.serve.policy.ServePolicy` this spec describes."""
+        from repro.serve.policy import ServePolicy
+
+        return ServePolicy.from_spec(self.spec)
+
     def loop_hooks(self) -> list:
         """StepLoop hooks this session provides (the monitor, if any)."""
         return [self.monitor] if self.monitor.enabled else []

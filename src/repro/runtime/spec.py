@@ -151,6 +151,18 @@ class RunSpec:
     #: ledgers but never writes them, so monitored and unmonitored
     #: runs are bitwise identical — a policy knob, not identity.
     monitor: str = field(default="off", metadata=_POLICY)
+    #: Serving-policy knobs (see :class:`repro.serve.policy.ServePolicy`
+    #: — :meth:`~repro.serve.policy.ServePolicy.from_spec` reads these).
+    #: Like the training policies above, they change how forecasts are
+    #: *delivered* (batching, queueing, caching, scaling), never what a
+    #: forecast is: served results are bitwise-equal to direct rollout
+    #: output under every setting.
+    serve_max_batch: int = field(default=8, metadata=_POLICY)
+    serve_window_s: float = field(default=0.005, metadata=_POLICY)
+    serve_queue_limit: int = field(default=256, metadata=_POLICY)
+    serve_cache_entries: int = field(default=32, metadata=_POLICY)
+    serve_min_replicas: int = field(default=1, metadata=_POLICY)
+    serve_max_replicas: int = field(default=4, metadata=_POLICY)
     #: Run mode: shape-only meta arrays (exact cost accounting, no
     #: numerics) vs real numeric training.
     meta: bool = True
@@ -224,7 +236,27 @@ class RunSpec:
             problems.append(
                 f"invalid monitor {self.monitor!r}: must be 'off' or 'on'"
             )
+        problems.extend(self._serve_problems())
         return problems
+
+    def _serve_problems(self) -> list[str]:
+        """Serving-knob diagnostics, phrased by the serving layer.
+
+        Deferred import: the serve package owns its validation rules
+        (:func:`repro.serve.policy.policy_problems`); the spec routes
+        its knobs through them so ``repro serve`` rejects a bad policy
+        with exit 2 exactly like a bad topology.
+        """
+        from repro.serve.policy import policy_problems
+
+        return policy_problems(
+            max_batch=self.serve_max_batch,
+            batch_window_s=self.serve_window_s,
+            queue_limit=self.serve_queue_limit,
+            cache_entries=self.serve_cache_entries,
+            min_replicas=self.serve_min_replicas,
+            max_replicas=self.serve_max_replicas,
+        )
 
     def validate(self) -> None:
         """Raise :class:`RunSpecError` describing every topology problem."""

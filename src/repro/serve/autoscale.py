@@ -1,0 +1,112 @@
+"""Goodput-driven autoscaling for the serving replica pool.
+
+The scaler runs on a fixed simulated-time tick and looks at three
+signals, in priority order:
+
+1. **queue depth** — requests waiting (batcher + ready batches).  Above
+   ``queue_high``, add a replica: latency is already lost, stop the
+   backlog from compounding.
+2. **p99 latency** — the sliding-window p99 of recent completions
+   against ``target_p99_s``.  The SLO signal: scale up before the
+   queue alarm fires when service is merely *slow*.
+3. **utilization** — busy/capacity replica-seconds, the
+   ``GoodputLedger`` idea applied to serving.  Below
+   ``utilization_low`` with an idle replica and a quiet queue, retire
+   one: idle replicas are pure goodput loss.
+
+Every decision respects the pool bounds and a cooldown, and each tick
+produces a typed :class:`ScaleDecision` so the journal can replay the
+scaler's reasoning byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.serve.policy import ServePolicy
+from repro.serve.replica import ReplicaPool
+
+
+@dataclass(frozen=True)
+class ScaleDecision:
+    """One autoscaler tick's outcome, journaled verbatim."""
+
+    at_s: float
+    action: str  # "up" | "down" | "hold"
+    reason: str
+    replicas: int
+    queue_depth: int
+    p99_s: float
+    utilization: float
+
+    def as_dict(self) -> dict:
+        return {
+            "at_s": self.at_s,
+            "action": self.action,
+            "reason": self.reason,
+            "replicas": self.replicas,
+            "queue_depth": self.queue_depth,
+            "p99_s": self.p99_s,
+            "utilization": self.utilization,
+        }
+
+
+class Autoscaler:
+    """Evaluate the three signals against a :class:`ServePolicy`."""
+
+    def __init__(self, policy: ServePolicy):
+        self.policy = policy
+        self._last_action_s = float("-inf")
+        self.decisions: list[ScaleDecision] = []
+
+    def evaluate(
+        self,
+        now: float,
+        queue_depth: int,
+        p99_s: float,
+        pool: ReplicaPool,
+    ) -> ScaleDecision:
+        """Decide and *apply* one scaling action on the pool."""
+        policy = self.policy
+        action, reason = "hold", "signals nominal"
+        utilization = pool.utilization(now)
+        in_cooldown = now - self._last_action_s < policy.cooldown_s
+
+        if in_cooldown:
+            reason = "cooldown"
+        elif queue_depth > policy.queue_high and len(pool) < policy.max_replicas:
+            action = "up"
+            reason = f"queue depth {queue_depth} > {policy.queue_high}"
+        elif p99_s > policy.target_p99_s and len(pool) < policy.max_replicas:
+            action = "up"
+            reason = f"p99 {p99_s:.4f}s > target {policy.target_p99_s:.4f}s"
+        elif (
+            utilization < policy.utilization_low
+            and queue_depth == 0
+            and len(pool) > policy.min_replicas
+        ):
+            action = "down"
+            reason = (
+                f"utilization {utilization:.3f} < {policy.utilization_low:.3f}"
+            )
+
+        if action == "up":
+            pool.scale_up(now)
+            self._last_action_s = now
+        elif action == "down":
+            if pool.scale_down(now) is None:
+                action, reason = "hold", "scale-down deferred: no idle replica"
+            else:
+                self._last_action_s = now
+
+        decision = ScaleDecision(
+            at_s=now,
+            action=action,
+            reason=reason,
+            replicas=len(pool),
+            queue_depth=queue_depth,
+            p99_s=p99_s,
+            utilization=utilization,
+        )
+        self.decisions.append(decision)
+        return decision

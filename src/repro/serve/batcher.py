@@ -1,0 +1,122 @@
+"""Dynamic micro-batching: coalesce compatible requests up to a budget.
+
+Requests asking for the same variable set share a model output grid, so
+one dispatch can serve all of them (the rollout is per ``init_index``,
+but the prefix cache makes repeats nearly free — the expensive part is
+scheduling, and a batch amortizes it).  The batcher holds the first
+request of each compatibility class for at most ``window_s`` of
+simulated time, flushing early when the class reaches ``max_batch``.
+
+Flush timing is scheduled through the event loop, so the decision "did
+a second request arrive inside the window?" is made in deterministic
+simulated time, not wall time.  A generation counter per class guards
+the scheduled deadline callback: if the class flushed early (size
+trigger) and refilled, the stale deadline finds a newer generation and
+does nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.serve.clock import EventLoop
+from repro.serve.request import ForecastRequest
+
+
+@dataclass
+class Batch:
+    """One flushed micro-batch, ready for a replica."""
+
+    batch_id: int
+    requests: list[ForecastRequest]
+    formed_s: float
+    #: Why the batch flushed: ``"full"`` (hit max_batch), ``"window"``
+    #: (deadline expired), or ``"drain"`` (explicit flush_all).
+    trigger: str = "window"
+
+    @property
+    def size(self) -> int:
+        return len(self.requests)
+
+
+@dataclass
+class _Group:
+    """Open compatibility class awaiting flush."""
+
+    requests: list[ForecastRequest] = field(default_factory=list)
+    opened_s: float = 0.0
+    generation: int = 0
+
+
+class MicroBatcher:
+    """Coalesce requests per batch key, flushing on size or deadline.
+
+    ``on_batch(batch)`` is invoked (still inside the event loop's
+    deterministic order) whenever a batch becomes ready.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        on_batch: Callable[[Batch], None],
+        *,
+        max_batch: int = 8,
+        window_s: float = 0.005,
+    ):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if window_s < 0:
+            raise ValueError("window_s must be >= 0")
+        self.loop = loop
+        self.on_batch = on_batch
+        self.max_batch = max_batch
+        self.window_s = window_s
+        self._groups: dict[tuple, _Group] = {}
+        self._next_batch_id = 0
+        self._next_generation = 0
+        self.batches_formed = 0
+
+    @property
+    def waiting(self) -> int:
+        """Requests held open across all compatibility classes."""
+        return sum(len(g.requests) for g in self._groups.values())
+
+    def add(self, request: ForecastRequest) -> None:
+        """Admit one request; may flush its class immediately."""
+        key = request.batch_key
+        group = self._groups.get(key)
+        if group is None:
+            self._next_generation += 1
+            group = self._groups[key] = _Group(
+                opened_s=self.loop.now, generation=self._next_generation
+            )
+            self.loop.schedule(
+                self.loop.now + self.window_s, self._deadline, key, group.generation
+            )
+        group.requests.append(request)
+        if len(group.requests) >= self.max_batch:
+            self._flush(key, "full")
+
+    def _deadline(self, key: tuple, generation: int) -> None:
+        group = self._groups.get(key)
+        if group is None or group.generation != generation:
+            return  # class flushed early and (maybe) reopened: stale event
+        self._flush(key, "window")
+
+    def _flush(self, key: tuple, trigger: str) -> None:
+        group = self._groups.pop(key)
+        batch = Batch(
+            batch_id=self._next_batch_id,
+            requests=group.requests,
+            formed_s=self.loop.now,
+            trigger=trigger,
+        )
+        self._next_batch_id += 1
+        self.batches_formed += 1
+        self.on_batch(batch)
+
+    def flush_all(self) -> None:
+        """Force every open class out (end-of-run drain)."""
+        for key in sorted(self._groups):
+            self._flush(key, "drain")

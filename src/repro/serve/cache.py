@@ -1,0 +1,155 @@
+"""Rollout prefix cache: one autoregressive chain serves every shorter lead.
+
+The expensive object in forecast serving is the rollout — ``k`` model
+applications to reach lead ``k``.  But rollouts *nest*: the chain that
+produced a lead-20 forecast passed through every lead below it.  The
+cache therefore stores, per synoptic window (``init_index``), the list
+of **normalized** states ``states[k]`` after ``k`` base-lead
+applications.  A request for any lead ≤ the cached depth is a pure
+lookup (zero model steps); a deeper request extends the chain from the
+last cached state, paying only for the new steps.
+
+Variables ride free: states are all-channel, and output selection
+happens at :meth:`~repro.eval.rollout.RolloutForecaster.finalize`
+time, so the key is ``init_index`` alone — one entry subsumes every
+``(lead_steps, out_vars)`` combination the issue's conceptual
+``(init_index, lead_steps, out_vars)`` key spans.
+
+Determinism contract: extension reuses the exact
+:meth:`~repro.eval.rollout.RolloutForecaster.advance` /
+:meth:`~repro.eval.rollout.RolloutForecaster.finalize` chain that
+``forecast`` runs, so a cache hit, a partial extension, and a
+from-scratch recompute are **bitwise identical** — eviction can change
+cost, never bytes.  ``tests/serve/test_cache.py`` asserts this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class _Entry:
+    """Cached rollout prefix for one synoptic window."""
+
+    #: ``states[k]`` = normalized all-channel state after ``k`` steps.
+    states: list[np.ndarray] = field(default_factory=list)
+    #: Last-access stamp for LRU eviction.
+    tick: int = 0
+
+    @property
+    def depth(self) -> int:
+        """Deepest lead (in base steps) this prefix reaches."""
+        return len(self.states) - 1
+
+
+class RolloutPrefixCache:
+    """LRU cache of rollout prefixes, keyed by ``init_index``.
+
+    ``capacity`` counts synoptic windows, not states; 0 disables
+    caching entirely (every request recomputes from scratch).
+    """
+
+    def __init__(self, capacity: int = 32):
+        if capacity < 0:
+            raise ValueError("cache capacity must be >= 0")
+        self.capacity = capacity
+        self._entries: dict[int, _Entry] = {}
+        self._tick = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.steps_computed = 0
+
+    # -- introspection -------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def depth(self, init_index: int) -> int:
+        """Cached prefix depth for a window (-1 when absent)."""
+        entry = self._entries.get(init_index)
+        return -1 if entry is None else entry.depth
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        return {
+            "entries": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_ratio": self.hit_ratio,
+            "steps_computed": self.steps_computed,
+        }
+
+    # -- the serving path ----------------------------------------------------
+    def forecast(
+        self,
+        forecaster,
+        dataset,
+        init_index: int,
+        lead_steps: int,
+        out_vars=None,
+    ) -> tuple[np.ndarray, int, bool]:
+        """Serve one forecast through the cache.
+
+        Returns ``(result, new_steps, hit)``: the denormalized output
+        field, the number of model applications newly paid for, and
+        whether the request was a full prefix hit (``new_steps == 0``).
+        """
+        if lead_steps % forecaster.base_lead_steps:
+            raise ValueError(
+                f"lead {lead_steps} not a multiple of the rollout step "
+                f"{forecaster.base_lead_steps}"
+            )
+        applications = lead_steps // forecaster.base_lead_steps
+
+        if self.capacity == 0:
+            self.misses += 1
+            self.steps_computed += applications
+            static = dataset.registry.static_indices
+            state = forecaster.initial_state(dataset, init_index)
+            for _ in range(applications):
+                state = forecaster.advance(state, static)
+            return forecaster.finalize(state, dataset, out_vars), applications, False
+
+        entry = self._entries.get(init_index)
+        if entry is None:
+            entry = _Entry(states=[forecaster.initial_state(dataset, init_index)])
+            self._entries[init_index] = entry
+            self._evict_beyond_capacity(keep=init_index)
+
+        new_steps = max(0, applications - entry.depth)
+        if new_steps == 0:
+            self.hits += 1
+        else:
+            self.misses += 1
+            static = dataset.registry.static_indices
+            state = entry.states[-1]
+            for _ in range(new_steps):
+                state = forecaster.advance(state, static)
+                entry.states.append(state)
+            self.steps_computed += new_steps
+
+        self._tick += 1
+        entry.tick = self._tick
+        result = forecaster.finalize(entry.states[applications], dataset, out_vars)
+        return result, new_steps, new_steps == 0
+
+    def _evict_beyond_capacity(self, keep: int) -> None:
+        while len(self._entries) > self.capacity:
+            victim = min(
+                (idx for idx in self._entries if idx != keep),
+                key=lambda idx: self._entries[idx].tick,
+            )
+            del self._entries[victim]
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()

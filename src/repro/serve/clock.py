@@ -1,0 +1,100 @@
+"""Deterministic simulated-clock event loop for the serving front-end.
+
+The serving stack is "async" the same way the training stack is
+"distributed": time is simulated, not measured.  Every latency the
+bench reports — queueing delay, batching window, service time — is a
+pure-float quantity derived from the seeded workload and the service
+cost model, so two runs of the same seeded load produce bitwise
+identical latency distributions and byte-identical journals (the
+repo's reproducibility invariant extended to serving).
+
+The loop is a plain binary heap of ``(time, seq, callback)`` entries.
+``seq`` is a monotonically increasing stamp assigned at scheduling
+time, so events scheduled for the same instant fire in program order —
+float ties can never make the replay order depend on heap internals.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+
+class SimClock:
+    """The monotone simulated clock; owned by the :class:`EventLoop`."""
+
+    __slots__ = ("now",)
+
+    def __init__(self, start: float = 0.0):
+        self.now = float(start)
+
+    def advance_to(self, when: float) -> None:
+        if when < self.now:
+            raise ValueError(
+                f"simulated clock cannot run backwards: at {self.now:.6f}, "
+                f"asked for {when:.6f}"
+            )
+        self.now = when
+
+
+class EventLoop:
+    """Run scheduled callbacks in deterministic time order.
+
+    Callbacks may schedule further events (arrivals schedule batch
+    flushes, dispatches schedule completions, autoscaler ticks
+    reschedule themselves); the loop drains when no events remain.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self.clock = SimClock(start)
+        self._heap: list[tuple[float, int, Callable, tuple]] = []
+        self._seq = 0
+        self.fired = 0
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    @property
+    def pending(self) -> int:
+        """Events still scheduled (not yet fired)."""
+        return len(self._heap)
+
+    def schedule(self, when: float, callback: Callable, *args) -> None:
+        """Run ``callback(*args)`` at simulated time ``when``.
+
+        Scheduling into the past is an error — the simulated clock is
+        monotone, so a causality violation is a bug, not a rounding
+        issue to paper over.
+        """
+        when = float(when)
+        if when < self.clock.now:
+            raise ValueError(
+                f"cannot schedule at {when:.6f}: clock is at {self.clock.now:.6f}"
+            )
+        heapq.heappush(self._heap, (when, self._seq, callback, args))
+        self._seq += 1
+
+    def run_next(self) -> bool:
+        """Fire the earliest pending event; False when the loop is idle."""
+        if not self._heap:
+            return False
+        when, _, callback, args = heapq.heappop(self._heap)
+        self.clock.advance_to(when)
+        self.fired += 1
+        callback(*args)
+        return True
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> int:
+        """Drain the heap; returns the number of events fired.
+
+        ``max_events`` is a runaway backstop (a self-rescheduling tick
+        that never stops would otherwise spin forever).
+        """
+        start = self.fired
+        while self.run_next():
+            if self.fired - start > max_events:
+                raise RuntimeError(
+                    f"event loop exceeded {max_events} events without draining"
+                )
+        return self.fired - start

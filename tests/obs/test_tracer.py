@@ -146,5 +146,6 @@ class TestNullTracer:
 
     def test_all_kinds_are_known(self):
         assert SPAN_KINDS == {
-            "compute", "collective", "gather", "optimizer", "checkpoint", "io"
+            "compute", "collective", "gather", "optimizer", "checkpoint", "io",
+            "serve",
         }

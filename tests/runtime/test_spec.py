@@ -66,6 +66,8 @@ class TestPolicyMetadata:
         assert policy_field_names() == {
             "prefetch", "recompute", "tp_innermost", "layer_wrapping", "bf16",
             "fold", "monitor",
+            "serve_max_batch", "serve_window_s", "serve_queue_limit",
+            "serve_cache_entries", "serve_min_replicas", "serve_max_replicas",
         }
 
     def test_policy_fields_do_not_change_identity(self):

@@ -1,0 +1,25 @@
+"""Shared serving-test world: one dataset + untrained seeded forecaster.
+
+Session-scoped because the world is immutable from the serving layer's
+point of view (servers never write the dataset or the model), and the
+synthetic-ERA5 construction is the slow part of every serve test.
+"""
+
+import pytest
+
+from repro.serve.bench import build_serve_world
+
+
+@pytest.fixture(scope="session")
+def serve_world():
+    return build_serve_world()
+
+
+@pytest.fixture(scope="session")
+def dataset(serve_world):
+    return serve_world[0]
+
+
+@pytest.fixture(scope="session")
+def forecaster(serve_world):
+    return serve_world[1]

@@ -1,0 +1,92 @@
+"""Tests for the dynamic micro-batcher."""
+
+import pytest
+
+from repro.serve import EventLoop, ForecastRequest, MicroBatcher
+
+
+def _request(request_id, *, out_vars=("2m_temperature",), arrival_s=0.0):
+    return ForecastRequest(request_id=request_id, init_index=0, lead_steps=2,
+                           out_vars=out_vars, arrival_s=arrival_s)
+
+
+def _batcher(loop, batches, **kwargs):
+    return MicroBatcher(loop, batches.append, **kwargs)
+
+
+class TestSizeFlush:
+    def test_full_batch_flushes_immediately(self):
+        loop = EventLoop()
+        batches = []
+        batcher = _batcher(loop, batches, max_batch=2, window_s=1.0)
+        batcher.add(_request(0))
+        assert batches == []
+        batcher.add(_request(1))
+        assert len(batches) == 1
+        assert batches[0].trigger == "full"
+        assert [r.request_id for r in batches[0].requests] == [0, 1]
+        assert batcher.waiting == 0
+
+
+class TestWindowFlush:
+    def test_deadline_flushes_partial_batch(self):
+        loop = EventLoop()
+        batches = []
+        batcher = _batcher(loop, batches, max_batch=8, window_s=0.01)
+        batcher.add(_request(0))
+        loop.run_until_idle()
+        assert len(batches) == 1
+        assert batches[0].trigger == "window"
+        assert loop.now == 0.01
+
+    def test_stale_deadline_does_not_reflush(self):
+        """A size-triggered flush must invalidate the pending window
+        deadline: the stale event fires against the *next* group on the
+        same key but sees a newer generation and must not clip its
+        window short."""
+        loop = EventLoop()
+        batches = []
+        batcher = _batcher(loop, batches, max_batch=2, window_s=0.01)
+        batcher.add(_request(0))
+        batcher.add(_request(1))  # size flush at t=0; deadline still pending
+        loop.schedule(0.005, batcher.add, _request(2))  # reopens the key
+        loop.run_until_idle()
+        assert [b.trigger for b in batches] == ["full", "window"]
+        assert [r.request_id for b in batches for r in b.requests] == [0, 1, 2]
+        # The second group gets its own full window (0.005 + 0.01), not
+        # the leftover deadline from the flushed group (0.01).
+        assert batches[1].formed_s == pytest.approx(0.015)
+
+    def test_incompatible_requests_never_share_a_batch(self):
+        loop = EventLoop()
+        batches = []
+        batcher = _batcher(loop, batches, max_batch=8, window_s=0.01)
+        batcher.add(_request(0, out_vars=("2m_temperature",)))
+        batcher.add(_request(1, out_vars=("geopotential_500",)))
+        loop.run_until_idle()
+        assert len(batches) == 2
+        keys = {b.requests[0].batch_key for b in batches}
+        assert keys == {("2m_temperature",), ("geopotential_500",)}
+
+
+class TestDrain:
+    def test_flush_all_drains_every_group_deterministically(self):
+        loop = EventLoop()
+        batches = []
+        batcher = _batcher(loop, batches, max_batch=8, window_s=10.0)
+        batcher.add(_request(0, out_vars=("geopotential_500",)))
+        batcher.add(_request(1, out_vars=("2m_temperature",)))
+        batcher.flush_all()
+        assert [b.trigger for b in batches] == ["drain", "drain"]
+        # Sorted by batch key, not insertion order.
+        assert batches[0].requests[0].batch_key == ("2m_temperature",)
+        assert batcher.waiting == 0
+
+    def test_batch_ids_are_sequential(self):
+        loop = EventLoop()
+        batches = []
+        batcher = _batcher(loop, batches, max_batch=1, window_s=0.01)
+        for i in range(3):
+            batcher.add(_request(i))
+        assert [b.batch_id for b in batches] == [0, 1, 2]
+        assert batcher.batches_formed == 3

@@ -1,0 +1,111 @@
+"""Serve bench: matrix records, baseline round-trip, regression gate."""
+
+import pytest
+
+from repro.serve.bench import (
+    DEFAULT_MATRIX,
+    SCHEMA_VERSION,
+    compare,
+    load_baseline,
+    run_serve_case,
+    run_serve_matrix,
+    summary_table,
+    to_document,
+    write_baseline,
+)
+
+EXPECTED_METRICS = (
+    "offered", "completed", "rejected", "throughput_rps", "latency_p50_s",
+    "latency_p99_s", "latency_mean_s", "cache_hit_ratio", "model_steps",
+    "replicas_final", "replicas_peak", "utilization", "makespan_s",
+)
+
+
+@pytest.fixture(scope="module")
+def quick_records(serve_world):
+    return run_serve_matrix(quick=True, world=serve_world)
+
+
+class TestMatrix:
+    def test_matrix_names_and_quick_subset(self):
+        names = [case.name for case in DEFAULT_MATRIX]
+        assert names == ["hot-25rps", "hot-150rps", "cold-300rps",
+                         "surge-800rps"]
+        assert [c.name for c in DEFAULT_MATRIX if c.quick] == ["hot-25rps"]
+
+    def test_case_record_has_every_gated_metric(self, quick_records):
+        record = quick_records["hot-25rps"]
+        for metric in EXPECTED_METRICS:
+            assert metric in record
+        assert record["load"]["rate_rps"] == 25.0
+        assert record["cache_hit_ratio"] > 0.5  # hot workload earns the cache
+
+    def test_case_runs_are_reproducible(self, serve_world, quick_records):
+        again = run_serve_case(DEFAULT_MATRIX[0], world=serve_world)
+        assert again == quick_records["hot-25rps"]
+
+    def test_empty_selection_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            run_serve_matrix(cases=(), quick=False)
+
+
+class TestBaselineFile:
+    def test_document_round_trip(self, quick_records, tmp_path):
+        path = write_baseline(quick_records, tmp_path / "BENCH_serve.json")
+        doc = load_baseline(path)
+        assert doc["schema"] == SCHEMA_VERSION
+        assert doc["cases"] == to_document(quick_records)["cases"]
+
+    def test_schema_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema": 999, "cases": {}}')
+        with pytest.raises(ValueError, match="schema"):
+            load_baseline(path)
+
+    def test_summary_table_mentions_every_case(self, quick_records):
+        table = summary_table(to_document(quick_records))
+        assert "hot-25rps" in table
+
+
+class TestRegressionGate:
+    def test_identical_documents_pass(self, quick_records):
+        doc = to_document(quick_records)
+        assert compare(doc, doc) == []
+
+    def test_latency_drift_detected(self, quick_records):
+        current = to_document(quick_records)
+        baseline = to_document(
+            {k: dict(v) for k, v in quick_records.items()}
+        )
+        baseline["cases"]["hot-25rps"]["latency_p99_s"] *= 2.0
+        problems = compare(current, baseline)
+        assert any("latency_p99_s" in p for p in problems)
+
+    def test_exact_count_change_is_a_replay_break(self, quick_records):
+        current = to_document(quick_records)
+        baseline = to_document(
+            {k: dict(v) for k, v in quick_records.items()}
+        )
+        baseline["cases"]["hot-25rps"]["model_steps"] += 1
+        problems = compare(current, baseline)
+        assert any("seeded replay" in p for p in problems)
+
+    def test_missing_case_honours_require_all(self, quick_records):
+        partial = to_document(quick_records)  # quick subset only
+        full_baseline = to_document(
+            {**quick_records,
+             "hot-150rps": dict(quick_records["hot-25rps"])}
+        )
+        assert compare(partial, full_baseline, require_all=False) == []
+        problems = compare(partial, full_baseline, require_all=True)
+        assert any("missing" in p for p in problems)
+
+    def test_committed_baseline_matches_fresh_quick_run(self, quick_records):
+        """The repo's BENCH_serve.json must agree with a fresh quick run —
+        the same check CI's ``repro serve --check --quick`` performs."""
+        from pathlib import Path
+
+        baseline_path = Path(__file__).resolve().parents[2] / "BENCH_serve.json"
+        baseline = load_baseline(baseline_path)
+        assert compare(to_document(quick_records), baseline,
+                       require_all=False) == []

@@ -1,0 +1,134 @@
+"""Rollout prefix cache: correctness is bitwise, not approximate.
+
+The acceptance contract for serving is that caching is invisible in
+the payload — a cache hit, a prefix extension, and a cold recompute
+must all return arrays bitwise-identical to a direct
+``RolloutForecaster.forecast`` call.
+"""
+
+import numpy as np
+import pytest
+
+from repro.serve import RolloutPrefixCache
+
+
+def direct(forecaster, dataset, init_index, lead_steps, out_vars=None):
+    full = forecaster.forecast(dataset, init_index, lead_steps)
+    if out_vars is None:
+        return full
+    names = list(dataset.out_names)
+    return full[[names.index(v) for v in out_vars]]
+
+
+class TestBitwiseParity:
+    def test_miss_matches_direct_forecast(self, forecaster, dataset):
+        cache = RolloutPrefixCache(capacity=4)
+        result, steps, hit = cache.forecast(forecaster, dataset, 3, 4)
+        assert not hit
+        assert steps == 4
+        np.testing.assert_array_equal(result, direct(forecaster, dataset, 3, 4))
+
+    def test_hit_is_bitwise_equal_to_recompute(self, forecaster, dataset):
+        cache = RolloutPrefixCache(capacity=4)
+        first, _, _ = cache.forecast(forecaster, dataset, 2, 6)
+        again, steps, hit = cache.forecast(forecaster, dataset, 2, 6)
+        assert hit and steps == 0
+        np.testing.assert_array_equal(first, again)
+        np.testing.assert_array_equal(again, direct(forecaster, dataset, 2, 6))
+
+    def test_shorter_lead_served_from_deeper_prefix(self, forecaster, dataset):
+        cache = RolloutPrefixCache(capacity=4)
+        cache.forecast(forecaster, dataset, 1, 8)
+        for lead in (2, 4, 6):
+            result, steps, hit = cache.forecast(forecaster, dataset, 1, lead)
+            assert hit and steps == 0
+            np.testing.assert_array_equal(
+                result, direct(forecaster, dataset, 1, lead)
+            )
+
+    def test_deeper_lead_extends_the_prefix(self, forecaster, dataset):
+        cache = RolloutPrefixCache(capacity=4)
+        cache.forecast(forecaster, dataset, 0, 2)
+        result, steps, hit = cache.forecast(forecaster, dataset, 0, 6)
+        assert not hit      # paid for new steps ...
+        assert steps == 4   # ... but only the extension, not the prefix
+        np.testing.assert_array_equal(result, direct(forecaster, dataset, 0, 6))
+
+    def test_variable_selection_rides_free(self, forecaster, dataset):
+        cache = RolloutPrefixCache(capacity=4)
+        out_vars = ("geopotential_500", "2m_temperature")
+        cache.forecast(forecaster, dataset, 2, 4)
+        result, steps, hit = cache.forecast(forecaster, dataset, 2, 4,
+                                            out_vars=out_vars)
+        assert hit and steps == 0
+        np.testing.assert_array_equal(
+            result, direct(forecaster, dataset, 2, 4, out_vars)
+        )
+
+    def test_non_multiple_lead_rejected(self, forecaster, dataset):
+        from repro.eval.rollout import RolloutForecaster
+
+        coarse = RolloutForecaster(forecaster.model, forecaster.normalizer,
+                                   base_lead_steps=2)
+        cache = RolloutPrefixCache(capacity=4)
+        with pytest.raises(ValueError, match="not a multiple"):
+            cache.forecast(coarse, dataset, 0, 3)
+
+
+class TestEviction:
+    def test_eviction_never_changes_responses(self, forecaster, dataset):
+        """Thrash a capacity-2 cache across 5 windows; every response must
+        stay bitwise-equal to the direct rollout regardless of which
+        entries survived."""
+        cache = RolloutPrefixCache(capacity=2)
+        for init_index in (0, 1, 2, 3, 4, 0, 2, 4, 1, 3):
+            result, _, _ = cache.forecast(forecaster, dataset, init_index, 4)
+            np.testing.assert_array_equal(
+                result, direct(forecaster, dataset, init_index, 4)
+            )
+        assert cache.evictions > 0
+        assert len(cache) <= 2
+
+    def test_lru_evicts_the_stalest_window(self, forecaster, dataset):
+        cache = RolloutPrefixCache(capacity=2)
+        cache.forecast(forecaster, dataset, 0, 2)
+        cache.forecast(forecaster, dataset, 1, 2)
+        cache.forecast(forecaster, dataset, 0, 2)  # refresh window 0
+        cache.forecast(forecaster, dataset, 2, 2)  # evicts window 1
+        assert cache.depth(0) >= 0
+        assert cache.depth(1) == -1
+        assert cache.depth(2) >= 0
+
+    def test_capacity_zero_disables_caching(self, forecaster, dataset):
+        cache = RolloutPrefixCache(capacity=0)
+        for _ in range(2):
+            result, steps, hit = cache.forecast(forecaster, dataset, 3, 4)
+            assert not hit and steps == 4
+            np.testing.assert_array_equal(
+                result, direct(forecaster, dataset, 3, 4)
+            )
+        assert len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            RolloutPrefixCache(capacity=-1)
+
+
+class TestAccounting:
+    def test_stats_track_hits_misses_steps(self, forecaster, dataset):
+        cache = RolloutPrefixCache(capacity=4)
+        cache.forecast(forecaster, dataset, 0, 4)   # miss, 4 steps
+        cache.forecast(forecaster, dataset, 0, 2)   # hit, 0 steps
+        cache.forecast(forecaster, dataset, 0, 6)   # miss, 2 new steps
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 2
+        assert stats["steps_computed"] == 6
+        assert cache.hit_ratio == pytest.approx(1 / 3)
+
+    def test_clear_empties_the_cache(self, forecaster, dataset):
+        cache = RolloutPrefixCache(capacity=4)
+        cache.forecast(forecaster, dataset, 0, 2)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.depth(0) == -1

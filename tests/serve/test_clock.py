@@ -1,0 +1,83 @@
+"""Tests for the deterministic simulated-clock event loop."""
+
+import pytest
+
+from repro.serve import EventLoop, SimClock
+
+
+class TestSimClock:
+    def test_monotone(self):
+        clock = SimClock()
+        clock.advance_to(1.5)
+        assert clock.now == 1.5
+        with pytest.raises(ValueError, match="backwards"):
+            clock.advance_to(1.0)
+
+    def test_advance_to_same_instant_ok(self):
+        clock = SimClock(2.0)
+        clock.advance_to(2.0)
+        assert clock.now == 2.0
+
+
+class TestEventLoop:
+    def test_fires_in_time_order(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(3.0, fired.append, "c")
+        loop.schedule(1.0, fired.append, "a")
+        loop.schedule(2.0, fired.append, "b")
+        assert loop.run_until_idle() == 3
+        assert fired == ["a", "b", "c"]
+        assert loop.now == 3.0
+
+    def test_ties_fire_in_program_order(self):
+        """Equal timestamps must break ties by scheduling order, never
+        by heap internals — the replay-determinism contract."""
+        loop = EventLoop()
+        fired = []
+        for tag in range(20):
+            loop.schedule(1.0, fired.append, tag)
+        loop.run_until_idle()
+        assert fired == list(range(20))
+
+    def test_callbacks_schedule_more_events(self):
+        loop = EventLoop()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                loop.schedule(loop.now + 1.0, chain, n + 1)
+
+        loop.schedule(0.0, chain, 0)
+        loop.run_until_idle()
+        assert fired == [0, 1, 2, 3]
+        assert loop.now == 3.0
+
+    def test_scheduling_into_the_past_raises(self):
+        loop = EventLoop()
+        loop.schedule(5.0, lambda: None)
+        loop.run_until_idle()
+        with pytest.raises(ValueError, match="clock is at"):
+            loop.schedule(4.0, lambda: None)
+
+    def test_runaway_backstop(self):
+        loop = EventLoop()
+
+        def forever():
+            loop.schedule(loop.now + 1.0, forever)
+
+        loop.schedule(0.0, forever)
+        with pytest.raises(RuntimeError, match="exceeded"):
+            loop.run_until_idle(max_events=100)
+
+    def test_pending_and_fired_counts(self):
+        loop = EventLoop()
+        loop.schedule(1.0, lambda: None)
+        loop.schedule(2.0, lambda: None)
+        assert loop.pending == 2
+        assert loop.run_next()
+        assert loop.pending == 1
+        assert loop.fired == 1
+        assert loop.run_next()
+        assert not loop.run_next()

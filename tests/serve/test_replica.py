@@ -1,0 +1,122 @@
+"""Replica pool and autoscaler mechanics."""
+
+import pytest
+
+from repro.serve import Autoscaler, ReplicaPool, ServePolicy, ServiceCostModel
+
+
+def _pool(initial=1, **cost):
+    return ReplicaPool(ServiceCostModel(**cost), initial=initial)
+
+
+class TestCostModel:
+    def test_batch_service_time_composition(self):
+        cost = ServiceCostModel(setup_s=0.002, per_request_s=0.0002,
+                                per_step_s=0.0015)
+        assert cost.batch_service_s(4, 10) == pytest.approx(
+            0.002 + 4 * 0.0002 + 10 * 0.0015
+        )
+
+
+class TestReplicaPool:
+    def test_acquire_prefers_lowest_id(self):
+        pool = _pool(initial=3)
+        replica = pool.acquire_idle(now=0.0)
+        assert replica.replica_id == 0
+
+    def test_busy_replica_not_acquirable(self):
+        pool = _pool(initial=1)
+        replica = pool.acquire_idle(now=0.0)
+        replica.begin_batch(0.0, 0.5, num_requests=2)
+        assert pool.acquire_idle(now=0.25) is None
+        assert pool.acquire_idle(now=0.5) is replica
+
+    def test_begin_batch_while_busy_raises(self):
+        pool = _pool(initial=1)
+        replica = pool.acquire_idle(now=0.0)
+        replica.begin_batch(0.0, 0.5, num_requests=1)
+        with pytest.raises(RuntimeError):
+            replica.begin_batch(0.25, 0.5, num_requests=1)
+
+    def test_scale_up_respects_setup_delay(self):
+        pool = _pool(initial=1, replica_setup_s=0.05)
+        fresh = pool.scale_up(now=1.0)
+        assert fresh.ready_at_s == pytest.approx(1.05)
+        assert pool.acquire_idle(now=1.0) is not fresh
+        assert len(pool.replicas) == 2
+
+    def test_scale_down_retires_highest_idle(self):
+        pool = _pool(initial=3)
+        retired = pool.scale_down(now=0.0)
+        assert retired.replica_id == 2
+        assert len(pool.replicas) == 2
+        assert pool.retired == [retired]
+
+    def test_scale_down_with_no_idle_replica_returns_none(self):
+        pool = _pool(initial=1)
+        pool.acquire_idle(now=0.0).begin_batch(0.0, 1.0, num_requests=1)
+        assert pool.scale_down(now=0.5) is None
+
+    def test_utilization_counts_live_busy_time(self):
+        pool = _pool(initial=2)
+        pool.acquire_idle(now=0.0).begin_batch(0.0, 1.0, num_requests=1)
+        # One of two replicas busy for the first second of a 2 s horizon.
+        assert pool.utilization(now=2.0) == pytest.approx(1.0 / 4.0)
+
+
+class TestAutoscaler:
+    def _policy(self, **overrides):
+        base = dict(min_replicas=1, max_replicas=4, queue_high=8,
+                    target_p99_s=0.25, utilization_low=0.30, cooldown_s=0.5)
+        base.update(overrides)
+        return ServePolicy(**base)
+
+    def test_scales_up_on_deep_queue(self):
+        scaler = Autoscaler(self._policy())
+        pool = _pool(initial=1)
+        decision = scaler.evaluate(now=1.0, queue_depth=20, p99_s=0.0, pool=pool)
+        assert decision.action == "up"
+        assert "queue" in decision.reason
+        assert len(pool.replicas) == 2
+
+    def test_scales_up_on_p99_breach(self):
+        scaler = Autoscaler(self._policy())
+        pool = _pool(initial=1)
+        decision = scaler.evaluate(now=1.0, queue_depth=0, p99_s=0.9, pool=pool)
+        assert decision.action == "up"
+        assert "p99" in decision.reason
+
+    def test_scales_down_when_idle_and_cold(self):
+        scaler = Autoscaler(self._policy())
+        pool = _pool(initial=3)
+        decision = scaler.evaluate(now=100.0, queue_depth=0, p99_s=0.0, pool=pool)
+        assert decision.action == "down"
+        assert len(pool.replicas) == 2
+
+    def test_respects_replica_bounds(self):
+        scaler = Autoscaler(self._policy(max_replicas=1))
+        pool = _pool(initial=1)
+        up = scaler.evaluate(now=1.0, queue_depth=99, p99_s=9.9, pool=pool)
+        assert up.action == "hold"
+        down = scaler.evaluate(now=100.0, queue_depth=0, p99_s=0.0, pool=pool)
+        assert down.action == "hold"
+        assert len(pool.replicas) == 1
+
+    def test_cooldown_suppresses_consecutive_actions(self):
+        scaler = Autoscaler(self._policy(cooldown_s=1.0))
+        pool = _pool(initial=1)
+        assert scaler.evaluate(1.0, 99, 0.0, pool).action == "up"
+        held = scaler.evaluate(1.5, 99, 0.0, pool)
+        assert held.action == "hold"
+        assert "cooldown" in held.reason
+        assert scaler.evaluate(2.5, 99, 0.0, pool).action == "up"
+
+    def test_decisions_are_recorded(self):
+        scaler = Autoscaler(self._policy())
+        pool = _pool(initial=1)
+        scaler.evaluate(1.0, 99, 0.0, pool)
+        scaler.evaluate(9.0, 0, 0.0, pool)
+        assert [d.action for d in scaler.decisions] == ["up", "down"]
+        record = scaler.decisions[0].as_dict()
+        assert record["action"] == "up"
+        assert record["replicas"] == 2
