@@ -132,6 +132,25 @@ def build_parser() -> argparse.ArgumentParser:
     fig10 = sub.add_parser("fig10", help="fine-tuning data efficiency (Fig 10; trains)")
     fig10.add_argument("--seed", type=int, default=0)
 
+    crossover = sub.add_parser(
+        "crossover",
+        help="pipeline-vs-FSDP crossover at a fixed GCD count (4D tuner study)",
+    )
+    crossover.add_argument("--gpus", type=int, default=16)
+    crossover.add_argument("--gpus-per-node", type=int, default=8)
+    crossover.add_argument(
+        "--micro-batch", type=int, default=32,
+        help="pinned micro-batch (the crossover is a batch-regime statement)",
+    )
+    crossover.add_argument(
+        "--pp", default="1,2", metavar="S[,S...]",
+        help="comma-separated pipeline depths to rank (default: 1,2)",
+    )
+    crossover.add_argument(
+        "--no-validate", action="store_true",
+        help="skip the simulated engine step for the two front-runners",
+    )
+
     everything = sub.add_parser(
         "all", help="run every analytic table/figure and write them to a directory"
     )
@@ -193,13 +212,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     tune = sub.add_parser(
         "tune",
-        help="search TPxFSDPxDDP configurations; validate winners in simulation",
+        help="search PPxTPxFSDPxDDP configurations; validate winners in simulation",
         formatter_class=argparse.RawDescriptionHelpFormatter,
         epilog=(
             "examples:\n"
             "  repro tune                                # ORBIT-115M on 2 nodes\n"
             "  repro tune --model orbit-1b --gpus 32     # ORBIT-1B on 4 nodes\n"
             "  repro tune --micro-batches 2 --top-k 5    # pin mb, validate 5\n"
+            "  repro tune --pp 1,2,4                     # widen to the 4D space\n"
             "  repro tune --cache tune_cache.json --out tune_report.json\n"
             "\n"
             "exits 2 when no configuration is both legal and memory-feasible."
@@ -218,6 +238,15 @@ def build_parser() -> argparse.ArgumentParser:
         default="1,2,4",
         metavar="N[,N...]",
         help="comma-separated micro-batch sizes to sweep (default: 1,2,4)",
+    )
+    tune.add_argument(
+        "--pp",
+        default="1",
+        metavar="S[,S...]",
+        help=(
+            "comma-separated pipeline depths to sweep (default: 1, the 3D "
+            "space); depths beyond the model's layer count are rejected"
+        ),
     )
     tune.add_argument(
         "--top-k", type=int, default=3,
@@ -452,6 +481,17 @@ def main(argv: list[str] | None = None) -> int:
         from repro.experiments import fig10_data_efficiency
 
         print(fig10_data_efficiency.run(seed=args.seed).format())
+    elif args.command == "crossover":
+        from repro.experiments import pipeline_crossover
+
+        result = pipeline_crossover.run(
+            num_gpus=args.gpus,
+            gpus_per_node=args.gpus_per_node,
+            micro_batch=args.micro_batch,
+            pp_sizes=tuple(int(token) for token in args.pp.split(",") if token),
+            validate=not args.no_validate,
+        )
+        print(result.format())
     elif args.command == "all":
         from pathlib import Path
 
@@ -595,11 +635,13 @@ def main(argv: list[str] | None = None) -> int:
             micro_batches = tuple(
                 int(token) for token in args.micro_batches.split(",") if token
             )
+            pp_sizes = tuple(int(token) for token in args.pp.split(",") if token)
             request = TuneRequest(
                 PAPER_MODELS[args.model],
                 num_gpus=args.gpus,
                 gpus_per_node=args.gpus_per_node,
                 micro_batches=micro_batches,
+                pp_sizes=pp_sizes,
             )
             if args.top_k < 1:
                 raise ValueError(f"--top-k {args.top_k} must be at least 1")

@@ -5,9 +5,16 @@ replica runs the identical event stream, and within a replica every
 FSDP shard index ``f`` runs the identical stream *except* that the
 dense (unsharded) gradient all-reduce involves only the ``f == 0``
 lead ranks.  That leaves exactly ``2 * tp_size`` behaviourally
-distinct rank classes (``tp_size`` when ``fsdp_size == 1``), keyed by
+distinct rank classes per pipeline stage (``tp_size`` when
+``fsdp_size == 1``), keyed by
 
-    ``(k, f == 0)``   where ``k`` is the tensor-parallel index.
+    ``(s, k, f == 0)``   where ``s`` is the pipeline stage and ``k``
+    the tensor-parallel index.
+
+Pipeline stages are *never* folded — each runs different blocks of the
+model — but every stage is a self-similar 3D sub-grid at a constant
+rank offset, so the within-stage FSDP/DDP fold arithmetic (strides,
+member enumeration, replay offsets) is unchanged from the 3D case.
 
 :class:`RankClassPartition` is the arithmetic of that partition;
 :func:`decide_fold` is the eligibility gate that checks — with one
@@ -26,8 +33,8 @@ import numpy as np
 from repro.cluster.costmodel import CollectiveCostModel
 from repro.cluster.topology import FrontierTopology
 
-#: (tp index k, is lead shard f == 0)
-ClassKey = tuple[int, bool]
+#: (pipeline stage s, tp index k, is lead shard f == 0)
+ClassKey = tuple[int, int, bool]
 
 #: Byte size used by the vectorized alpha-beta probe in
 #: :func:`decide_fold`; any positive finite value works because the
@@ -37,62 +44,79 @@ PROBE_BYTES = 1 << 20
 
 @dataclass(frozen=True)
 class RankClassPartition:
-    """The (TP, FSDP, DDP) equivalence classes of a Hybrid-STOP layout."""
+    """The (PP, TP, FSDP, DDP) equivalence classes of a Hybrid-STOP layout."""
 
     tp_size: int
     fsdp_size: int
     ddp_size: int
     tp_innermost: bool = True
+    pp_size: int = 1
+
+    @property
+    def stage_size(self) -> int:
+        """Ranks per pipeline stage (the 3D sub-grid size)."""
+        return self.tp_size * self.fsdp_size * self.ddp_size
 
     @property
     def num_gpus(self) -> int:
-        return self.tp_size * self.fsdp_size * self.ddp_size
+        return self.stage_size * self.pp_size
 
     def rank(self, d: int, f: int, k: int) -> int:
-        """Mirror of :meth:`repro.parallel.plan.HybridParallelPlan.rank`."""
+        """Mirror of :meth:`repro.parallel.plan.HybridParallelPlan.rank`
+        (stage-local: stage 0)."""
         if self.tp_innermost:
             return (d * self.fsdp_size + f) * self.tp_size + k
         return (d * self.tp_size + k) * self.fsdp_size + f
 
     def coords(self, rank: int) -> tuple[int, int, int]:
-        """Inverse of :meth:`rank` -> (ddp, fsdp, tp) coordinates."""
+        """Within-stage (ddp, fsdp, tp) coordinates of a global rank."""
         if not 0 <= rank < self.num_gpus:
             raise ValueError(f"rank {rank} outside world of {self.num_gpus}")
+        rem = rank % self.stage_size
         per_replica = self.fsdp_size * self.tp_size
-        d, rem = divmod(rank, per_replica)
+        d, rem = divmod(rem, per_replica)
         if self.tp_innermost:
             f, k = divmod(rem, self.tp_size)
         else:
             k, f = divmod(rem, self.fsdp_size)
         return d, f, k
 
+    def stage_of(self, rank: int) -> int:
+        """Pipeline stage hosting a global rank (stage-outermost layout)."""
+        if not 0 <= rank < self.num_gpus:
+            raise ValueError(f"rank {rank} outside world of {self.num_gpus}")
+        return rank // self.stage_size
+
     def class_of(self, rank: int) -> ClassKey:
         _, f, k = self.coords(rank)
-        return (k, f == 0)
+        return (self.stage_of(rank), k, f == 0)
 
     @property
     def keys(self) -> tuple[ClassKey, ...]:
         """All class keys, ordered by representative rank."""
-        out = [(k, True) for k in range(self.tp_size)]
+        out = [(s, k, True)
+               for s in range(self.pp_size) for k in range(self.tp_size)]
         if self.fsdp_size > 1:
-            out.extend((k, False) for k in range(self.tp_size))
+            out.extend((s, k, False)
+                       for s in range(self.pp_size) for k in range(self.tp_size))
         return tuple(sorted(out, key=self.representative))
 
     def representative(self, key: ClassKey) -> int:
-        k, lead = key
-        return self.rank(0, 0 if lead else 1, k)
+        stage, k, lead = key
+        return stage * self.stage_size + self.rank(0, 0 if lead else 1, k)
 
     def size(self, key: ClassKey) -> int:
-        _, lead = key
+        _, _, lead = key
         if lead:
             return self.ddp_size
         return self.ddp_size * (self.fsdp_size - 1)
 
     def members(self, key: ClassKey) -> list[int]:
-        k, lead = key
+        stage, k, lead = key
         shards = (0,) if lead else range(1, self.fsdp_size)
+        offset = stage * self.stage_size
         return sorted(
-            self.rank(d, f, k)
+            offset + self.rank(d, f, k)
             for d in range(self.ddp_size) for f in shards
         )
 
@@ -174,22 +198,38 @@ def _family_uniform(topology: FrontierTopology, rows: np.ndarray) -> bool:
 def symmetry_blockers(spec, topology: FrontierTopology) -> list[str]:
     """Every reason the given RunSpec cannot be folded on ``topology``.
 
-    Empty list means the (TP, FSDP, DDP) class partition is exact: for
-    each collective-group family, all groups a class replicates over
+    Empty list means the (PP, TP, FSDP, DDP) class partition is exact:
+    for each collective-group family, all groups a class replicates over
     share one effective link spec, so one representative's alpha-beta
-    costs are bitwise valid for every member.
+    costs are bitwise valid for every member.  Each pipeline stage is a
+    rank-offset copy of the 3D grid, so stage ``s``'s families are the
+    stage-0 rows plus ``s * stage_size``; at ``pp_size > 1`` the dense
+    front lives on stage 0 and the head on the last stage (separate
+    replica groups), and the stage-boundary activation/gradient sends
+    add a family of 2-wide point-to-point rows.
     """
     blockers: list[str] = []
+    S = getattr(spec, "pp_size", 1)
     part = RankClassPartition(spec.tp_size, spec.fsdp_size, spec.ddp_size,
-                              tp_innermost=spec.tp_innermost)
+                              tp_innermost=spec.tp_innermost, pp_size=S)
     grid = part.rank_grid()
     D, F, K = spec.ddp_size, spec.fsdp_size, spec.tp_size
+    offsets = np.arange(S).reshape(S, 1, 1, 1) * part.stage_size
+    grid4 = grid[None, ...] + offsets  # [s, d, f, k]
     families = {
-        "tensor-parallel": grid.reshape(D * F, K),
-        "fsdp-shard": grid.transpose(0, 2, 1).reshape(D * K, F),
-        "ddp-replica-sync": grid.transpose(1, 2, 0).reshape(F * K, D),
-        "dense-replica": grid.reshape(D, F * K),
+        "tensor-parallel": grid4.reshape(S * D * F, K),
+        "fsdp-shard": grid4.transpose(0, 1, 3, 2).reshape(S * D * K, F),
+        "ddp-replica-sync": grid4.transpose(0, 2, 3, 1).reshape(S * F * K, D),
     }
+    if S == 1:
+        families["dense-replica"] = grid.reshape(D, F * K)
+    else:
+        # Front embeddings sync on stage 0, the head on the last stage.
+        families["dense-replica"] = np.concatenate(
+            [grid4[0].reshape(D, F * K), grid4[-1].reshape(D, F * K)])
+        # Activation/gradient sends pair rank (s,d,f,k) with (s+1,d,f,k).
+        families["pipeline-boundary"] = np.stack(
+            [grid4[:-1].reshape(-1), grid4[1:].reshape(-1)], axis=1)
     for name, rows in families.items():
         if not _family_uniform(topology, rows):
             blockers.append(f"{name} groups have non-uniform link specs")
@@ -224,5 +264,6 @@ def decide_fold(spec, topology: FrontierTopology,
     if blockers:
         return FoldDecision(False, "; ".join(blockers))
     part = RankClassPartition(spec.tp_size, spec.fsdp_size, spec.ddp_size,
-                              tp_innermost=spec.tp_innermost)
+                              tp_innermost=spec.tp_innermost,
+                              pp_size=getattr(spec, "pp_size", 1))
     return FoldDecision(True, "eligible", part)

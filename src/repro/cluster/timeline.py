@@ -274,7 +274,8 @@ class FoldedTimeline(Timeline):
     """A Timeline that simulates one representative rank per symmetry class.
 
     Ranks are partitioned by a
-    :class:`~repro.cluster.symmetry.RankClassPartition` into ``(k, f==0)``
+    :class:`~repro.cluster.symmetry.RankClassPartition` into
+    ``(stage, k, f==0)``
     equivalence classes.  Symmetric loops (the engine's DDP replica loop,
     the modules' FSDP shard loops) are *folded*: only their first
     iteration executes, bracketed in the event log by a segment marker
@@ -372,12 +373,12 @@ class FoldedTimeline(Timeline):
             return cached
         keys = set()
         for rank in ranks:
-            k, lead = self.partition.class_of(rank)
+            stage, k, lead = self.partition.class_of(rank)
             if in_fsdp:
-                keys.add((k, True))
-                keys.add((k, False))
+                keys.add((stage, k, True))
+                keys.add((stage, k, False))
             else:
-                keys.add((k, lead))
+                keys.add((stage, k, lead))
         covered = sorted(keys, key=self._reps.__getitem__)
         self._covered_cache[cache_key] = covered
         return covered

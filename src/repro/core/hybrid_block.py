@@ -183,15 +183,22 @@ class HybridSTOPTrunk(HybridModuleBase):
         recompute: bool = False,
         compute_model=None,
         name: str = "trunk",
+        block_offset: int = 0,
     ):
         super().__init__(plan, ddp_index, prefetch, compute_model, name)
         self.layer_wrapping = layer_wrapping
         self.recompute = recompute
+        #: Global index of this trunk's first block — nonzero for the
+        #: per-stage slice trunks of a pipelined engine, so block names
+        #: (and therefore trace spans and sharded-parameter names) stay
+        #: global across stages.
+        self.block_offset = block_offset
         self._saved_inputs: list = []
         self.blocks = [
             HybridSTOPBlock(
                 block, plan, ddp_index=ddp_index, prefetch=prefetch,
-                compute_model=compute_model, name=f"{name}.block{i}",
+                compute_model=compute_model,
+                name=f"{name}.block{block_offset + i}",
             )
             for i, block in enumerate(serial.blocks)
         ]
@@ -255,5 +262,8 @@ class HybridSTOPTrunk(HybridModuleBase):
     def gathered_grads(self) -> dict:
         grads = {}
         for i, block in enumerate(self.blocks):
-            grads.update({f"block{i}.{k}": v for k, v in block.gathered_grads().items()})
+            grads.update({
+                f"block{self.block_offset + i}.{k}": v
+                for k, v in block.gathered_grads().items()
+            })
         return grads

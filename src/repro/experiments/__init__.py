@@ -14,6 +14,7 @@ from repro.experiments import (
     fig8_pretraining_loss,
     fig9_wacc,
     fig10_data_efficiency,
+    pipeline_crossover,
     table1_optimizations,
 )
 
@@ -24,5 +25,6 @@ __all__ = [
     "fig8_pretraining_loss",
     "fig9_wacc",
     "fig10_data_efficiency",
+    "pipeline_crossover",
     "table1_optimizations",
 ]

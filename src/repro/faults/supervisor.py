@@ -552,11 +552,11 @@ class Supervisor:
         from repro.runtime import RunSpecError
 
         surviving = old.num_gpus - len(lost_ranks)
-        per_replica = old.tp_size * old.fsdp_size
+        per_replica = old.pp_size * old.tp_size * old.fsdp_size
         if surviving < per_replica or surviving % per_replica:
             raise ElasticRecoveryError(
                 f"surviving world of {surviving} GPUs cannot host whole "
-                f"tp x fsdp = {per_replica} replicas"
+                f"pp x tp x fsdp = {per_replica} replicas"
             )
         new_ddp = surviving // per_replica
         global_batch = old.micro_batch * old.fsdp_size * old.ddp_size

@@ -76,13 +76,18 @@ class TrainingSetup:
     activation_checkpointing: bool = True
     layer_wrapping: bool = True
     prefetch: bool = True
+    #: Pipeline depth of a 4D Hybrid-STOP run (1 = the pure 3D layout).
+    pp_size: int = 1
 
     def __post_init__(self):
         if self.num_gpus < 1 or self.micro_batch < 1:
             raise ValueError("num_gpus and micro_batch must be positive")
-        if self.tp_size * self.fsdp_size > self.num_gpus:
+        if self.pp_size < 1:
+            raise ValueError("pp_size must be positive")
+        if self.pp_size * self.tp_size * self.fsdp_size > self.num_gpus:
             raise ValueError(
-                f"tp({self.tp_size}) x fsdp({self.fsdp_size}) exceeds {self.num_gpus} GPUs"
+                f"pp({self.pp_size}) x tp({self.tp_size}) x "
+                f"fsdp({self.fsdp_size}) exceeds {self.num_gpus} GPUs"
             )
 
     @property
@@ -151,7 +156,13 @@ class MemoryModel:
             stages = min(K, cfg.depth)
             persistent = state * (trunk_params / stages + dense_params)
         else:  # Hybrid-STOP
-            persistent = state * (trunk_params / (K * F) + dense_params)
+            # With a pipeline axis each rank holds only its stage's
+            # blocks: ceil(depth / S) of depth (remainder stages are the
+            # largest, so this is the peak stage's fraction).
+            stage_fraction = -(-cfg.depth // setup.pp_size) / cfg.depth
+            persistent = state * (
+                trunk_params * stage_fraction / (K * F) + dense_params
+            )
 
         # Transient gathered parameters.
         if kind in (Parallelism.DDP, Parallelism.TENSOR, Parallelism.PIPELINE) or F == 1:
@@ -196,6 +207,12 @@ class MemoryModel:
             trunk_act = cfg.depth * boundary + stored_per_layer + workspace
         else:
             trunk_act = cfg.depth * stored_per_layer + workspace
+        if kind is Parallelism.HYBRID_STOP and setup.pp_size > 1:
+            # A stage retains activations only for its own blocks, and
+            # 1F1B keeps at most min(S, M) micro-batches in flight.
+            S = setup.pp_size
+            stage_fraction = -(-cfg.depth // S) / cfg.depth
+            trunk_act *= stage_fraction * (min(S, b) / b)
 
         # The per-variable token tensors feeding column-parallel
         # projections are replicated on every tensor-parallel rank (as

@@ -10,10 +10,12 @@
   parallelism, scalability capped by the attention head count;
 * :mod:`repro.parallel.ddp` — replica data parallelism with one
   gradient all-reduce per step;
-* :mod:`repro.parallel.pipeline` — GPipe-style pipeline parallelism,
-  scalability capped by the layer count (the paper's Sec II point);
+* :mod:`repro.parallel.stages` — pipeline-stage machinery: the
+  contiguous partition, 1F1B schedule arithmetic, boundary sends, and
+  the standalone GPipe-style demo trunk (scalability capped by the
+  layer count — the paper's Sec II point);
 * :mod:`repro.parallel.engine` — the Hybrid-STOP training engine
-  combining all three axes;
+  combining all four axes (PP x TP x FSDP x DDP);
 * :mod:`repro.core` — the sharded sublayer modules the engine is
   built from.
 """
@@ -22,8 +24,8 @@ from repro.parallel.compute import ComputeTimeModel, PeakFractionCompute
 from repro.parallel.ddp import DDPEngine
 from repro.parallel.engine import HybridSTOPEngine
 from repro.parallel.fsdp import FSDPModule
-from repro.parallel.pipeline import PipelineLimitError, PipelineParallelTrunk
 from repro.parallel.plan import HybridParallelPlan
+from repro.parallel.stages import PipelineLimitError, PipelineParallelTrunk
 from repro.parallel.tensor_parallel import TensorParallelBlock
 
 __all__ = [

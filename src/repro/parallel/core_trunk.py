@@ -25,3 +25,11 @@ def make_trunk_template(model: ClimaXViT) -> _TrunkTemplate:
             raise TypeError(f"expected plain TransformerBlock, got {type(block)!r}")
         blocks.append(block)
     return _TrunkTemplate(blocks)
+
+
+def make_stage_templates(
+    model: ClimaXViT, bounds: list[tuple[int, int]]
+) -> list[_TrunkTemplate]:
+    """Per-stage trunk templates for a contiguous pipeline partition."""
+    template = make_trunk_template(model)
+    return [_TrunkTemplate(template.blocks[start:end]) for start, end in bounds]

@@ -12,7 +12,17 @@ Composes the three orthogonal axes of paper Fig 4 around a
   activation caches via structure clones that *share* the replica's
   parameters, so micro-batch gradients accumulate naturally;
 * DDP replicas are deep copies trained on different data subsets whose
-  gradients are summed once per step (:meth:`allreduce_gradients`).
+  gradients are summed once per step (:meth:`allreduce_gradients`);
+* with ``plan.pp_size > 1`` the trunk is additionally partitioned
+  contiguously into pipeline stages (stage-outermost ranks): each stage
+  is a :class:`~repro.core.hybrid_block.HybridSTOPTrunk` over its own
+  3D sub-plan, activations/gradients cross stage boundaries as
+  cost-accounted point-to-point sends, and a 1F1B micro-batch schedule
+  is accounted by recording each stage's bubble stall
+  (``(M+S-1) * slot - busy``) after the pipeline drains.  Numerics are
+  exact at any depth — micro-batches traverse the same blocks in the
+  same order as the serial model — and ``pp_size == 1`` takes the
+  original code path unchanged (bitwise-neutral).
 """
 
 from __future__ import annotations
@@ -26,9 +36,14 @@ from repro.nn.checkpoint import CheckpointWrapper
 from repro.nn.context import ExecutionContext, execution_context
 from repro.nn.module import Module
 from repro.nn.transformer import TransformerBlock
-from repro.parallel.core_trunk import make_trunk_template
+from repro.parallel.core_trunk import make_stage_templates, make_trunk_template
 from repro.parallel.ddp import clone_module, clone_module_shared_params
 from repro.parallel.plan import HybridParallelPlan
+from repro.parallel.stages import (
+    partition_blocks,
+    record_boundary_send,
+    schedule_walltime,
+)
 
 
 class _DenseFront(Module):
@@ -119,6 +134,14 @@ class HybridSTOPEngine:
         self.tracer = plan.cluster.tracer
         self.config = model.config
         D = plan.ddp_size
+        #: Contiguous block bounds per pipeline stage (raises
+        #: PipelineLimitError past one stage per layer); None at pp=1.
+        self._stage_bounds = (
+            partition_blocks(len(model.blocks), plan.pp_size)
+            if plan.pp_size > 1 else None
+        )
+        self._stall_t0: dict[int, float] = {}
+        self._num_micro = 1
 
         self.fronts: list[list[_DenseFront]] = []
         self.heads: list[list[_DenseHead]] = []
@@ -133,7 +156,7 @@ class HybridSTOPEngine:
 
     def _build_replica(self, d: int, replica_model: ClimaXViT) -> None:
         plan = self.plan
-        F, K = plan.fsdp_size, plan.tp_size
+        F, K, S = plan.fsdp_size, plan.tp_size, plan.pp_size
         front = _DenseFront(replica_model)
         head = _DenseHead(replica_model)
         self.fronts.append(
@@ -142,29 +165,52 @@ class HybridSTOPEngine:
         self.heads.append(
             [head] + [clone_module_shared_params(head) for _ in range(F - 1)]
         )
-        trunk_template = make_trunk_template(replica_model)
         from repro.core.hybrid_block import HybridSTOPTrunk
 
-        self.trunks.append(
-            HybridSTOPTrunk(
-                trunk_template,
-                plan,
-                ddp_index=d,
-                prefetch=self.prefetch,
-                layer_wrapping=self.layer_wrapping,
-                recompute=self.recompute,
-                compute_model=self.compute_model,
-                name=f"trunk{d}",
-            )
+        trunk_kwargs = dict(
+            ddp_index=d,
+            prefetch=self.prefetch,
+            layer_wrapping=self.layer_wrapping,
+            recompute=self.recompute,
+            compute_model=self.compute_model,
+            name=f"trunk{d}",
         )
-        # Dense parameters are fully replicated on every rank of the replica.
-        dense_bytes = front.parameter_bytes() + head.parameter_bytes()
-        for f in range(F):
-            for k in range(K):
-                device = plan.cluster.device(plan.rank(d, f, k))
-                self._dense_allocs.append(
-                    (device, device.memory.allocate(dense_bytes, tag="params.dense"))
+        if S == 1:
+            self.trunks.append(
+                HybridSTOPTrunk(make_trunk_template(replica_model), plan, **trunk_kwargs)
+            )
+        else:
+            templates = make_stage_templates(replica_model, self._stage_bounds)
+            self.trunks.append(_PipelinedTrunk([
+                HybridSTOPTrunk(
+                    template, plan.stage_plan(s),
+                    block_offset=self._stage_bounds[s][0], **trunk_kwargs,
                 )
+                for s, template in enumerate(templates)
+            ]))
+        # Dense parameters are fully replicated on every rank of the
+        # replica — on every stage's ranks at pp=1 (there is only one
+        # stage); with a pipeline the front lives on stage 0 and the
+        # head on the last stage.
+        if S == 1:
+            dense_bytes = front.parameter_bytes() + head.parameter_bytes()
+            for f in range(F):
+                for k in range(K):
+                    device = plan.cluster.device(plan.rank(d, f, k))
+                    self._dense_allocs.append(
+                        (device, device.memory.allocate(dense_bytes, tag="params.dense"))
+                    )
+        else:
+            first, last = plan.stage_plan(0), plan.stage_plan(S - 1)
+            for stage_plan, nbytes in (
+                (first, front.parameter_bytes()), (last, head.parameter_bytes()),
+            ):
+                for f in range(F):
+                    for k in range(K):
+                        device = plan.cluster.device(stage_plan.rank(d, f, k))
+                        self._dense_allocs.append(
+                            (device, device.memory.allocate(nbytes, tag="params.dense"))
+                        )
 
     def materialize_replicas(self) -> None:
         """Build the DDP replicas a folded construction skipped.
@@ -178,16 +224,30 @@ class HybridSTOPEngine:
             self._build_replica(d, clone_module(self._model_template))
 
     # -- accounting helpers -------------------------------------------------------
-    def _ranked(self, d: int, f: int, op: str = "dense"):
-        return _RankedCompute(self, self.plan.rank(d, f, 0), op)
+    def _ranked(self, d: int, f: int, op: str = "dense", plan=None):
+        plan = self.plan if plan is None else plan
+        return _RankedCompute(self, plan.rank(d, f, 0), op)
 
     def _record_dense_grad_sync(self, d: int) -> None:
-        """Cost of reducing replicated dense grads across the replica."""
-        dense_bytes = self.fronts[d][0].parameter_bytes() + self.heads[d][0].parameter_bytes()
+        """Cost of reducing replicated dense grads across the replica.
+
+        With a pipeline the front and head live on different stages, so
+        their syncs are two collectives over disjoint rank sets.
+        """
+        if self.plan.pp_size == 1:
+            dense_bytes = self.fronts[d][0].parameter_bytes() + self.heads[d][0].parameter_bytes()
+            self._record_module_grad_sync(d, self.plan, dense_bytes)
+            return
+        first = self.plan.stage_plan(0)
+        last = self.plan.stage_plan(self.plan.pp_size - 1)
+        self._record_module_grad_sync(d, first, self.fronts[d][0].parameter_bytes())
+        self._record_module_grad_sync(d, last, self.heads[d][0].parameter_bytes())
+
+    def _record_module_grad_sync(self, d: int, plan, dense_bytes: int) -> None:
         replica_ranks = [
-            self.plan.rank(d, f, k)
-            for f in range(self.plan.fsdp_size)
-            for k in range(self.plan.tp_size)
+            plan.rank(d, f, k)
+            for f in range(plan.fsdp_size)
+            for k in range(plan.tp_size)
         ]
         if len(replica_ranks) > 1:
             seconds = self.plan.cluster.cost_model.all_reduce(replica_ranks, dense_bytes)
@@ -204,6 +264,8 @@ class HybridSTOPEngine:
         D, F = self.plan.ddp_size, self.plan.fsdp_size
         if len(xs) != D or any(len(batch) != F for batch in xs):
             raise ValueError(f"expected xs nested as [{D}][{F}]")
+        if self.plan.pp_size > 1:
+            return self._forward_pipelined(xs, lead_times)
         timeline = self.plan.cluster.timeline
         ys = []
         with self.tracer.scope("engine.forward"):
@@ -224,6 +286,8 @@ class HybridSTOPEngine:
     def backward(self, grad_ys: list) -> list:
         """Backprop; returns per-micro-batch input gradients."""
         D, F = self.plan.ddp_size, self.plan.fsdp_size
+        if self.plan.pp_size > 1:
+            return self._backward_pipelined(grad_ys)
         timeline = self.plan.cluster.timeline
         grad_xs = []
         with self.tracer.scope("engine.backward"):
@@ -239,6 +303,138 @@ class HybridSTOPEngine:
                     with self._ranked(d, f, op="dense.front"):
                         replica_grad_xs.append(self.fronts[d][f].backward(grads[f]))
                 grad_xs.append(timeline.fold_pad("fsdp", replica_grad_xs, F))
+                self._record_dense_grad_sync(d)
+        return timeline.fold_pad("ddp", grad_xs, D)
+
+    # -- pipelined execution (pp_size > 1) ----------------------------------------
+    def _stage_ranks(self, stage: int, d: int) -> list[int]:
+        sp = self.plan.stage_plan(stage)
+        return [
+            sp.rank(d, f, k)
+            for f in range(self.plan.fsdp_size)
+            for k in range(self.plan.tp_size)
+        ]
+
+    def _snapshot_stage_clocks(self) -> None:
+        """Remember every stage rank's busy clock at step start.
+
+        The per-stage busy time of this step (read back in
+        :meth:`_record_pipeline_stall`) is the delta against this
+        snapshot; on a folded timeline ``ledger`` resolves to class
+        ledgers, which carry the identical floats.
+        """
+        timeline = self.plan.cluster.timeline
+        self._stall_t0 = {}
+        for s in range(self.plan.pp_size):
+            for d in range(self.plan.ddp_size):
+                for rank in self._stage_ranks(s, d):
+                    self._stall_t0[rank] = timeline.ledger(rank).walltime_s
+
+    def _record_boundary_sends(self, d: int, stage: int, payloads: list,
+                               backward: bool) -> None:
+        """Point-to-point activation (or gradient) sends at one boundary.
+
+        Each rank ``(stage, d, f, k)`` exchanges with its same-coordinate
+        peer in the adjacent stage: M micro-batch messages carrying one
+        step's worth of boundary activations for FSDP index ``f``.
+        """
+        plan = self.plan
+        timeline = plan.cluster.timeline
+        src_plan = plan.stage_plan(stage)
+        dst_plan = plan.stage_plan(stage - 1 if backward else stage + 1)
+        op = "pipeline.grad_send" if backward else "pipeline.send"
+        for f in timeline.fold_iter("fsdp", range(plan.fsdp_size)):
+            payload_nbytes = nbytes_of(payloads[f])
+            for k in range(plan.tp_size):
+                record_boundary_send(
+                    plan.cluster,
+                    src_plan.rank(d, f, k),
+                    dst_plan.rank(d, f, k),
+                    payload_nbytes,
+                    num_micro_batches=self._num_micro,
+                    op=op,
+                )
+
+    def _record_pipeline_stall(self, d: int) -> None:
+        """Account replica ``d``'s 1F1B schedule bubble.
+
+        The ledgers are event-order independent per rank, so the engine
+        runs each stage's work fused and reconstructs the schedule
+        afterwards: with per-stage busy times ``b_s`` (this step's
+        compute + exposed comm on the stage's busiest rank), the 1F1B
+        makespan is ``(M + S - 1) * max_s(b_s) / M``, and each stage
+        idles for the difference — recorded as a ``pipeline.stall``
+        event on every stage rank so simulated walltime equals the
+        schedule makespan.
+        """
+        plan = self.plan
+        timeline = plan.cluster.timeline
+        S, F, K = plan.pp_size, plan.fsdp_size, plan.tp_size
+        busy = [
+            max(
+                timeline.ledger(rank).walltime_s - self._stall_t0[rank]
+                for rank in self._stage_ranks(s, d)
+            )
+            for s in range(S)
+        ]
+        total = schedule_walltime(busy, self._num_micro)
+        for f in timeline.fold_iter("fsdp", range(F)):
+            for k in range(K):
+                for s in range(S):
+                    timeline.record_compute(
+                        plan.stage_plan(s).rank(d, f, k),
+                        total - busy[s], 0.0, op="pipeline.stall",
+                    )
+
+    def _forward_pipelined(self, xs: list, lead_times: list) -> list:
+        plan = self.plan
+        D, F, S = plan.ddp_size, plan.fsdp_size, plan.pp_size
+        timeline = plan.cluster.timeline
+        last = plan.stage_plan(S - 1)
+        self._num_micro = max(1, int(xs[0][0].shape[0]))
+        self._snapshot_stage_clocks()
+        ys = []
+        with self.tracer.scope("engine.forward"):
+            for d in timeline.fold_iter("ddp", range(D)):
+                tokens = []
+                for f in timeline.fold_iter("fsdp", range(F)):
+                    with self._ranked(d, f, op="dense.front"):
+                        tokens.append(self.fronts[d][f](xs[d][f], lead_times[d][f]))
+                tokens = timeline.fold_pad("fsdp", tokens, F)
+                for s, trunk in enumerate(self.trunks[d].stage_trunks):
+                    tokens = trunk.forward(tokens)
+                    if s + 1 < S:
+                        self._record_boundary_sends(d, s, tokens, backward=False)
+                preds = []
+                for f in timeline.fold_iter("fsdp", range(F)):
+                    with self._ranked(d, f, op="dense.head", plan=last):
+                        preds.append(self.heads[d][f](tokens[f]))
+                ys.append(timeline.fold_pad("fsdp", preds, F))
+        return timeline.fold_pad("ddp", ys, D)
+
+    def _backward_pipelined(self, grad_ys: list) -> list:
+        plan = self.plan
+        D, F, S = plan.ddp_size, plan.fsdp_size, plan.pp_size
+        timeline = plan.cluster.timeline
+        last = plan.stage_plan(S - 1)
+        grad_xs = []
+        with self.tracer.scope("engine.backward"):
+            for d in timeline.fold_iter("ddp", range(D)):
+                grads = []
+                for f in timeline.fold_iter("fsdp", range(F)):
+                    with self._ranked(d, f, op="dense.head", plan=last):
+                        grads.append(self.heads[d][f].backward(grad_ys[d][f]))
+                grads = timeline.fold_pad("fsdp", grads, F)
+                for s in reversed(range(S)):
+                    grads = self.trunks[d].stage_trunks[s].backward(grads)
+                    if s > 0:
+                        self._record_boundary_sends(d, s, grads, backward=True)
+                replica_grad_xs = []
+                for f in timeline.fold_iter("fsdp", range(F)):
+                    with self._ranked(d, f, op="dense.front"):
+                        replica_grad_xs.append(self.fronts[d][f].backward(grads[f]))
+                grad_xs.append(timeline.fold_pad("fsdp", replica_grad_xs, F))
+                self._record_pipeline_stall(d)
                 self._record_dense_grad_sync(d)
         return timeline.fold_pad("ddp", grad_xs, D)
 
@@ -265,25 +461,48 @@ class HybridSTOPEngine:
                     reduced = all_reduce(group, grads, op="sum")
                     for p, grad in zip(params, reduced):
                         p.grad_shards[j] = grad if is_meta(grad) else np.array(grad, copy=True)
-            # Dense modules: reduce each parameter across replica leads.
-            lead_group = self.plan.cluster.new_group(
-                [self.plan.rank(d, 0, 0) for d in range(D)]
-            )
-            dense_per_replica = [
+            # Dense modules: reduce each parameter across replica leads
+            # (front leads on stage 0, head leads on the last stage —
+            # one merged group and dict at pp=1).
+            for plan, dense_per_replica in self._dense_reduction_sets():
+                lead_group = self.plan.cluster.new_group(
+                    [plan.rank(d, 0, 0) for d in range(D)]
+                )
+                for name in dense_per_replica[0]:
+                    grads = [dense_per_replica[d][name].grad for d in range(D)]
+                    if any(g is None for g in grads):
+                        raise RuntimeError(f"dense parameter {name} missing a replica gradient")
+                    reduced = all_reduce(lead_group, grads, op="sum")
+                    for d in range(D):
+                        grad = reduced[d]
+                        dense_per_replica[d][name].grad = (
+                            grad if is_meta(grad) else np.array(grad, copy=True)
+                        )
+
+    def _dense_reduction_sets(self):
+        """``(plan, per-replica param dicts)`` per dense reduction group.
+
+        At ``pp_size == 1`` this is the single merged front+head dict
+        reduced over the stage-0 leads (the original layout); with a
+        pipeline the front and head reduce over their own stages' leads.
+        """
+        D = self.plan.ddp_size
+        replicas = range(min(D, len(self.trunks)))
+        if self.plan.pp_size == 1:
+            merged = [
                 dict(self.fronts[d][0].named_parameters())
                 | {f"head.{n}": p for n, p in self.heads[d][0].named_parameters()}
-                for d in range(D)
+                for d in replicas
             ]
-            for name in dense_per_replica[0]:
-                grads = [dense_per_replica[d][name].grad for d in range(D)]
-                if any(g is None for g in grads):
-                    raise RuntimeError(f"dense parameter {name} missing a replica gradient")
-                reduced = all_reduce(lead_group, grads, op="sum")
-                for d in range(D):
-                    grad = reduced[d]
-                    dense_per_replica[d][name].grad = (
-                        grad if is_meta(grad) else np.array(grad, copy=True)
-                    )
+            return [(self.plan, merged)]
+        first = self.plan.stage_plan(0)
+        last = self.plan.stage_plan(self.plan.pp_size - 1)
+        fronts = [dict(self.fronts[d][0].named_parameters()) for d in replicas]
+        heads = [
+            {f"head.{n}": p for n, p in self.heads[d][0].named_parameters()}
+            for d in replicas
+        ]
+        return [(first, fronts), (last, heads)]
 
     def _allreduce_gradients_folded(self) -> None:
         """DDP reduction with only replica 0 materialized.
@@ -307,18 +526,16 @@ class HybridSTOPEngine:
                 reduced = all_reduce(group, [p0.grad_shards[j]] * D, op="sum")
                 grad = reduced[0]
                 p0.grad_shards[j] = grad if is_meta(grad) else np.array(grad, copy=True)
-        lead_group = plan.cluster.new_group(
-            [plan.rank(d, 0, 0) for d in range(D)]
-        )
-        dense = dict(self.fronts[0][0].named_parameters()) | {
-            f"head.{n}": p for n, p in self.heads[0][0].named_parameters()
-        }
-        for name, param in dense.items():
-            if param.grad is None:
-                raise RuntimeError(f"dense parameter {name} missing a replica gradient")
-            reduced = all_reduce(lead_group, [param.grad] * D, op="sum")
-            grad = reduced[0]
-            param.grad = grad if is_meta(grad) else np.array(grad, copy=True)
+        for module_plan, dense_per_replica in self._dense_reduction_sets():
+            lead_group = plan.cluster.new_group(
+                [module_plan.rank(d, 0, 0) for d in range(D)]
+            )
+            for name, param in dense_per_replica[0].items():
+                if param.grad is None:
+                    raise RuntimeError(f"dense parameter {name} missing a replica gradient")
+                reduced = all_reduce(lead_group, [param.grad] * D, op="sum")
+                grad = reduced[0]
+                param.grad = grad if is_meta(grad) else np.array(grad, copy=True)
 
     # -- checkpoint interoperability ---------------------------------------------
     def gathered_state_dict(self, replica: int = 0) -> dict:
@@ -359,6 +576,38 @@ class HybridSTOPEngine:
             self.fronts[d][0].zero_grad()
             self.heads[d][0].zero_grad()
             self.trunks[d].zero_grad()
+
+
+class _PipelinedTrunk:
+    """One DDP replica's trunk, sliced into pipeline-stage sub-trunks.
+
+    Presents the same surface as a single
+    :class:`~repro.core.hybrid_block.HybridSTOPTrunk` — ``blocks``,
+    ``sharded_parameters`` and ``gathered_grads`` concatenate the
+    stages in order, so gathered state dicts, checkpoint shard keys and
+    gradient names are identical to a ``pp_size == 1`` run of the same
+    ``(tp, fsdp)`` shape (per-stage shards are contiguous key ranges).
+    """
+
+    def __init__(self, stage_trunks: list):
+        self.stage_trunks = stage_trunks
+
+    @property
+    def blocks(self) -> list:
+        return [b for trunk in self.stage_trunks for b in trunk.blocks]
+
+    def sharded_parameters(self) -> list:
+        return [p for trunk in self.stage_trunks for p in trunk.sharded_parameters()]
+
+    def zero_grad(self) -> None:
+        for trunk in self.stage_trunks:
+            trunk.zero_grad()
+
+    def gathered_grads(self) -> dict:
+        grads: dict = {}
+        for trunk in self.stage_trunks:
+            grads.update(trunk.gathered_grads())
+        return grads
 
 
 class _RankedCompute:

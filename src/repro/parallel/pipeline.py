@@ -1,192 +1,29 @@
-"""Pipeline parallelism (GPipe-style) — the third related scheme.
+"""Deprecated import path for the pipeline-stage machinery.
 
-Paper Sec II positions Hybrid-STOP against pipeline parallelism, whose
-scalability "is limited by the number of model layers": a model can be
-cut into at most one stage per transformer block, and the pipeline
-bubble wastes ``(S-1)/(M+S-1)`` of the machine for S stages and M
-micro-batches.  This engine implements the scheme over the virtual
-cluster so the limitation is executable, not just cited:
-
-* blocks are partitioned contiguously into stages, one stage per rank;
-* parameters are **not** sharded — each stage holds its blocks whole
-  (registered on its device's memory tracker);
-* activations and gradients cross stage boundaries as point-to-point
-  messages (cost-accounted);
-* numerics are exact: micro-batches traverse the same blocks the
-  serial model would.
+The GPipe-style demo trunk and its stage arithmetic moved to
+:mod:`repro.parallel.stages` when the pipeline axis became a first-class
+dimension of :class:`~repro.parallel.plan.HybridParallelPlan` (the
+``pp_size`` axis of the 4D factorization).  This shim keeps the old
+import path working with a :class:`DeprecationWarning`, mirroring the
+``repro.parallel.compute`` → ``repro.faults.degradation`` precedent.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.cluster.cluster import VirtualCluster
-from repro.meta import nbytes_of
-from repro.nn import ops
-from repro.nn.context import ExecutionContext, execution_context
-from repro.nn.transformer import TransformerStack
+_MOVED = ("PipelineParallelTrunk", "PipelineLimitError")
 
 
-class PipelineLimitError(ValueError):
-    """Raised when more stages are requested than there are layers."""
+def __getattr__(name):
+    if name in _MOVED:
+        import warnings
 
+        from repro.parallel import stages
 
-class PipelineParallelTrunk:
-    """A transformer stack partitioned into pipeline stages.
-
-    Parameters
-    ----------
-    serial:
-        The stack to partition; its blocks are used in place.
-    cluster:
-        Stage ``s`` lives on rank ``s``.
-    num_stages:
-        Pipeline depth; at most ``len(serial.blocks)`` (the paper's
-        layer-count limitation).
-    """
-
-    def __init__(
-        self,
-        serial: TransformerStack,
-        cluster: VirtualCluster,
-        num_stages: int,
-        compute_model=None,
-    ):
-        num_blocks = len(serial.blocks)
-        if num_stages < 1:
-            raise ValueError("num_stages must be positive")
-        if num_stages > num_blocks:
-            raise PipelineLimitError(
-                f"pipeline parallelism is limited by the number of layers: "
-                f"requested {num_stages} stages for {num_blocks} blocks"
-            )
-        if num_stages > cluster.world_size:
-            raise ValueError(
-                f"{num_stages} stages need {num_stages} ranks; cluster has "
-                f"{cluster.world_size}"
-            )
-        self.cluster = cluster
-        self.compute_model = compute_model
-        self.num_stages = num_stages
-        # Contiguous partition, remainder spread over the first stages.
-        base, extra = divmod(num_blocks, num_stages)
-        self.stages: list[list] = []
-        self._allocations = []
-        index = 0
-        for stage in range(num_stages):
-            count = base + (1 if stage < extra else 0)
-            blocks = serial.blocks[index : index + count]
-            index += count
-            self.stages.append(blocks)
-            device = cluster.device(stage)
-            stage_bytes = sum(
-                p.nbytes for block in blocks for p in block.parameters()
-            )
-            self._allocations.append(
-                device.memory.allocate(stage_bytes, tag=f"params.stage{stage}")
-            )
-        self._cache: list | None = None
-
-    # -- accounting ------------------------------------------------------------
-    def _record_compute(self, stage: int, ctx: ExecutionContext) -> None:
-        if self.compute_model is not None:
-            seconds = self.compute_model.seconds_for(ctx.flops, stage)
-            self.cluster.timeline.record_compute(stage, seconds, ctx.flops)
-        self._stage_flops[stage] += ctx.flops
-
-    def _send(self, src: int, dst: int, payload) -> None:
-        seconds = self.cluster.cost_model.point_to_point(src, dst, nbytes_of(payload))
-        self.cluster.timeline.record_comm([src, dst], seconds, nbytes_of(payload))
-
-    # -- execution -----------------------------------------------------------------
-    def forward(self, micro_batches: list) -> list:
-        """Run M micro-batches through the pipeline; returns M outputs."""
-        if not micro_batches:
-            raise ValueError("need at least one micro-batch")
-        self._stage_flops = [0.0] * self.num_stages
-        outputs = []
-        for x in micro_batches:
-            for stage, blocks in enumerate(self.stages):
-                ctx = ExecutionContext()
-                with execution_context(ctx):
-                    for block in blocks:
-                        x = block(x)
-                        # GPipe recomputes stage activations in backward;
-                        # keep only the stage boundary here.
-                self._record_compute(stage, ctx)
-                if stage + 1 < self.num_stages:
-                    self._send(stage, stage + 1, x)
-            outputs.append(x)
-        self._cache = list(micro_batches)
-        # Each block's internal cache currently holds only the LAST
-        # micro-batch; backward re-runs forward per micro-batch.
-        return outputs
-
-    def backward(self, grad_outputs: list) -> list:
-        """Backward through the pipeline; returns input gradients."""
-        if self._cache is None:
-            raise RuntimeError("PipelineParallelTrunk.backward without a forward")
-        micro_batches = self._cache
-        self._cache = None
-        if len(grad_outputs) != len(micro_batches):
-            raise ValueError(
-                f"{len(grad_outputs)} gradients for {len(micro_batches)} micro-batches"
-            )
-        grad_inputs = []
-        for x, grad in zip(micro_batches, grad_outputs):
-            # Recompute stage boundary activations for this micro-batch.
-            boundaries = [x]
-            for blocks in self.stages[:-1]:
-                h = boundaries[-1]
-                for block in blocks:
-                    h = block(h)
-                    block.clear_cache()
-                boundaries.append(h)
-            for stage in reversed(range(self.num_stages)):
-                ctx = ExecutionContext()
-                with execution_context(ctx):
-                    h = boundaries[stage]
-                    for block in self.stages[stage]:
-                        h = block(h)  # rebuild caches for this stage
-                    for block in reversed(self.stages[stage]):
-                        grad = block.backward(grad)
-                self._record_compute(stage, ctx)
-                if stage > 0:
-                    self._send(stage, stage - 1, grad)
-            grad_inputs.append(grad)
-        return grad_inputs
-
-    # -- schedule model ------------------------------------------------------------
-    def bubble_fraction(self, num_micro_batches: int) -> float:
-        """Idle fraction of the GPipe schedule: ``(S-1) / (M+S-1)``."""
-        if num_micro_batches < 1:
-            raise ValueError("num_micro_batches must be positive")
-        return (self.num_stages - 1) / (num_micro_batches + self.num_stages - 1)
-
-    def schedule_walltime(self, num_micro_batches: int) -> float:
-        """Pipelined walltime from the recorded per-stage compute times.
-
-        The timeline records each stage's *total* busy time; a balanced
-        GPipe schedule finishes in ``(M + S - 1) * t_slot`` where
-        ``t_slot`` is the slowest stage's per-micro-batch time.
-        """
-        if self.compute_model is None:
-            raise RuntimeError("schedule_walltime needs a compute_model")
-        per_stage = [
-            self.cluster.timeline.ledger(stage).compute_s / max(1, num_micro_batches)
-            for stage in range(self.num_stages)
-        ]
-        slot = max(per_stage)
-        return (num_micro_batches + self.num_stages - 1) * slot
-
-    # -- parameters -----------------------------------------------------------------
-    def stage_parameters(self, stage: int) -> list:
-        """Parameters resident on one stage's device."""
-        return [p for block in self.stages[stage] for p in block.parameters()]
-
-    def parameters(self) -> list:
-        return [p for stage in range(self.num_stages) for p in self.stage_parameters(stage)]
-
-    def zero_grad(self) -> None:
-        for param in self.parameters():
-            param.zero_grad()
+        warnings.warn(
+            f"repro.parallel.pipeline.{name} has moved to "
+            f"repro.parallel.stages.{name}; update the import",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(stages, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

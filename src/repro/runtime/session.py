@@ -134,6 +134,7 @@ class Session:
             fsdp_size=spec.fsdp_size,
             ddp_size=spec.ddp_size,
             tp_innermost=spec.tp_innermost,
+            pp_size=spec.pp_size,
         )
         compute_model = PeakFractionCompute(self.cluster)
         if spec.compute_skew:
@@ -481,6 +482,13 @@ class Session:
                 f"elastic resume may only change the DDP extent; "
                 f"tp/fsdp differ: {theirs['grid'][:2]} vs {mine['grid'][:2]}"
             )
+        # Pre-4D archives carry a 3-element grid: an implicit pp of 1.
+        old_pp = int(theirs["grid"][3]) if len(theirs["grid"]) > 3 else 1
+        if old_pp != int(mine["grid"][3]):
+            raise ValueError(
+                f"elastic resume may only change the DDP extent; "
+                f"pipeline depth differs: {old_pp} vs {mine['grid'][3]}"
+            )
         old_ddp = int(theirs["grid"][2])
         old_global = theirs["micro_batch"] * theirs["grid"][1] * old_ddp
         if old_global != self.spec.observations:
@@ -530,8 +538,9 @@ class Session:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         mode = "meta" if self.spec.meta else "numeric"
+        pp = f" pp={self.spec.pp_size}" if self.spec.pp_size > 1 else ""
         return (
             f"Session({self.config.name}, {self.spec.num_gpus} GPUs, "
             f"tp={self.spec.tp_size} fsdp={self.spec.fsdp_size} "
-            f"ddp={self.spec.ddp_size}, {mode})"
+            f"ddp={self.spec.ddp_size}{pp}, {mode})"
         )

@@ -2,7 +2,7 @@
 
 A :class:`RunSpec` is the single source of truth for one simulated
 Hybrid-STOP run: the model configuration, the machine shape, the
-(TP, FSDP, DDP) factorization, and the policy knobs of Table I /
+(PP, TP, FSDP, DDP) factorization, and the policy knobs of Table I /
 Sec III-B.  Construction validates the topology with the same
 diagnostics the CLI used to hand-roll (``repro trace``'s exit-2
 messages) and the same legality rules the tuner's space enumeration
@@ -56,16 +56,26 @@ def grid_rank(ddp: int, fsdp: int, tp: int, fsdp_size: int, tp_size: int,
 
 
 def tp_group_spans_nodes(tp: int, fsdp: int, ddp: int, tp_innermost: bool,
-                         gpus_per_node: int) -> bool:
-    """Whether any tensor-parallel group crosses a node boundary."""
-    for d in range(ddp):
-        for f in range(fsdp):
-            nodes = {
-                grid_rank(d, f, k, fsdp, tp, tp_innermost) // gpus_per_node
-                for k in range(tp)
-            }
-            if len(nodes) > 1:
-                return True
+                         gpus_per_node: int, pp: int = 1) -> bool:
+    """Whether any tensor-parallel group crosses a node boundary.
+
+    With a pipeline axis each stage's grid sits at a rank offset of
+    ``s * tp * fsdp * ddp``; when that stage size is not a whole number
+    of nodes, a deeper stage's TP groups can straddle a boundary even
+    though stage 0's do not — so every stage is checked.
+    """
+    stage_size = tp * fsdp * ddp
+    for s in range(pp):
+        offset = s * stage_size
+        for d in range(ddp):
+            for f in range(fsdp):
+                nodes = {
+                    (offset + grid_rank(d, f, k, fsdp, tp, tp_innermost))
+                    // gpus_per_node
+                    for k in range(tp)
+                }
+                if len(nodes) > 1:
+                    return True
     return False
 
 
@@ -77,6 +87,7 @@ def engine_legality_reason(
     tp_innermost: bool = True,
     gpus_per_node: int = 8,
     engine_mode: bool = True,
+    pp: int = 1,
 ) -> str | None:
     """Why this factorization/layout is illegal; ``None`` when legal.
 
@@ -85,6 +96,13 @@ def engine_legality_reason(
     groups confined to one node); ``False`` is the relaxed analytic
     regime of the Fig 6 sweep.
     """
+    if pp > config.depth:
+        # Mirrors repro.parallel.stages.PipelineLimitError: one stage
+        # needs at least one transformer block.
+        return (
+            f"pipeline parallelism is limited by the number of layers: "
+            f"requested {pp} stages for {config.depth} blocks"
+        )
     if config.embed_dim % tp:
         return f"embed_dim {config.embed_dim} not divisible by tp {tp}"
     if config.hidden_dim % tp:
@@ -107,7 +125,7 @@ def engine_legality_reason(
     elif config.num_heads % tp:
         return f"num_heads {config.num_heads} not divisible by tp {tp}"
     if engine_mode and tp_group_spans_nodes(
-        tp, fsdp, ddp, tp_innermost, gpus_per_node
+        tp, fsdp, ddp, tp_innermost, gpus_per_node, pp=pp
     ):
         layout = "" if tp_innermost else " under the fsdp-innermost layout"
         return f"tp group of size {tp} spans node boundaries{layout}"
@@ -119,8 +137,8 @@ class RunSpec:
     """One fully specified run of the simulated Hybrid-STOP stack.
 
     ``ddp_size=None`` derives the replica count from the world size
-    (``num_gpus // (tp_size * fsdp_size)``) — how the Fig 7 sweep
-    scales out a fixed replica shape.
+    (``num_gpus // (pp_size * tp_size * fsdp_size)``) — how the Fig 7
+    sweep scales out a fixed replica shape.
     """
 
     config: OrbitConfig
@@ -129,6 +147,9 @@ class RunSpec:
     tp_size: int = 1
     fsdp_size: int = 1
     ddp_size: int | None = 1
+    #: Pipeline depth S (stage-outermost; identity, like the other grid
+    #: axes — a pipelined run's checkpoints shard per stage).
+    pp_size: int = 1
     micro_batch: int = 1
     #: Policy knobs (Table I / Sec III-B): change how a configuration
     #: runs, not which configuration it is.  Field metadata marks them
@@ -176,12 +197,12 @@ class RunSpec:
 
     def __post_init__(self):
         if self.ddp_size is None:
-            per_replica = self.tp_size * self.fsdp_size
+            per_replica = self.pp_size * self.tp_size * self.fsdp_size
             if per_replica < 1 or self.num_gpus % per_replica:
                 raise RunSpecError(
-                    f"invalid topology: tp * fsdp = {self.tp_size} * "
-                    f"{self.fsdp_size} = {per_replica} does not divide "
-                    f"num_gpus {self.num_gpus}"
+                    f"invalid topology: pp * tp * fsdp = {self.pp_size} * "
+                    f"{self.tp_size} * {self.fsdp_size} = {per_replica} does "
+                    f"not divide num_gpus {self.num_gpus}"
                 )
             object.__setattr__(self, "ddp_size", self.num_gpus // per_replica)
         if isinstance(self.compute_skew, Mapping):
@@ -202,17 +223,24 @@ class RunSpec:
     def topology_errors(self) -> list[str]:
         """Human-readable explanations of every invalid field; empty = valid."""
         problems: list[str] = []
-        if min(self.tp_size, self.fsdp_size, self.ddp_size) < 1:
+        if min(self.tp_size, self.fsdp_size, self.ddp_size, self.pp_size) < 1:
             problems.append("invalid topology: group sizes must be positive")
         if self.num_gpus < 1:
             problems.append(f"invalid num_gpus {self.num_gpus}: must be at least 1")
-        product = self.tp_size * self.fsdp_size * self.ddp_size
+        product = self.pp_size * self.tp_size * self.fsdp_size * self.ddp_size
         if product != self.num_gpus:
-            problems.append(
-                f"invalid topology: tp * fsdp * ddp = {self.tp_size} * "
-                f"{self.fsdp_size} * {self.ddp_size} = {product}, which does "
-                f"not equal num_gpus {self.num_gpus}"
-            )
+            axes = f"{self.tp_size} * {self.fsdp_size} * {self.ddp_size}"
+            if self.pp_size > 1:
+                problems.append(
+                    f"invalid topology: pp * tp * fsdp * ddp = "
+                    f"{self.pp_size} * {axes} = {product}, which does not "
+                    f"equal num_gpus {self.num_gpus}"
+                )
+            else:
+                problems.append(
+                    f"invalid topology: tp * fsdp * ddp = {axes} = {product}, "
+                    f"which does not equal num_gpus {self.num_gpus}"
+                )
         if self.gpus_per_node <= 0 or (
             self.num_gpus >= 1 and self.num_gpus % self.gpus_per_node != 0
         ):
@@ -274,6 +302,7 @@ class RunSpec:
             tp_innermost=self.tp_innermost,
             gpus_per_node=self.gpus_per_node,
             engine_mode=engine_mode,
+            pp=self.pp_size,
         )
 
     # -- derived quantities --------------------------------------------------
@@ -296,7 +325,7 @@ class RunSpec:
                 f":p{c.patch_size}:m{c.mlp_ratio}:q{int(c.qk_layernorm)}"
             ),
             "topology": f"g{self.num_gpus}x{self.gpus_per_node}",
-            "grid": [self.tp_size, self.fsdp_size, self.ddp_size],
+            "grid": [self.tp_size, self.fsdp_size, self.ddp_size, self.pp_size],
             "micro_batch": self.micro_batch,
             "tp_innermost": self.tp_innermost,
             "dtype": self.dtype,
@@ -318,6 +347,7 @@ class RunSpec:
             parallelism if parallelism is not None else Parallelism.HYBRID_STOP,
             tp_size=self.tp_size,
             fsdp_size=self.fsdp_size,
+            pp_size=self.pp_size,
             micro_batch=self.micro_batch,
             bf16=self.bf16,
             activation_checkpointing=self.recompute,
@@ -340,6 +370,7 @@ class RunSpec:
             tp_size=case.tp_size,
             fsdp_size=case.fsdp_size,
             ddp_size=case.ddp_size,
+            pp_size=case.pp_size,
             micro_batch=case.micro_batch,
             prefetch=case.prefetch,
             recompute=case.recompute,
@@ -358,6 +389,7 @@ class RunSpec:
             tp_size=candidate.tp_size,
             fsdp_size=candidate.fsdp_size,
             ddp_size=candidate.ddp_size,
+            pp_size=candidate.pp_size,
             micro_batch=candidate.micro_batch,
             prefetch=candidate.prefetch,
             recompute=candidate.recompute,

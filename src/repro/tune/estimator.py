@@ -64,6 +64,11 @@ class Estimate:
     peak_memory_bytes: float
     #: Whether the candidate fits the per-GPU memory budget.
     fits: bool
+    #: Pipeline-bubble cost: idle seconds the 1F1B schedule adds beyond
+    #: the slowest stage's busy time, and the schedule's idle fraction
+    #: ``(S - 1) / (M + S - 1)``.  Zero for 3D (``pp_size == 1``) plans.
+    bubble_s: float = 0.0
+    bubble_fraction: float = 0.0
 
     @property
     def time_per_obs_s(self) -> float:
@@ -112,7 +117,12 @@ class _DenseProbe:
     head_fwd_flops: float
     head_bwd_flops: float
     front_bwd_flops: float
-    param_nbytes: tuple[int, ...]
+    front_param_nbytes: tuple[int, ...]
+    head_param_nbytes: tuple[int, ...]
+
+    @property
+    def param_nbytes(self) -> tuple[int, ...]:
+        return self.front_param_nbytes + self.head_param_nbytes
 
     @property
     def total_bytes(self) -> int:
@@ -169,6 +179,7 @@ class AnalyticEstimator:
             Parallelism.HYBRID_STOP,
             tp_size=candidate.tp_size,
             fsdp_size=candidate.fsdp_size,
+            pp_size=candidate.pp_size,
             micro_batch=candidate.micro_batch,
             activation_checkpointing=candidate.recompute,
             layer_wrapping=True,
@@ -208,8 +219,11 @@ class AnalyticEstimator:
             head_fwd_flops=phases[1].flops,
             head_bwd_flops=phases[2].flops,
             front_bwd_flops=phases[3].flops,
-            param_nbytes=tuple(
-                nbytes_of(p.data) for p in front.parameters() + head.parameters()
+            front_param_nbytes=tuple(
+                nbytes_of(p.data) for p in front.parameters()
+            ),
+            head_param_nbytes=tuple(
+                nbytes_of(p.data) for p in head.parameters()
             ),
         )
         self._dense_probes[micro_batch] = probe
@@ -232,13 +246,17 @@ class AnalyticEstimator:
             fsdp_size=candidate.fsdp_size,
             ddp_size=candidate.ddp_size,
             tp_innermost=candidate.tp_innermost,
+            pp_size=candidate.pp_size,
         )
         serial = TransformerBlock(
             cfg.embed_dim, cfg.num_heads, mlp_ratio=cfg.mlp_ratio,
             qk_layernorm=cfg.qk_layernorm, meta=True,
         )
+        # The probe always runs on stage 0's sub-grid (the whole plan at
+        # pp=1): every stage is a rank-offset copy, so the captured
+        # stream replays at any stage by shifting ranks.
         block = HybridSTOPBlock(
-            serial, plan, ddp_index=0, prefetch=candidate.prefetch,
+            serial, plan.stage_plan(0), ddp_index=0, prefetch=candidate.prefetch,
             compute_model=self._compute_model, name="probe",
         )
         block.set_track_gather_memory(False)
@@ -272,6 +290,8 @@ class AnalyticEstimator:
             )
         peak = self.peak_memory_bytes(candidate)
         fits = peak <= self.memory_model.gpu_memory_bytes
+        if candidate.pp_size > 1:
+            return self._estimate_pipelined(candidate, peak, fits)
         probe = self._block_probe(candidate)
         dense = self._dense_probe(candidate.micro_batch)
         plan = probe.plan
@@ -352,4 +372,174 @@ class AnalyticEstimator:
             exposed_comm_s=critical.exposed_comm_s,
             peak_memory_bytes=peak,
             fits=fits,
+        )
+
+    def _estimate_pipelined(self, candidate: Candidate, peak: float,
+                            fits: bool) -> Estimate:
+        """Per-stage replay of a 4D candidate, mirroring the engine.
+
+        Each stage replays its own slice of blocks at its rank offset
+        (stages are rank-offset copies of the probe grid), with the
+        dense front on stage 0, the head on the last stage, and fused
+        point-to-point boundary sends in between.  Per-rank ledgers are
+        event-order independent, so the 1F1B makespan is reconstructed
+        from the per-stage busy times via the closed-form
+        ``(M + S - 1) * max(busy) / M`` — the same post-hoc accounting
+        :class:`~repro.parallel.engine.HybridSTOPEngine` applies — and
+        the remainder shows up as ``pipeline.stall`` compute, followed
+        by the epilogue reductions.
+        """
+        from repro.parallel.stages import (
+            bubble_fraction, partition_blocks, schedule_walltime,
+        )
+
+        probe = self._block_probe(candidate)
+        dense = self._dense_probe(candidate.micro_batch)
+        plan = probe.plan
+        cfg = self.config
+        S, M, K = candidate.pp_size, candidate.micro_batch, candidate.tp_size
+        stage_size = plan.stage_size
+        bounds = partition_blocks(cfg.depth, S)
+        timeline = Timeline(self.num_gpus)
+        cost_model = self._cluster.cost_model
+
+        def stage_reps(s: int) -> list[int]:
+            return [s * stage_size + plan.rank(0, 0, k) for k in range(K)]
+
+        def replay(events: tuple[tuple, ...], offset: int) -> None:
+            for event in events:
+                if event[0] == "compute":
+                    _, rank, seconds, flops, op = event
+                    timeline.record_compute(rank + offset, seconds, flops, op)
+                else:
+                    _, ranks, seconds, nbytes, overlappable, op = event
+                    timeline.record_comm(
+                        [r + offset for r in ranks], seconds, nbytes,
+                        overlappable=overlappable, op=op,
+                    )
+
+        def dense_compute(rank: int, flops: float, op: str) -> None:
+            timeline.record_compute(
+                rank, self._compute_model.seconds_for(flops, rank), flops, op=op
+            )
+
+        # Per-f activation payload crossing a stage boundary (fp32 meta).
+        token_nbytes = 4 * M * cfg.num_patches * cfg.embed_dim
+
+        def boundary(src_stage: int, dst_stage: int, op: str) -> None:
+            # The engine records one fused event per (d, f, k); only the
+            # (0, 0, k) class ranks can be critical, so those suffice.
+            per_micro = token_nbytes / M
+            for k in range(K):
+                src = src_stage * stage_size + plan.rank(0, 0, k)
+                dst = dst_stage * stage_size + plan.rank(0, 0, k)
+                seconds = M * cost_model.point_to_point(src, dst, per_micro)
+                timeline.record_comm([src, dst], seconds, token_nbytes, op=op)
+
+        # Forward: front on stage 0, each stage's block slice, boundary
+        # sends, head on the last stage.
+        for s in range(S):
+            offset = s * stage_size
+            if s == 0:
+                dense_compute(offset + plan.rank(0, 0, 0),
+                              dense.front_fwd_flops, "dense.front")
+            start, end = bounds[s]
+            for _ in range(end - start):
+                replay(probe.forward, offset)
+            if s + 1 < S:
+                boundary(s, s + 1, "pipeline.send")
+            if s == S - 1:
+                dense_compute(offset + plan.rank(0, 0, 0),
+                              dense.head_fwd_flops, "dense.head")
+        # Backward: mirror order, gradient sends toward stage 0.
+        for s in reversed(range(S)):
+            offset = s * stage_size
+            if s == S - 1:
+                dense_compute(offset + plan.rank(0, 0, 0),
+                              dense.head_bwd_flops, "dense.head")
+            start, end = bounds[s]
+            for _ in range(end - start):
+                if candidate.recompute:
+                    replay(probe.forward, offset)
+                replay(probe.backward, offset)
+            if s > 0:
+                boundary(s, s - 1, "pipeline.grad_send")
+            if s == 0:
+                dense_compute(offset + plan.rank(0, 0, 0),
+                              dense.front_bwd_flops, "dense.front")
+
+        # 1F1B makespan: stages overlap across micro-batches, so the
+        # drained walltime is (M + S - 1) / M of the slowest stage; the
+        # surplus over each stage's own busy time is its bubble stall.
+        busy = [
+            max(timeline.ledger(r).walltime_s for r in stage_reps(s))
+            for s in range(S)
+        ]
+        total = schedule_walltime(busy, M)
+        for s in range(S):
+            for rank in stage_reps(s):
+                timeline.record_compute(rank, total - busy[s], 0.0,
+                                        op="pipeline.stall")
+
+        # Epilogue: the dense front syncs over stage 0's replica, the
+        # head over the last stage's.
+        def dense_sync(stage: int, nbytes: int) -> None:
+            offset = stage * stage_size
+            replica_ranks = [
+                offset + plan.rank(0, f, k)
+                for f in range(candidate.fsdp_size) for k in range(K)
+            ]
+            if len(replica_ranks) > 1 and nbytes:
+                seconds = cost_model.all_reduce(replica_ranks, nbytes)
+                timeline.record_comm(stage_reps(stage), seconds, nbytes,
+                                     op="dense_grad_sync")
+
+        dense_sync(0, sum(dense.front_param_nbytes))
+        dense_sync(S - 1, sum(dense.head_param_nbytes))
+        if candidate.ddp_size > 1:
+            for s in range(S):
+                offset = s * stage_size
+                start, end = bounds[s]
+                stage_depth = end - start
+                for column, shard_nbytes in probe.shard_columns:
+                    group = [
+                        offset + plan.rank(d, 0, column)
+                        for d in range(candidate.ddp_size)
+                    ]
+                    seconds = cost_model.all_reduce(group, shard_nbytes)
+                    timeline.record_comm(
+                        [offset + plan.rank(0, 0, column)],
+                        seconds * stage_depth,
+                        shard_nbytes * stage_depth,
+                        op="all_reduce",
+                    )
+
+            def dense_reduce(stage: int, nbytes_list: tuple[int, ...]) -> None:
+                offset = stage * stage_size
+                lead_group = [
+                    offset + plan.rank(d, 0, 0)
+                    for d in range(candidate.ddp_size)
+                ]
+                for param_nbytes in nbytes_list:
+                    seconds = cost_model.all_reduce(lead_group, param_nbytes)
+                    timeline.record_comm([lead_group[0]], seconds,
+                                         param_nbytes, op="all_reduce")
+
+            dense_reduce(0, dense.front_param_nbytes)
+            dense_reduce(S - 1, dense.head_param_nbytes)
+
+        all_reps = [r for s in range(S) for r in stage_reps(s)]
+        critical = max(
+            (timeline.ledger(r) for r in all_reps), key=lambda l: l.walltime_s
+        )
+        return Estimate(
+            candidate=candidate,
+            step_time_s=critical.walltime_s,
+            compute_s=critical.compute_s,
+            comm_s=critical.comm_s,
+            exposed_comm_s=critical.exposed_comm_s,
+            peak_memory_bytes=peak,
+            fits=fits,
+            bubble_s=total - max(busy),
+            bubble_fraction=bubble_fraction(S, M),
         )

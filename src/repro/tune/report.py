@@ -36,6 +36,7 @@ def _ranked_rows(result: TuneResult, limit: int) -> list[list[str]]:
             f"{estimate.step_time_s:.6f}",
             f"{estimate.time_per_obs_s:.6f}",
             f"{estimate.exposed_comm_fraction:.3f}",
+            f"{estimate.bubble_s:.6f}" if estimate.bubble_s else "-",
             _gib(estimate.peak_memory_bytes),
             f"{simulated:.6f}" if simulated is not None else "-",
             f"{error:.2%}" if error is not None else "-",
@@ -58,7 +59,7 @@ def render_report(result: TuneResult, limit: int = 12) -> str:
         "",
         format_table(
             ["#", "config", "est_step_s", "est_s/obs", "exp-comm",
-             "est peak", "sim_step_s", "err"],
+             "bubble_s", "est peak", "sim_step_s", "err"],
             _ranked_rows(result, limit),
             title="Ranked configurations (analytic estimate; top-k simulated)",
         ),
@@ -156,6 +157,7 @@ def _scored_dict(entry: ScoredCandidate) -> dict:
     estimate = entry.estimate
     out = {
         "config": entry.candidate.label(),
+        "pp_size": entry.candidate.pp_size,
         "tp_size": entry.candidate.tp_size,
         "fsdp_size": entry.candidate.fsdp_size,
         "ddp_size": entry.candidate.ddp_size,
@@ -170,6 +172,8 @@ def _scored_dict(entry: ScoredCandidate) -> dict:
             "comm_s": estimate.comm_s,
             "exposed_comm_s": estimate.exposed_comm_s,
             "exposed_comm_fraction": estimate.exposed_comm_fraction,
+            "bubble_s": estimate.bubble_s,
+            "bubble_fraction": estimate.bubble_fraction,
             "peak_memory_bytes": estimate.peak_memory_bytes,
             "fits": estimate.fits,
         },
@@ -192,6 +196,7 @@ def result_document(result: TuneResult) -> dict:
             "num_gpus": request.num_gpus,
             "gpus_per_node": request.gpus_per_node,
             "micro_batches": list(request.micro_batches),
+            "pp_sizes": list(request.pp_sizes),
             "recompute_options": list(request.recompute_options),
             "prefetch_options": list(request.prefetch_options),
         },
@@ -201,6 +206,7 @@ def result_document(result: TuneResult) -> dict:
             "oom_pruned": len(result.oom_pruned),
             "rejections": [
                 {
+                    "pp_size": r.pp_size,
                     "tp_size": r.tp_size,
                     "fsdp_size": r.fsdp_size,
                     "ddp_size": r.ddp_size,

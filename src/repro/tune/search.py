@@ -27,8 +27,9 @@ from repro.utils.logging import get_logger
 
 _LOG = get_logger("tune")
 
-#: Format version of the tune cache file.
-CACHE_SCHEMA = 1
+#: Format version of the tune cache file.  Bumped to 2 when the label
+#: schema grew the optional ``pp{S}.`` prefix for pipelined candidates.
+CACHE_SCHEMA = 2
 
 
 class InfeasibleRequest(RuntimeError):
@@ -163,6 +164,7 @@ def simulate_candidate(request: TuneRequest, candidate: Candidate) -> dict:
         fsdp_size=candidate.fsdp_size,
         ddp_size=candidate.ddp_size,
         micro_batch=candidate.micro_batch,
+        pp_size=candidate.pp_size,
         prefetch=candidate.prefetch,
         recompute=candidate.recompute,
         tp_innermost=candidate.tp_innermost,

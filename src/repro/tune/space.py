@@ -1,9 +1,9 @@
 """Configuration-space enumeration for the parallelism planner.
 
 A *candidate* is one complete engine configuration: a
-(tensor-parallel, FSDP, DDP) factorization of the world size plus the
-micro-batch size, the activation-checkpointing policy, prefetch on/off,
-and the ``tp_innermost`` rank layout.  :func:`enumerate_space` walks
+(pipeline, tensor-parallel, FSDP, DDP) factorization of the world size
+plus the micro-batch size, the activation-checkpointing policy,
+prefetch on/off, and the ``tp_innermost`` rank layout.  :func:`enumerate_space` walks
 every combination and splits it into legal candidates and
 :class:`Rejection` records carrying the reason — non-divisible
 factorizations, head-count constraints, tensor-parallel groups that
@@ -39,18 +39,25 @@ class Candidate:
     recompute: bool = False
     prefetch: bool = True
     tp_innermost: bool = True
+    pp_size: int = 1
 
     @property
     def world_size(self) -> int:
-        return self.tp_size * self.fsdp_size * self.ddp_size
+        return self.pp_size * self.tp_size * self.fsdp_size * self.ddp_size
 
     @property
     def observations(self) -> int:
-        """Observations per step (global batch)."""
+        """Observations per step (global batch; the pipeline axis adds
+        stages, not observations)."""
         return self.micro_batch * self.fsdp_size * self.ddp_size
 
     def label(self) -> str:
-        """Compact human-readable tag (also the cache-key fragment)."""
+        """Compact human-readable tag (also the cache-key fragment).
+
+        The ``pp{S}`` segment appears only for pipelined candidates, so
+        3D labels — and the cache entries keyed on them — are unchanged,
+        while a 4D plan can never collide with its ``pp=1`` projection.
+        """
         flags = []
         if self.recompute:
             flags.append("ckpt")
@@ -59,8 +66,9 @@ class Candidate:
         if not self.tp_innermost:
             flags.append("fsdp-inner")
         suffix = "+" + "+".join(flags) if flags else ""
+        pp = f"pp{self.pp_size}." if self.pp_size > 1 else ""
         return (
-            f"tp{self.tp_size}.f{self.fsdp_size}.d{self.ddp_size}"
+            f"{pp}tp{self.tp_size}.f{self.fsdp_size}.d{self.ddp_size}"
             f".mb{self.micro_batch}{suffix}"
         )
 
@@ -79,6 +87,7 @@ class Rejection:
     ddp_size: int
     tp_innermost: bool
     reason: str
+    pp_size: int = 1
 
 
 @dataclass(frozen=True)
@@ -94,6 +103,9 @@ class TuneRequest:
     #: Restrict the tensor-parallel axis (the Fig 6 sweep pins it);
     #: ``None`` sweeps every divisor of the world size.
     tp_sizes: tuple[int, ...] | None = None
+    #: Pipeline depths to sweep.  The default keeps the search 3D; the
+    #: ``repro tune --pp`` flag widens it to the 4D space.
+    pp_sizes: tuple[int, ...] = (1,)
     #: Engine-runnable legality vs the relaxed analytic regime.
     engine_mode: bool = True
 
@@ -107,6 +119,8 @@ class TuneRequest:
             )
         if not self.micro_batches or min(self.micro_batches) < 1:
             raise ValueError("micro_batches must be positive")
+        if not self.pp_sizes or min(self.pp_sizes) < 1:
+            raise ValueError("pp_sizes must be positive")
 
     @property
     def nodes(self) -> int:
@@ -142,8 +156,8 @@ class SearchSpace:
 
 
 def _factorization_reason(request: TuneRequest, tp: int, fsdp: int, ddp: int,
-                          tp_innermost: bool) -> str | None:
-    """Why (tp, fsdp, ddp) under this layout is illegal; None if legal.
+                          tp_innermost: bool, pp: int = 1) -> str | None:
+    """Why (pp, tp, fsdp, ddp) under this layout is illegal; None if legal.
 
     Delegates to the runtime layer's
     :func:`~repro.runtime.spec.engine_legality_reason`, so the tuner
@@ -156,6 +170,7 @@ def _factorization_reason(request: TuneRequest, tp: int, fsdp: int, ddp: int,
         tp_innermost=tp_innermost,
         gpus_per_node=request.gpus_per_node,
         engine_mode=request.engine_mode,
+        pp=pp,
     )
 
 
@@ -172,30 +187,46 @@ def enumerate_space(request: TuneRequest) -> SearchSpace:
     candidates: list[Candidate] = []
     rejections: list[Rejection] = []
 
-    tp_axis = request.tp_sizes if request.tp_sizes is not None else tuple(
-        tp for tp in range(1, world + 1) if world % tp == 0
-    )
-    for tp in tp_axis:
-        if world % tp:
-            rejections.append(
-                Rejection(tp, 0, 0, True, f"tp {tp} does not divide world size {world}")
-            )
+    for pp in request.pp_sizes:
+        if world % pp:
+            rejections.append(Rejection(
+                0, 0, 0, True, f"pp {pp} does not divide world size {world}",
+                pp_size=pp,
+            ))
             continue
-        remainder = world // tp
-        for fsdp in (f for f in range(1, remainder + 1) if remainder % f == 0):
-            ddp = remainder // fsdp
-            layouts = (True, False) if (tp > 1 and fsdp > 1) else (True,)
-            for tp_innermost in layouts:
-                reason = _factorization_reason(request, tp, fsdp, ddp, tp_innermost)
-                if reason is not None:
-                    rejections.append(Rejection(tp, fsdp, ddp, tp_innermost, reason))
-                    continue
-                for micro_batch in request.micro_batches:
-                    for recompute in request.recompute_options:
-                        for prefetch in request.prefetch_options:
-                            candidates.append(Candidate(
-                                tp_size=tp, fsdp_size=fsdp, ddp_size=ddp,
-                                micro_batch=micro_batch, recompute=recompute,
-                                prefetch=prefetch, tp_innermost=tp_innermost,
-                            ))
+        stage_world = world // pp
+        tp_axis = request.tp_sizes if request.tp_sizes is not None else tuple(
+            tp for tp in range(1, stage_world + 1) if stage_world % tp == 0
+        )
+        for tp in tp_axis:
+            if stage_world % tp:
+                scope = "world size" if pp == 1 else "per-stage world size"
+                rejections.append(Rejection(
+                    tp, 0, 0, True,
+                    f"tp {tp} does not divide {scope} {stage_world}",
+                    pp_size=pp,
+                ))
+                continue
+            remainder = stage_world // tp
+            for fsdp in (f for f in range(1, remainder + 1) if remainder % f == 0):
+                ddp = remainder // fsdp
+                layouts = (True, False) if (tp > 1 and fsdp > 1) else (True,)
+                for tp_innermost in layouts:
+                    reason = _factorization_reason(
+                        request, tp, fsdp, ddp, tp_innermost, pp=pp
+                    )
+                    if reason is not None:
+                        rejections.append(Rejection(
+                            tp, fsdp, ddp, tp_innermost, reason, pp_size=pp
+                        ))
+                        continue
+                    for micro_batch in request.micro_batches:
+                        for recompute in request.recompute_options:
+                            for prefetch in request.prefetch_options:
+                                candidates.append(Candidate(
+                                    tp_size=tp, fsdp_size=fsdp, ddp_size=ddp,
+                                    micro_batch=micro_batch, recompute=recompute,
+                                    prefetch=prefetch, tp_innermost=tp_innermost,
+                                    pp_size=pp,
+                                ))
     return SearchSpace(request, tuple(candidates), tuple(rejections))

@@ -41,13 +41,32 @@ LEGAL_GRIDS = sorted(
     if tp * fsdp * ddp in (8, 16, 32)
 )
 
+#: 4D whole-node grids: a non-trivial stage axis on top of every 3D
+#: sub-shape, worlds of 8-32 GCDs.  Folding requires uniform
+#: pipeline-boundary links, so a multi-node grid must cut stages at
+#: node boundaries (stage size a multiple of 8); single-node worlds
+#: are uniform trivially.
+LEGAL_GRIDS_4D = sorted(
+    (pp, tp, fsdp, ddp)
+    for pp in (2, 4, 8)
+    for tp in (1, 2)
+    for fsdp in (1, 2)
+    for ddp in (1, 2, 4)
+    if pp * tp * fsdp * ddp in (8, 16, 32)
+    and (pp * tp * fsdp * ddp == 8 or (tp * fsdp * ddp) % 8 == 0)
+)
+
 
 def _spec(grid, micro_batch=2, depth=2, prefetch=True, recompute=False,
           num_steps=1, fold="off", compute_skew=()):
-    tp, fsdp, ddp = grid
+    if len(grid) == 4:
+        pp, tp, fsdp, ddp = grid
+    else:
+        pp, (tp, fsdp, ddp) = 1, grid
     return RunSpec(
-        config=_config(depth), num_gpus=tp * fsdp * ddp, gpus_per_node=8,
-        tp_size=tp, fsdp_size=fsdp, ddp_size=ddp, micro_batch=micro_batch,
+        config=_config(depth), num_gpus=pp * tp * fsdp * ddp, gpus_per_node=8,
+        pp_size=pp, tp_size=tp, fsdp_size=fsdp, ddp_size=ddp,
+        micro_batch=micro_batch,
         prefetch=prefetch, recompute=recompute, num_steps=num_steps,
         fold=fold, compute_skew=compute_skew,
     )
@@ -132,6 +151,56 @@ class TestFoldedExactParity:
         assert {s.rank for s in sized} <= reps
         assert sum(partition.size(key) for key in partition.keys) == \
             partition.num_gpus
+
+
+class TestFoldedPipelineParity:
+    """The stage coordinate joins the fold ClassKey, so folding a 4D
+    run must stay bitwise against the exact 4D run at any stage count."""
+
+    @given(
+        grid=st.sampled_from(LEGAL_GRIDS_4D),
+        micro_batch=st.integers(min_value=1, max_value=2),
+        extra_depth=st.integers(min_value=0, max_value=1),
+        prefetch=st.booleans(),
+        num_steps=st.integers(min_value=1, max_value=2),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_folded_4d_run_is_bitwise_equal_to_exact(
+        self, grid, micro_batch, extra_depth, prefetch, num_steps
+    ):
+        kwargs = dict(micro_batch=micro_batch, depth=grid[0] + extra_depth,
+                      prefetch=prefetch, num_steps=num_steps)
+        exact, _ = _run(_spec(grid, fold="off", **kwargs))
+        folded, modes = _run(_spec(grid, fold="on", **kwargs))
+        assert folded.fold_decision.folded, folded.fold_decision.reason
+        assert all(modes)
+        _assert_bitwise_equal(exact, folded)
+
+    @pytest.mark.parametrize("grid", [
+        (2, 1, 2, 4),   # 16 GCDs, one node per stage
+        (4, 1, 2, 4),   # 32 GCDs, one node per stage
+        (8, 1, 1, 1),   # 8 stages inside a single node
+    ])
+    def test_fold_parity_across_stage_counts(self, grid):
+        """Node-aligned cuts at every pipeline depth stay bitwise."""
+        kwargs = dict(depth=8)
+        exact, _ = _run(_spec(grid, fold="off", **kwargs))
+        folded, _ = _run(_spec(grid, fold="on", **kwargs))
+        assert folded.fold_decision.folded, folded.fold_decision.reason
+        _assert_bitwise_equal(exact, folded)
+
+    def test_non_uniform_boundaries_refuse_to_fold(self):
+        """pp=4 over two 8-GCD nodes cuts stages mid-node: boundary
+        links alternate intra/inter-node, so folding must refuse —
+        and the unfolded fold="on" run still matches fold="off"."""
+        grid = (4, 1, 2, 2)
+        off, _ = _run(_spec(grid, fold="off", depth=4))
+        on, _ = _run(_spec(grid, fold="on", depth=4))
+        assert not on.fold_decision.folded
+        assert "non-uniform" in on.fold_decision.reason
+        for rank in range(16):
+            assert _ledger_values(off.cluster.timeline.ledger(rank)) == \
+                _ledger_values(on.cluster.timeline.ledger(rank))
 
 
 class TestFaultFallback:

@@ -132,7 +132,7 @@ class TestElasticRegroup:
         report = supervisor.run(8)
         assert report.recovered
         assert report.steps_completed == 8
-        assert report.final_spec["grid"] == [2, 2, 2]  # ddp 4 -> 2
+        assert report.final_spec["grid"] == [2, 2, 2, 1]  # ddp 4 -> 2
         assert report.final_spec["micro_batch"] == 4   # micro 2 -> 4
         # global batch preserved: every step saw the same observations
         observations = [report.history[0][0]] + [
@@ -153,7 +153,7 @@ class TestElasticRegroup:
         ).run(6)
         assert report.recovered
         assert report.steps_completed == 6
-        assert report.final_spec["grid"] == [1, 2, 4]
+        assert report.final_spec["grid"] == [1, 2, 4, 1]
         assert report.final_spec["micro_batch"] == 4
         assert all(math_isfinite(loss) for _, loss in report.history)
 

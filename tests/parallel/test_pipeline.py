@@ -6,7 +6,7 @@ import pytest
 from repro.cluster import VirtualCluster
 from repro.nn.transformer import TransformerStack
 from repro.parallel import PeakFractionCompute
-from repro.parallel.pipeline import PipelineLimitError, PipelineParallelTrunk
+from repro.parallel.stages import PipelineLimitError, PipelineParallelTrunk
 
 
 def make_setup(num_stages=2, depth=4, dim=8, micro_batches=3, seed=0, compute=False):
