@@ -15,6 +15,7 @@ Usage::
     python -m repro tune                 # automatic parallelism planner
     python -m repro faults --plan p.json # replay a fault plan, print recovery
     python -m repro monitor              # live telemetry: alerts + event journal
+    python -m repro replan               # adaptive re-planning demo scenario
 """
 
 from __future__ import annotations
@@ -434,6 +435,74 @@ def build_parser() -> argparse.ArgumentParser:
         help="write journal.jsonl and timeseries.jsonl artifacts here",
     )
     monitor.set_defaults(steps=8)
+
+    replan = sub.add_parser(
+        "replan",
+        help="replay a degradation scenario under the adaptive re-planner",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "examples:\n"
+            "  repro replan                                 # built-in straggler demo\n"
+            "  repro replan --plan examples/replan_straggler.json\n"
+            "  repro replan --compare                       # replan on-vs-off goodput\n"
+            "  repro replan --out results/replan            # journal + report artifacts\n"
+            "\n"
+            "runs the seeded demo model (compute ~ comm, so degraded plan\n"
+            "rankings actually differ) under the self-healing supervisor with\n"
+            "spec.replan='on'.  exits 1 when no replan decision was journaled,\n"
+            "a fault went unrecovered, or --compare finds no goodput win;\n"
+            "2 on an invalid topology or plan."
+        ),
+    )
+    replan.add_argument(
+        "--plan", default=None, metavar="JSON",
+        help="fault plan to replay (default: the built-in x8 lead-rank "
+        "straggler, examples/replan_straggler.json)",
+    )
+    replan.add_argument("--steps", type=int, default=16)
+    replan.add_argument("--gpus", type=int, default=16, help="world size")
+    replan.add_argument("--gpus-per-node", type=int, default=8)
+    replan.add_argument("--tp", type=int, default=4, help="tensor-parallel group size")
+    replan.add_argument("--fsdp", type=int, default=2, help="FSDP group size")
+    replan.add_argument("--ddp", type=int, default=2, help="DDP replica count")
+    replan.add_argument("--micro-batch", type=int, default=8)
+    replan.add_argument(
+        "--no-recompute", action="store_true",
+        help="start without activation checkpointing (the demo starts with it)",
+    )
+    replan.add_argument(
+        "--hysteresis", type=float, default=0.25, metavar="FRACTION",
+        help="break-even margin the projected gain must clear (default: 0.25)",
+    )
+    replan.add_argument(
+        "--checkpoint-cost", type=float, default=0.005, metavar="SECONDS",
+        help="checkpoint write charge (default scaled to the demo model)",
+    )
+    replan.add_argument(
+        "--restart-latency", type=float, default=0.01, metavar="SECONDS",
+        help="session rebuild charge (default scaled to the demo model)",
+    )
+    replan.add_argument(
+        "--warmup", type=float, default=0.005, metavar="SECONDS",
+        help="new-plan warm-up surcharge of the migration cost model",
+    )
+    replan.add_argument(
+        "--checkpoint-every", type=int, default=4, metavar="STEPS",
+        help="periodic durable checkpoint cadence (default: 4)",
+    )
+    replan.add_argument(
+        "--compare", action="store_true",
+        help="also run the identical scenario with replan='off' and compare "
+        "goodput fractions (both runs use degradation-aware accounting)",
+    )
+    replan.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the live replan-event tail",
+    )
+    replan.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="write journal.jsonl and replan_report.json artifacts here",
+    )
 
     return parser
 
@@ -964,6 +1033,109 @@ def main(argv: list[str] | None = None) -> int:
             print(f"wrote {run_monitor.store.write_jsonl(out / 'timeseries.jsonl')}")
         if run_monitor.critical_alerts or not recovered:
             return 1
+    elif args.command == "replan":
+        import json
+        import tempfile
+        from pathlib import Path
+
+        from repro.faults import FaultPlan, Supervisor
+        from repro.obs import RunMonitor
+        from repro.replan.scenario import demo_config, demo_plan
+        from repro.runtime import RunSpec, RunSpecError
+
+        try:
+            plan = FaultPlan.from_json(args.plan) if args.plan else demo_plan()
+        except (OSError, ValueError) as plan_error:
+            print(f"repro replan: invalid plan: {plan_error}", file=sys.stderr)
+            return 2
+
+        def replan_spec(mode: str) -> "RunSpec":
+            return RunSpec(
+                config=demo_config(),
+                num_gpus=args.gpus,
+                gpus_per_node=args.gpus_per_node,
+                tp_size=args.tp,
+                fsdp_size=args.fsdp,
+                ddp_size=args.ddp,
+                micro_batch=args.micro_batch,
+                recompute=not args.no_recompute,
+                meta=True,
+                monitor="on",
+                replan=mode,
+                num_steps=args.steps,
+                track_device_memory=False,
+            )
+
+        def supervise(mode: str, run_monitor: "RunMonitor"):
+            supervisor = Supervisor(
+                replan_spec(mode),
+                plan,
+                checkpoint_every=args.checkpoint_every,
+                checkpoint_dir=tempfile.mkdtemp(prefix="repro-replan-"),
+                degradation_aware=True,
+                checkpoint_cost_s=args.checkpoint_cost,
+                restart_latency_s=args.restart_latency,
+                replan_warmup_s=args.warmup,
+                replan_hysteresis=args.hysteresis,
+                session_kwargs={"monitor": run_monitor},
+            )
+            return supervisor, supervisor.run(args.steps)
+
+        tail = None if args.quiet else (
+            lambda event: print(event.render()) if event.kind == "replan" else None
+        )
+        run_monitor = RunMonitor(on_event=tail)
+        try:
+            supervisor, report = supervise("on", run_monitor)
+        except (RunSpecError, ValueError) as error:
+            print(f"repro replan: {error}", file=sys.stderr)
+            return 2
+        decisions = [
+            event for event in run_monitor.journal.events
+            if event.kind == "replan"
+        ]
+        switches = [e for e in decisions if e.category == "switch"]
+        fraction = supervisor.ledger.goodput_fraction
+        print(
+            f"replan=on : {report.steps_completed} step(s), "
+            f"{len(decisions)} replan event(s), {len(switches)} switch(es), "
+            f"goodput {fraction:.4f}, final plan "
+            f"{'x'.join(str(n) for n in report.final_spec['grid'])}"
+            f".mb{report.final_spec['micro_batch']}"
+        )
+        status = 0
+        if args.compare:
+            off_monitor = RunMonitor()
+            off_supervisor, off_report = supervise("off", off_monitor)
+            off_fraction = off_supervisor.ledger.goodput_fraction
+            print(
+                f"replan=off: {off_report.steps_completed} step(s), "
+                f"goodput {off_fraction:.4f}, walltime "
+                f"{off_supervisor.ledger.total_s:.4f} s "
+                f"(vs {supervisor.ledger.total_s:.4f} s with replan=on)"
+            )
+            if fraction <= off_fraction:
+                print("repro replan: no goodput win over replan=off",
+                      file=sys.stderr)
+                status = 1
+        if args.out:
+            out = Path(args.out)
+            print(f"wrote {run_monitor.journal.write_jsonl(out / 'journal.jsonl')}")
+            doc = {
+                "goodput_fraction": fraction,
+                "goodput": supervisor.ledger.as_dict(),
+                "decisions": [event.as_dict() for event in decisions],
+            }
+            report_path = out / "replan_report.json"
+            report_path.write_text(json.dumps(doc, indent=1) + "\n")
+            print(f"wrote {report_path}")
+        if not decisions:
+            print("repro replan: no replan decision was journaled "
+                  "(scenario never degraded?)", file=sys.stderr)
+            return 1
+        if not report.recovered:
+            return 1
+        return status
     else:  # pragma: no cover - argparse enforces choices
         raise AssertionError(args.command)
     return 0

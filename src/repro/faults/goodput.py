@@ -21,6 +21,16 @@ recovery path of the supervisor to its own bucket:
     full step cost, zero useful progress.
 ``checkpoint``
     Time spent writing checkpoints — the insurance premium.
+``degraded``
+    Opt-in (the Supervisor's ``degradation_aware`` mode): the *excess*
+    seconds a step spent over the run's own clean-step baseline while a
+    straggler / link-degradation window was active.  The step still
+    commits — only the slowdown surcharge is charged here.
+``replan``
+    Mid-run plan-migration time (pre-migration checkpoint, session
+    rebuild, warm-up).  Neither useful work nor a rollback: the run
+    keeps every committed step, but the walltime is gone — so it is its
+    own term of the total-time identity, next to ``checkpoint_s``.
 
 The analytic side (:func:`expected_goodput_fraction`,
 :func:`recommend_checkpoint_interval`) is the classic Young/Daly
@@ -43,31 +53,60 @@ class GoodputLedger:
     lost_rollback_s: float = 0.0
     lost_restart_s: float = 0.0
     lost_skipped_s: float = 0.0
+    lost_degraded_s: float = 0.0
     checkpoint_s: float = 0.0
+    replan_s: float = 0.0
     skipped_steps: int = 0
     retries: int = 0
     restarts: int = 0
     regroups: int = 0
+    checkpoints: int = 0
+    replans: int = 0
     #: ``(step, useful_seconds)`` committed since the last durable
     #: checkpoint — the work a crash would destroy.
     _window: list[tuple[int, float]] = field(default_factory=list)
 
     # -- charging ------------------------------------------------------------
-    def commit_step(self, step: int, seconds: float, skipped: bool = False) -> None:
-        """One completed step: useful, unless the update was skipped."""
+    def commit_step(self, step: int, seconds: float, skipped: bool = False,
+                    degraded_s: float = 0.0) -> None:
+        """One completed step: useful, unless the update was skipped.
+
+        ``degraded_s`` (degradation-aware accounting) is the slice of
+        ``seconds`` attributed to an active straggler / link-degradation
+        window rather than to useful work; it moves to the degraded
+        bucket while the remainder stays useful.
+        """
         if seconds < 0:
             raise ValueError("step seconds must be non-negative")
+        if not 0.0 <= degraded_s <= seconds:
+            raise ValueError("degraded_s must lie within the step seconds")
         if skipped:
             self.lost_skipped_s += seconds
             self.skipped_steps += 1
             self._window.append((step, 0.0))
         else:
-            self.useful_s += seconds
-            self._window.append((step, seconds))
+            self.useful_s += seconds - degraded_s
+            self.lost_degraded_s += degraded_s
+            self._window.append((step, seconds - degraded_s))
 
     def checkpoint(self, seconds: float) -> None:
         """A durable checkpoint: charge its cost, seal the window."""
         self.checkpoint_s += seconds
+        self.checkpoints += 1
+        self._window.clear()
+
+    def replan(self, seconds: float) -> None:
+        """A plan migration: charge its cost, seal the window.
+
+        The migration writes its own durable checkpoint (the bitwise
+        resume point of the new plan), so — like :meth:`checkpoint` —
+        nothing committed before the switch can be lost to a later
+        crash.
+        """
+        if seconds < 0:
+            raise ValueError("replan seconds must be non-negative")
+        self.replan_s += seconds
+        self.replans += 1
         self._window.clear()
 
     def retry(self, wasted_s: float, backoff_s: float = 0.0) -> None:
@@ -103,12 +142,13 @@ class GoodputLedger:
             + self.lost_rollback_s
             + self.lost_restart_s
             + self.lost_skipped_s
+            + self.lost_degraded_s
         )
 
     @property
     def total_s(self) -> float:
-        """Everything: useful + lost + checkpoint overhead."""
-        return self.useful_s + self.lost_s + self.checkpoint_s
+        """Everything: useful + lost + checkpoint + replan overhead."""
+        return self.useful_s + self.lost_s + self.checkpoint_s + self.replan_s
 
     @property
     def goodput_fraction(self) -> float:
@@ -128,7 +168,7 @@ class GoodputLedger:
         def frac(seconds: float) -> float:
             return seconds / total if total > 0 else 0.0
 
-        return {
+        fractions = {
             "goodput.fraction": self.goodput_fraction,
             "goodput.useful_fraction": frac(self.useful_s),
             "goodput.retry_fraction": frac(self.lost_retry_s),
@@ -137,6 +177,13 @@ class GoodputLedger:
             "goodput.skipped_fraction": frac(self.lost_skipped_s),
             "goodput.checkpoint_fraction": frac(self.checkpoint_s),
         }
+        # Opt-in buckets appear only once charged, so default runs —
+        # and their journal/timeseries bytes — are untouched.
+        if self.lost_degraded_s:
+            fractions["goodput.degraded_fraction"] = frac(self.lost_degraded_s)
+        if self.replan_s:
+            fractions["goodput.replan_fraction"] = frac(self.replan_s)
+        return fractions
 
     def publish_gauges(self, metrics) -> dict:
         """Set every bucket fraction on a MetricsRegistry; returns them.
@@ -157,7 +204,9 @@ class GoodputLedger:
             "lost_rollback_s": self.lost_rollback_s,
             "lost_restart_s": self.lost_restart_s,
             "lost_skipped_s": self.lost_skipped_s,
+            "lost_degraded_s": self.lost_degraded_s,
             "checkpoint_s": self.checkpoint_s,
+            "replan_s": self.replan_s,
             "lost_s": self.lost_s,
             "total_s": self.total_s,
             "goodput_fraction": self.goodput_fraction,
@@ -165,6 +214,8 @@ class GoodputLedger:
             "retries": self.retries,
             "restarts": self.restarts,
             "regroups": self.regroups,
+            "checkpoints": self.checkpoints,
+            "replans": self.replans,
         }
 
 

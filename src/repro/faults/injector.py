@@ -234,6 +234,26 @@ class FaultInjector:
         return dropped
 
     # -- introspection ----------------------------------------------------------
+    def active_degradations(self, step: int) -> list[tuple[int, FaultSpec]]:
+        """Degradations that have fired and whose window covers ``step``.
+
+        Returns ``(current_rank, spec)`` pairs — the rank is the armed
+        entry's (possibly elastically renumbered) target, the spec
+        carries kind, factor, and window.  This is the Supervisor's
+        evidence feed for degradation-aware accounting and the replan
+        controller's :meth:`~repro.replan.DegradationProfile.from_injector`
+        projection; only *fired* injections count, so the evidence is
+        what the run has actually observed, never the plan's future.
+        """
+        step = int(step)
+        return [
+            (armed.rank, armed.spec)
+            for armed in self._armed
+            if armed.spec.kind in DEGRADATION_KINDS
+            and armed.fired and not armed.moot
+            and armed.spec.step <= step < armed.spec.step + armed.spec.duration_steps
+        ]
+
     def fired(self) -> list[FaultSpec]:
         return [a.spec for a in self._armed if a.fired]
 

@@ -73,6 +73,18 @@ class Supervisor:
         Run :meth:`~repro.runtime.session.Session.check_health` every
         N steps and record straggler findings as ``observed`` events —
         the detection channel for non-crash degradations.
+    degradation_aware:
+        Opt-in goodput accounting for degradation windows: the excess
+        of a degraded step over the plan's best observed clean step is
+        charged to the ledger's ``lost_degraded_s`` bucket instead of
+        counting as useful work.  Off by default — the historical
+        accounting (and its journal bytes) treats every committed
+        second as useful.
+    replan_hysteresis / replan_warmup_s / replan_micro_batches:
+        Controller tuning for ``spec.replan == "on"`` runs: the
+        break-even margin, the configured warm-up surcharge of the
+        migration cost model, and the micro-batch axis of the
+        alternative space.
     session_kwargs:
         Extra keyword arguments for every ``Session`` construction
         (``lr``, ``precision``, ...).
@@ -92,6 +104,10 @@ class Supervisor:
         checkpoint_cost_s: float = 0.25,
         max_restarts: int = 8,
         health_every: int = 0,
+        degradation_aware: bool = False,
+        replan_hysteresis: float = 0.25,
+        replan_warmup_s: float = 0.0,
+        replan_micro_batches: tuple[int, ...] = (1, 2, 4, 8),
         grad_scaler=None,
         session_kwargs: dict | None = None,
     ):
@@ -101,6 +117,11 @@ class Supervisor:
             raise ValueError("periodic checkpoints need a checkpoint_dir")
         if retry_budget < 1:
             raise ValueError("retry_budget must be at least 1")
+        if spec.replan == "on" and checkpoint_dir is None:
+            raise ValueError(
+                "replan='on' needs a checkpoint_dir: a live plan switch "
+                "migrates through a durable checkpoint"
+            )
         self.spec = spec
         self.plan = plan if plan is not None else FaultPlan()
         if self.plan.faults and self.plan.max_rank() >= spec.num_gpus:
@@ -140,6 +161,19 @@ class Supervisor:
         self.loop = None
         self._last_checkpoint: dict | None = None
         self._reported_degradations: set[int] = set()
+        # -- adaptive re-planning state ------------------------------------
+        self.degradation_aware = bool(degradation_aware)
+        self.replan_hysteresis = replan_hysteresis
+        self.replan_warmup_s = replan_warmup_s
+        self.replan_micro_batches = tuple(replan_micro_batches)
+        #: Best observed clean-step seconds per plan shape — the
+        #: degradation-aware baseline a degraded step is charged against.
+        self._clean_baselines: dict[tuple, float] = {}
+        self._controller = None
+        self._last_replan_signature = None
+        #: Realized post-switch accounting for the outcome journal event.
+        self._switch_info: dict | None = None
+        self._num_steps = 0
 
     # -- construction ----------------------------------------------------------
     def _make_grad_scaler(self):
@@ -201,6 +235,7 @@ class Supervisor:
         scheduled faults — failures land in ``report.unrecovered``."""
         if num_steps < 1:
             raise ValueError("num_steps must be positive")
+        self._num_steps = num_steps
         report = RecoveryReport(ledger=self.ledger)
         if self.session is None:
             self._build_session(self.spec)
@@ -231,6 +266,7 @@ class Supervisor:
         report.pending = self.injector.pending()
         report.moot = self.injector.moot()
         report.final_spec = self.spec.identity()
+        self._report_switch_outcome()
         outcome = "recovered" if report.recovered else "unrecovered"
         self.monitor.record_run(
             self.loop.step, "end",
@@ -250,7 +286,14 @@ class Supervisor:
             skipped = bool(
                 getattr(self.session.trainer, "last_step_skipped", False)
             )
-        self.ledger.commit_step(step, seconds, skipped=skipped)
+        degraded_s = self._degraded_excess(step, seconds, skipped)
+        self.ledger.commit_step(step, seconds, skipped=skipped,
+                                degraded_s=degraded_s)
+        if self._switch_info is not None:
+            self._switch_info["steps"] += 1
+            self._switch_info["seconds"] += seconds
+            if self.injector.active_degradations(step):
+                self._switch_info["degraded"] += 1
         # Goodput fractions land on the session's metrics and in the
         # monitor's timeseries every committed step (the goodput_decay
         # detector watches goodput.fraction).
@@ -288,6 +331,29 @@ class Supervisor:
                 )
         self._maybe_checkpoint()
         self._maybe_health(report)
+        self._maybe_replan(report)
+
+    def _degraded_excess(self, step: int, seconds: float, skipped: bool) -> float:
+        """Degradation-aware accounting: a degraded step's excess over
+        the plan's best observed clean step; clean steps feed the
+        baseline instead.  Returns 0.0 unless ``degradation_aware``."""
+        if not self.degradation_aware or skipped:
+            return 0.0
+        key = self._plan_key(self.spec)
+        baseline = self._clean_baselines.get(key)
+        if self.injector.active_degradations(step):
+            if baseline is None:
+                return 0.0
+            return max(0.0, seconds - baseline)
+        if baseline is None or seconds < baseline:
+            self._clean_baselines[key] = seconds
+        return 0.0
+
+    @staticmethod
+    def _plan_key(spec) -> tuple:
+        return (spec.pp_size, spec.tp_size, spec.fsdp_size, spec.ddp_size,
+                spec.micro_batch, spec.recompute, spec.prefetch,
+                spec.tp_innermost)
 
     def _maybe_checkpoint(self) -> None:
         if not self.checkpoint_every or self.loop.step % self.checkpoint_every:
@@ -299,19 +365,7 @@ class Supervisor:
         }
         path = self.checkpoint_dir / f"ckpt_step{self.loop.step}.npz"
         if self.spec.meta:
-            from repro.runtime.checkpoint import save_archive
-
-            save_archive(
-                path,
-                {},
-                {
-                    "kind": "supervisor-meta",
-                    "spec": self.spec.identity(),
-                    "rng": self.session.data_rng.bit_generator.state,
-                    "loop": loop_state,
-                },
-                tracer=self.session.tracer,
-            )
+            self.session.save_meta(path, loop_state=loop_state)
         else:
             self.session.save(path, loop=self.loop)
         self._last_checkpoint = {"path": path, "step": self.loop.step}
@@ -336,6 +390,154 @@ class Supervisor:
                         detail=finding.message,
                     )
                 )
+
+    # -- online adaptive re-planning ----------------------------------------------
+    def _replan_controller(self):
+        """The controller for the current world (rebuilt after regroups)."""
+        from repro.replan import ReplanController
+
+        if (self._controller is None
+                or self._controller.spec.num_gpus != self.spec.num_gpus):
+            self._controller = ReplanController(
+                self.spec,
+                hysteresis=self.replan_hysteresis,
+                micro_batches=self.replan_micro_batches,
+            )
+        return self._controller
+
+    def _maybe_replan(self, report: RecoveryReport) -> None:
+        """Consult the controller when degradation evidence is live.
+
+        One evaluation per distinct evidence signature (the factor maps,
+        not the shrinking window): re-pricing the same sickness every
+        step would only journal noise, and a shrinking horizon can turn
+        a switch into a stay but never the reverse.
+        """
+        if self.spec.replan != "on":
+            return
+        from repro.replan import DegradationProfile, MigrationCostModel
+
+        step = self.loop.step
+        profile = DegradationProfile.from_injector(self.injector, step)
+        if profile.is_clean:
+            self._last_replan_signature = None
+            return
+        signature = (profile.compute, profile.links, profile.lost_ranks)
+        if signature == self._last_replan_signature:
+            return
+        self._last_replan_signature = signature
+        cost = MigrationCostModel.from_ledger(
+            self.ledger, self.checkpoint_cost_s, self.restart_latency_s,
+            warmup_s=self.replan_warmup_s,
+        )
+        decision = self._replan_controller().evaluate(
+            self.spec, step, self._num_steps, profile, cost
+        )
+        self.monitor.record_replan(
+            step, "decision", message=decision.reason,
+            data=decision.as_dict(),
+        )
+        if decision.switch:
+            self._execute_switch(decision, report)
+
+    def _execute_switch(self, decision, report: RecoveryReport) -> None:
+        """Live plan migration: checkpoint -> rebuild -> bitwise resume."""
+        old = self.spec
+        candidate = decision.best_candidate
+        step = self.loop.step
+        new_spec = old.replace(
+            tp_size=candidate.tp_size,
+            fsdp_size=candidate.fsdp_size,
+            ddp_size=candidate.ddp_size,
+            micro_batch=candidate.micro_batch,
+            recompute=candidate.recompute,
+            prefetch=candidate.prefetch,
+            tp_innermost=candidate.tp_innermost,
+            pp_size=candidate.pp_size,
+        )
+        path = self.checkpoint_dir / f"replan_step{step}.npz"
+        if old.meta:
+            self.session.save_meta(path, loop_state={
+                "step": step,
+                "observations_seen": self.loop.observations_seen,
+                "history": [[obs, loss] for obs, loss in self.loop.history],
+            })
+        else:
+            self.session.save(path, loop=self.loop)
+        self.ledger.replan(decision.migration_cost_s)
+        # Seed the new plan's clean baseline from the old plan's by the
+        # projected clean-step ratio, so degradation-aware accounting
+        # keeps charging post-switch degraded steps honestly even
+        # before the new plan commits its first clean step.
+        old_base = self._clean_baselines.get(self._plan_key(old))
+        if old_base is not None and decision.current_clean_step_s > 0:
+            self._clean_baselines.setdefault(
+                self._plan_key(new_spec),
+                old_base * decision.best_clean_step_s
+                / decision.current_clean_step_s,
+            )
+        self.spec = new_spec
+        self._build_session(new_spec)
+        if new_spec.meta:
+            state = self.session.resume_meta(path)
+        else:
+            state = self.session.resume_elastic(path)["loop"]
+        self._build_loop_from(state)
+        self._last_checkpoint = {"path": path, "step": step}
+        self._controller = None
+        self._switch_info = {
+            "decision": decision, "steps": 0, "seconds": 0.0, "degraded": 0,
+        }
+        detail = f"{decision.current_label} -> {decision.best_label}"
+        report.events.append(RecoveryEvent(
+            step=step,
+            kind="replan",
+            action="plan_switch",
+            lost_s=decision.migration_cost_s,
+            detail=detail + f": {decision.reason}",
+        ))
+        self.monitor.record_replan(
+            step, "switch", message=detail,
+            data={
+                "from": decision.current_label,
+                "to": decision.best_label,
+                "migration_cost_s": decision.migration_cost_s,
+                "projected_gain_s": decision.projected_gain_s,
+                "checkpoint": path.name,
+            },
+        )
+        _LOG.warning("replan at step %d: %s (projected gain %.6f s)",
+                     step, detail, decision.projected_gain_s)
+
+    def _report_switch_outcome(self) -> None:
+        """Journal projected vs realized gain once the run ends."""
+        if self._switch_info is None or not self._switch_info["steps"]:
+            return
+        info = self._switch_info
+        decision = info["decision"]
+        degraded = info["degraded"]
+        clean = info["steps"] - degraded
+        counterfactual = (degraded * decision.current_step_s
+                          + clean * decision.current_clean_step_s)
+        realized = (counterfactual - info["seconds"]
+                    - decision.migration_cost_s)
+        self.monitor.record_replan(
+            self.loop.step, "outcome",
+            message=(
+                f"switch at step {decision.step}: projected "
+                f"{decision.projected_gain_s:.6f} s gain, realized "
+                f"{realized:.6f} s over {info['steps']} step(s)"
+            ),
+            data={
+                "switch_step": decision.step,
+                "steps_on_new_plan": info["steps"],
+                "degraded_steps_on_new_plan": degraded,
+                "seconds_on_new_plan": info["seconds"],
+                "counterfactual_s": counterfactual,
+                "projected_gain_s": decision.projected_gain_s,
+                "realized_gain_s": realized,
+            },
+        )
 
     # -- transient recovery -------------------------------------------------------
     def _recover_transient(self, err, step, t0, rng_state, report) -> None:
@@ -395,26 +597,18 @@ class Supervisor:
         """Loop resume state from the latest durable checkpoint."""
         if self._last_checkpoint is None:
             return None
-        from repro.runtime.checkpoint import load_archive
-
         path = self._last_checkpoint["path"]
         if self.spec.meta:
-            _, meta = load_archive(path, tracer=self.session.tracer)
-            self.session.data_rng.bit_generator.state = meta["rng"]
-            return meta["loop"]
+            return self.session.resume_meta(path)
         meta = self.session.resume(path)
         return meta["loop"]
 
     def _resume_state_elastic(self) -> dict | None:
         if self._last_checkpoint is None:
             return None
-        from repro.runtime.checkpoint import load_archive
-
         path = self._last_checkpoint["path"]
         if self.spec.meta:
-            _, meta = load_archive(path, tracer=self.session.tracer)
-            self.session.data_rng.bit_generator.state = meta["rng"]
-            return meta["loop"]
+            return self.session.resume_meta(path)
         meta = self.session.resume_elastic(path)
         return meta["loop"]
 

@@ -105,6 +105,13 @@ def default_rules() -> tuple[AlertRule, ...]:
         AlertRule(metric="goodput.fraction", detector="goodput_decay",
                   kind="threshold", threshold=0.90, direction="below",
                   sustain=2),
+        # Only published under the Supervisor's degradation-aware
+        # accounting (the metric is absent otherwise, so the rule is
+        # inert for every default run): sustained slowdown surcharge —
+        # the signal the replan controller acts on.
+        AlertRule(metric="goodput.degraded_fraction",
+                  detector="degraded_goodput",
+                  kind="threshold", threshold=0.05, sustain=2),
     )
 
 

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import statistics
 from dataclasses import dataclass, field
+from enum import Enum
 from typing import Iterable
 
 from repro.obs.critical_path import TraceAnalysis, analyze_trace
@@ -43,9 +44,41 @@ _LOG = get_logger("obs.health")
 SEVERITIES = ("info", "warning", "critical")
 
 
+class FindingKind(str, Enum):
+    """Stable machine-readable taxonomy of finding categories.
+
+    Consumers (the replanner, journal post-processors) branch on this
+    enum instead of parsing ``message`` text.  Post-hoc health checks
+    and the streaming detectors each emit a subset; categories outside
+    the taxonomy map to :data:`FindingKind.OTHER` rather than failing,
+    so new ad-hoc detectors never break existing consumers.
+    """
+
+    # Post-hoc health checks (repro.obs.health.check_run).
+    STRAGGLER = "straggler"
+    TP_IMBALANCE = "tp_imbalance"
+    FSDP_IMBALANCE = "fsdp_imbalance"
+    DDP_IMBALANCE = "ddp_imbalance"
+    OVERLAP_BUDGET = "overlap_budget"
+    MEMORY_WATERMARK = "memory_watermark"
+    # Streaming detectors (repro.obs.detect.default_rules).
+    STEP_TIME_DRIFT = "step_time_drift"
+    EXPOSED_COMM_REGRESSION = "exposed_comm_regression"
+    GOODPUT_DECAY = "goodput_decay"
+    MEMORY_WATERMARK_CREEP = "memory_watermark_creep"
+    DEGRADED_GOODPUT = "degraded_goodput"
+    OTHER = "other"
+
+
 @dataclass(frozen=True)
 class Finding:
-    """One structured health finding."""
+    """One structured health finding.
+
+    The machine-readable contract: ``kind`` (a :class:`FindingKind`),
+    ``ranks`` (the affected-rank set), and ``magnitude`` (the measured
+    value the threshold was compared against) are stable fields no
+    consumer ever has to recover from the free-text ``message``.
+    """
 
     category: str
     severity: str
@@ -54,15 +87,48 @@ class Finding:
     value: float = 0.0
     threshold: float = 0.0
 
+    @property
+    def kind(self) -> FindingKind:
+        """The category as a taxonomy member (``OTHER`` when unknown)."""
+        try:
+            return FindingKind(self.category)
+        except ValueError:
+            return FindingKind.OTHER
+
+    @property
+    def magnitude(self) -> float:
+        """Numeric size of the finding (alias of ``value``; the excess
+        fraction for stragglers, the spread for imbalances, ...)."""
+        return self.value
+
     def as_dict(self) -> dict:
         return {
             "category": self.category,
+            "kind": self.kind.value,
             "severity": self.severity,
             "message": self.message,
             "ranks": list(self.ranks),
             "value": self.value,
+            "magnitude": self.magnitude,
             "threshold": self.threshold,
         }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "Finding":
+        """Rebuild a finding from :meth:`as_dict` output (round-trip).
+
+        ``kind`` and ``magnitude`` are derived fields; they are
+        accepted and ignored so any ``as_dict`` payload — including
+        journal ``data`` blocks — loads back unchanged.
+        """
+        return cls(
+            category=doc["category"],
+            severity=doc["severity"],
+            message=doc.get("message", ""),
+            ranks=tuple(int(r) for r in doc.get("ranks", ())),
+            value=float(doc.get("value", 0.0)),
+            threshold=float(doc.get("threshold", 0.0)),
+        )
 
 
 @dataclass(frozen=True)

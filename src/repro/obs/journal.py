@@ -20,9 +20,10 @@ to telemetry.
 Event kinds (``JOURNAL_KINDS``): ``run`` (start/end markers), ``alert``
 (detector findings), ``health`` (post-hoc check findings), ``recovery``
 (Supervisor actions, incl. fault skips), ``checkpoint`` (save /
-rollback), ``fold`` (mode switches).  New kinds may be added under the
-same schema as long as existing fields keep their meaning; breaking
-changes bump ``JOURNAL_SCHEMA``.
+rollback), ``fold`` (mode switches), ``replan`` (mid-run plan-migration
+decisions and switches).  New kinds may be added under the same schema
+as long as existing fields keep their meaning; breaking changes bump
+``JOURNAL_SCHEMA``.
 """
 
 from __future__ import annotations
@@ -42,7 +43,7 @@ JOURNAL_SCHEMA = 1
 #: — their payloads are pure simulated-clock floats, so seeded serve
 #: replays journal byte-identically.
 JOURNAL_KINDS = ("run", "alert", "health", "recovery", "checkpoint", "fold",
-                 "serve")
+                 "serve", "replan")
 
 _JSON_KWARGS = dict(sort_keys=True, separators=(",", ":"))
 
@@ -160,6 +161,23 @@ class EventJournal:
         """Journal a forecast-serving event (start/end/reject/scale_*)."""
         return self.append(
             step, "serve",
+            category=category,
+            severity=severity,
+            message=message,
+            data=data,
+        )
+
+    def record_replan(self, step: int, category: str, *,
+                      severity: str = "info", message: str = "",
+                      data: dict | None = None) -> JournalEvent:
+        """Journal a replan event: an evaluated ``decision`` (stay), an
+        executed ``switch``, or the end-of-run ``outcome`` comparing
+        projected vs realized gain.  ``data`` is the typed
+        :meth:`~repro.replan.ReplanDecision.as_dict` payload — pure
+        simulated-clock floats, so seeded replans journal
+        byte-identically."""
+        return self.append(
+            step, "replan",
             category=category,
             severity=severity,
             message=message,

@@ -147,7 +147,7 @@ class RunMonitor:
             values["memory.peak_fraction"] = fraction
         self._observe(step, values)
 
-    def on_loss(self, loop, step: int, loss: float) -> None:
+    def on_loss(self, loop, event) -> None:
         pass
 
     def on_checkpoint(self, loop, event) -> None:
@@ -197,6 +197,13 @@ class RunMonitor:
 
     def record_recovery(self, event) -> None:
         self.journal.record_recovery(event)
+
+    def record_replan(self, step: int, category: str, *,
+                      severity: str = "info", message: str = "",
+                      data: dict | None = None) -> None:
+        self.journal.record_replan(
+            step, category, severity=severity, message=message, data=data
+        )
 
     def record_run(self, step: int, phase: str, detail: str = "") -> None:
         self.journal.record_run(step, phase, detail)
@@ -272,7 +279,7 @@ class NullMonitor:
     def on_step_end(self, loop, event) -> None:
         pass
 
-    def on_loss(self, loop, step, loss) -> None:
+    def on_loss(self, loop, event) -> None:
         pass
 
     def on_checkpoint(self, loop, event) -> None:
@@ -291,6 +298,10 @@ class NullMonitor:
         pass
 
     def record_recovery(self, event) -> None:
+        pass
+
+    def record_replan(self, step, category, *, severity="info", message="",
+                      data=None) -> None:
         pass
 
     def record_run(self, step, phase, detail="") -> None:

@@ -1,0 +1,77 @@
+"""The seeded replan demo scenario (``repro replan`` and its tests).
+
+The trace-tiny model the other CLI commands use cannot demonstrate
+re-planning: its per-rank compute (~50 ns/step) is four orders of
+magnitude below its exposed communication, so a compute straggler is
+invisible and a link degrade scales every candidate plan uniformly —
+the degraded ranking equals the clean ranking and the controller
+correctly always stays.  The demo model is sized so compute and
+communication are the same order of magnitude (~3 ms vs ~8-30 ms per
+step at 16 GPUs); under a lead-rank straggler the estimator then ranks
+``tp2.f4.d2.mb4`` well ahead of the default ``tp4.f2.d2.mb8+ckpt``
+plan, and the supervisor migrates.
+"""
+
+from __future__ import annotations
+
+from repro.models.configs import OrbitConfig
+
+
+def demo_config() -> OrbitConfig:
+    """A model where compute is comparable to exposed communication."""
+    return OrbitConfig(
+        "replan-demo",
+        in_vars=3,
+        out_vars=2,
+        embed_dim=256,
+        depth=8,
+        num_heads=8,
+        img_height=32,
+        img_width=32,
+        patch_size=2,
+    )
+
+
+def demo_plan():
+    """A windowed lead-rank straggler: x8 on rank 0 for steps 2..13."""
+    from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+
+    return FaultPlan((
+        FaultSpec(step=2, rank=0, kind=FaultKind.STRAGGLER,
+                  factor=8.0, duration_steps=12),
+    ))
+
+
+def demo_spec(*, replan: str = "on", monitor: str = "on"):
+    """The supervised run: 16 GPUs on the deliberately non-optimal
+    ``tp4.f2.d2.mb8+ckpt`` plan (meta mode — exact cost accounting,
+    no numerics, so the demo runs in seconds)."""
+    from repro.runtime.spec import RunSpec
+
+    return RunSpec(
+        config=demo_config(),
+        num_gpus=16,
+        gpus_per_node=8,
+        tp_size=4,
+        fsdp_size=2,
+        ddp_size=2,
+        micro_batch=8,
+        recompute=True,
+        meta=True,
+        monitor=monitor,
+        replan=replan,
+        track_device_memory=False,
+    )
+
+
+#: Step budget and supervisor charges the demo is calibrated for: the
+#: migration costs are scaled to the demo model's millisecond-scale
+#: steps, so break-even clears within the straggler window.
+DEMO_STEPS = 16
+DEMO_SUPERVISOR_KWARGS = dict(
+    checkpoint_every=4,
+    degradation_aware=True,
+    checkpoint_cost_s=0.005,
+    restart_latency_s=0.01,
+    replan_warmup_s=0.005,
+)

@@ -405,6 +405,46 @@ class Session:
             path, self._checkpoint_arrays(), meta, tracer=self.tracer
         )
 
+    def save_meta(self, path, *, loop_state: dict) -> Path:
+        """Write a meta-mode supervisor checkpoint.
+
+        Meta-mode sessions hold no numeric state, so the durable record
+        of a supervised run is just the data-RNG state plus the step
+        loop's position — enough for a fresh incarnation (or a migrated
+        plan: the payload is plan-independent) to resume bitwise.
+        """
+        from repro.runtime.checkpoint import save_archive
+
+        if not self.spec.meta:
+            raise RuntimeError("save_meta is the meta-mode checkpoint path; "
+                               "numeric sessions use save()")
+        return save_archive(
+            path,
+            {},
+            {
+                "kind": "supervisor-meta",
+                "spec": self.spec.identity(),
+                "rng": self.data_rng.bit_generator.state,
+                "loop": loop_state,
+            },
+            tracer=self.tracer,
+        )
+
+    def resume_meta(self, path) -> dict:
+        """Restore a :meth:`save_meta` archive; returns the loop state.
+
+        No spec-identity check: the RNG and loop position are
+        plan-independent, which is exactly what lets crash recovery and
+        mid-run plan migration share one archive format.
+        """
+        from repro.runtime.checkpoint import load_archive
+
+        _, meta = load_archive(path, tracer=self.tracer)
+        if meta.get("kind") != "supervisor-meta":
+            raise ValueError(f"{path} is not a supervisor-meta checkpoint")
+        self.data_rng.bit_generator.state = meta["rng"]
+        return meta["loop"]
+
     def resume(self, path) -> dict:
         """Restore a checkpoint written by :meth:`save`; returns metadata.
 

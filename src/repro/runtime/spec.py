@@ -172,6 +172,14 @@ class RunSpec:
     #: ledgers but never writes them, so monitored and unmonitored
     #: runs are bitwise identical — a policy knob, not identity.
     monitor: str = field(default="off", metadata=_POLICY)
+    #: Online adaptive re-planning: ``"on"`` lets the fault supervisor
+    #: consult a :class:`~repro.replan.ReplanController` after health
+    #: checks and fault events, and migrate the run to a better plan
+    #: when the projected gain clears the migration cost.  ``"off"``
+    #: (default) never evaluates — and a replan-on run whose every
+    #: decision is "stay" changes zero bytes of training state, so this
+    #: is a policy knob, not identity.
+    replan: str = field(default="off", metadata=_POLICY)
     #: Serving-policy knobs (see :class:`repro.serve.policy.ServePolicy`
     #: — :meth:`~repro.serve.policy.ServePolicy.from_spec` reads these).
     #: Like the training policies above, they change how forecasts are
@@ -263,6 +271,10 @@ class RunSpec:
         if self.monitor not in ("off", "on"):
             problems.append(
                 f"invalid monitor {self.monitor!r}: must be 'off' or 'on'"
+            )
+        if self.replan not in ("off", "on"):
+            problems.append(
+                f"invalid replan {self.replan!r}: must be 'off' or 'on'"
             )
         problems.extend(self._serve_problems())
         return problems

@@ -80,6 +80,62 @@ class Estimate:
         return self.exposed_comm_s / busy if busy > 0 else 0.0
 
 
+class _DegradedReplayTimeline(Timeline):
+    """Replay timeline that applies per-rank degradation factors.
+
+    Mirrors the :class:`~repro.faults.injector.FaultInjector` timeline
+    protocol: compute events on a degraded rank are multiplied by its
+    straggler factor, and collective events by the product of the link
+    factors of every degraded participant — so an estimate replayed
+    through this timeline predicts what the *injected* engine run would
+    measure.  ``pipeline.stall`` filler is exempt: stalls are derived
+    from already-degraded busy times, not physical work.
+    """
+
+    def __init__(self, num_ranks: int, compute_factors: dict[int, float],
+                 link_factors: dict[int, float]):
+        super().__init__(num_ranks)
+        self._compute_factors = compute_factors
+        self._link_factors = link_factors
+
+    def record_compute(self, rank, seconds, flops=0.0, op="compute"):
+        if op != "pipeline.stall":
+            seconds = seconds * self._compute_factors.get(rank, 1.0)
+        super().record_compute(rank, seconds, flops, op)
+
+    def record_comm(self, ranks, seconds, nbytes, overlappable=False, op="comm"):
+        ranks = tuple(ranks)
+        for rank in ranks:
+            seconds = seconds * self._link_factors.get(rank, 1.0)
+        super().record_comm(
+            ranks, seconds, nbytes, overlappable=overlappable, op=op
+        )
+
+
+def _class_representative(candidate: Candidate, rank: int) -> int:
+    """The estimator's replay rank standing in for physical ``rank``.
+
+    The replay only simulates the tensor-parallel rank classes
+    ``stage * stage_size + rank(0, 0, k)`` (all DDP replicas and FSDP
+    indices are symmetric), so a degradation on any physical rank is
+    projected onto its class representative.  Exact when at most one
+    member of each class is degraded; class-maximal (the projection
+    can only overstate the current plan's degradation, never invent a
+    difference between candidates) otherwise.
+    """
+    tp, fsdp = candidate.tp_size, candidate.fsdp_size
+    stage_size = tp * fsdp * candidate.ddp_size
+    stage, within = divmod(rank, stage_size)
+    per_replica = tp * fsdp
+    if candidate.tp_innermost:
+        k = within % tp
+        rep = k
+    else:
+        k = (within % per_replica) // fsdp
+        rep = k * fsdp
+    return stage * stage_size + rep
+
+
 class _RecordingTimeline(Timeline):
     """Timeline that also captures every event for later replay."""
 
@@ -282,8 +338,36 @@ class AnalyticEstimator:
         return probe
 
     # -- replay -----------------------------------------------------------------
-    def estimate(self, candidate: Candidate) -> Estimate:
-        """Predicted step time and memory for one candidate."""
+    def _replay_timeline(self, candidate: Candidate, degradation) -> Timeline:
+        """A fresh replay timeline — degradation-aware when a profile
+        with compute/link factors is given."""
+        if degradation is None or (not degradation.compute
+                                   and not degradation.links):
+            return Timeline(self.num_gpus)
+
+        def project(pairs) -> dict[int, float]:
+            factors: dict[int, float] = {}
+            for rank, factor in pairs:
+                rep = _class_representative(candidate, rank)
+                factors[rep] = max(factors.get(rep, 1.0), factor)
+            return factors
+
+        return _DegradedReplayTimeline(
+            self.num_gpus, project(degradation.compute),
+            project(degradation.links),
+        )
+
+    def estimate(self, candidate: Candidate, degradation=None) -> Estimate:
+        """Predicted step time and memory for one candidate.
+
+        ``degradation`` (a :class:`~repro.replan.DegradationProfile`)
+        re-prices the candidate on a degraded machine: the captured
+        event stream is replayed through a timeline that applies the
+        profile's per-rank compute and link slowdown factors, exactly
+        as the fault injector would scale the live engine's events.
+        The probes themselves are degradation-independent (they record
+        clean base costs), so one estimator serves any profile.
+        """
         if candidate.world_size != self.num_gpus:
             raise ValueError(
                 f"candidate world {candidate.world_size} != {self.num_gpus} GPUs"
@@ -291,12 +375,13 @@ class AnalyticEstimator:
         peak = self.peak_memory_bytes(candidate)
         fits = peak <= self.memory_model.gpu_memory_bytes
         if candidate.pp_size > 1:
-            return self._estimate_pipelined(candidate, peak, fits)
+            return self._estimate_pipelined(candidate, peak, fits,
+                                            degradation=degradation)
         probe = self._block_probe(candidate)
         dense = self._dense_probe(candidate.micro_batch)
         plan = probe.plan
         cfg = self.config
-        timeline = Timeline(self.num_gpus)
+        timeline = self._replay_timeline(candidate, degradation)
         reps = [plan.rank(0, 0, k) for k in range(candidate.tp_size)]
         lead = reps[0]
 
@@ -375,7 +460,7 @@ class AnalyticEstimator:
         )
 
     def _estimate_pipelined(self, candidate: Candidate, peak: float,
-                            fits: bool) -> Estimate:
+                            fits: bool, degradation=None) -> Estimate:
         """Per-stage replay of a 4D candidate, mirroring the engine.
 
         Each stage replays its own slice of blocks at its rank offset
@@ -400,7 +485,7 @@ class AnalyticEstimator:
         S, M, K = candidate.pp_size, candidate.micro_batch, candidate.tp_size
         stage_size = plan.stage_size
         bounds = partition_blocks(cfg.depth, S)
-        timeline = Timeline(self.num_gpus)
+        timeline = self._replay_timeline(candidate, degradation)
         cost_model = self._cluster.cost_model
 
         def stage_reps(s: int) -> list[int]:

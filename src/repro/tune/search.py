@@ -112,9 +112,17 @@ class TuneCache:
 
     @staticmethod
     def key(request: TuneRequest, candidate: Candidate) -> str:
-        return "|".join(
-            (request.config_key(), request.topology_key(), candidate.label())
-        )
+        """Cache key: model structure, machine topology, candidate —
+        and, when the request prices a *degraded* machine, the
+        degradation profile.  The degraded component is appended only
+        when present, so every clean-topology key (and the entries
+        existing cache files hold under them) is unchanged.
+        """
+        parts = [request.config_key(), request.topology_key(),
+                 candidate.label()]
+        if request.degradation_key:
+            parts.append(f"degraded={request.degradation_key}")
+        return "|".join(parts)
 
     def get(self, request: TuneRequest, candidate: Candidate) -> dict | None:
         entry = self._entries.get(self.key(request, candidate))

@@ -108,6 +108,12 @@ class TuneRequest:
     pp_sizes: tuple[int, ...] = (1,)
     #: Engine-runnable legality vs the relaxed analytic regime.
     engine_mode: bool = True
+    #: Canonical key of the hardware/degradation profile the request is
+    #: priced against (:meth:`repro.replan.DegradationProfile.key`).
+    #: Empty for a clean machine — the historical cache-key shape — so
+    #: degraded-topology estimates can never collide with (or poison)
+    #: clean-topology cache entries.
+    degradation_key: str = ""
 
     def __post_init__(self):
         if self.num_gpus < 1 or self.gpus_per_node < 1:

@@ -52,6 +52,59 @@ class TestLedger:
         assert ledger.total_s == pytest.approx(2.0 + 0.6 + 0.25 + 1.0)
         assert ledger.retries == 1 and ledger.restarts == 1
 
+    def test_degraded_excess_is_lost_not_useful(self):
+        ledger = GoodputLedger()
+        ledger.commit_step(0, 1.0)
+        ledger.commit_step(1, 2.5, degraded_s=1.5)
+        assert ledger.useful_s == pytest.approx(2.0)
+        assert ledger.lost_degraded_s == pytest.approx(1.5)
+        assert ledger.lost_s == pytest.approx(1.5)
+        assert ledger.total_s == pytest.approx(3.5)
+        assert ledger.goodput_fraction == pytest.approx(2.0 / 3.5)
+
+    def test_degraded_excess_validated_against_the_step(self):
+        ledger = GoodputLedger()
+        with pytest.raises(ValueError, match="degraded_s"):
+            ledger.commit_step(0, 1.0, degraded_s=1.5)
+        with pytest.raises(ValueError, match="degraded_s"):
+            ledger.commit_step(0, 1.0, degraded_s=-0.1)
+
+    def test_replan_is_its_own_bucket(self):
+        ledger = GoodputLedger()
+        ledger.commit_step(0, 1.0)
+        ledger.replan(0.4)
+        ledger.commit_step(1, 1.0)
+        assert ledger.replan_s == pytest.approx(0.4)
+        assert ledger.replans == 1
+        # Neither useful nor lost: a migration is planned spend.
+        assert ledger.useful_s == pytest.approx(2.0)
+        assert ledger.lost_s == 0.0
+        assert ledger.total_s == pytest.approx(2.4)
+
+    def test_replan_seals_the_rollback_window(self):
+        ledger = GoodputLedger()
+        ledger.commit_step(0, 1.0)
+        ledger.replan(0.1)  # migration writes its own durable checkpoint
+        ledger.commit_step(1, 1.0)
+        lost_steps, _ = ledger.rollback()
+        assert lost_steps == 1  # only the post-migration step rolls back
+
+    def test_replan_validation(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            GoodputLedger().replan(-0.1)
+
+    def test_bucket_fractions_appear_only_when_charged(self):
+        ledger = GoodputLedger()
+        ledger.commit_step(0, 1.0)
+        assert "goodput.replan_fraction" not in ledger.bucket_fractions()
+        assert "goodput.degraded_fraction" not in ledger.bucket_fractions()
+        ledger.replan(0.5)
+        ledger.commit_step(1, 2.0, degraded_s=1.0)
+        fractions = ledger.bucket_fractions()
+        # total = useful 2.0 + degraded 1.0 + replan 0.5
+        assert fractions["goodput.replan_fraction"] == pytest.approx(0.5 / 3.5)
+        assert fractions["goodput.degraded_fraction"] == pytest.approx(1.0 / 3.5)
+
     def test_replayed_steps_recount_as_useful(self):
         ledger = GoodputLedger()
         ledger.commit_step(0, 1.0)

@@ -71,8 +71,16 @@ def test_any_plan_recovers_or_reports_cleanly(plan):
         report = supervisor.run(STEPS)
 
     ledger = report.ledger
+    # The exact total-time identity: every bucket — including the
+    # replan-migration bucket — sums back to the total, with nothing
+    # double-counted and nothing dropped.
     assert ledger.total_s == pytest.approx(
         ledger.useful_s + ledger.lost_s + ledger.checkpoint_s
+        + ledger.replan_s
+    )
+    assert ledger.lost_s == pytest.approx(
+        ledger.lost_retry_s + ledger.lost_rollback_s + ledger.lost_restart_s
+        + ledger.lost_skipped_s + ledger.lost_degraded_s
     )
     if report.recovered:
         assert report.steps_completed == STEPS

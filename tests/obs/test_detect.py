@@ -113,11 +113,11 @@ class TestZScoreRules:
 
 
 class TestDefaultRules:
-    def test_covers_the_five_stock_detectors(self):
+    def test_covers_the_six_stock_detectors(self):
         detectors = {r.detector for r in default_rules()}
         assert detectors == {
             "step_time_drift", "exposed_comm_regression", "straggler",
-            "memory_watermark_creep", "goodput_decay",
+            "memory_watermark_creep", "goodput_decay", "degraded_goodput",
         }
 
     def test_rules_for_filters_by_metric(self):

@@ -9,7 +9,7 @@ acceptance criterion requires.
 import pytest
 
 from repro.obs import HealthThresholds, check_run, health_report, run_traced_step
-from repro.obs.health import Finding, check_memory_watermark
+from repro.obs.health import Finding, FindingKind, check_memory_watermark
 
 
 @pytest.fixture(scope="module")
@@ -120,6 +120,53 @@ class TestMetricsAndReporting:
         payload = finding.as_dict()
         assert payload["ranks"] == [3]
         assert payload["category"] == "straggler"
+
+
+class TestMachineReadableShape:
+    FINDING = Finding(category="straggler", severity="warning",
+                      message="rank 3 is slow", ranks=(3, 7), value=0.5,
+                      threshold=0.1)
+
+    def test_kind_is_a_taxonomy_member(self):
+        assert self.FINDING.kind is FindingKind.STRAGGLER
+        assert self.FINDING.kind.value == "straggler"
+
+    def test_unknown_category_maps_to_other(self):
+        odd = Finding(category="novel_failure", severity="info", message="m")
+        assert odd.kind is FindingKind.OTHER
+
+    def test_magnitude_aliases_value(self):
+        assert self.FINDING.magnitude == self.FINDING.value == 0.5
+
+    def test_as_dict_carries_the_machine_readable_fields(self):
+        payload = self.FINDING.as_dict()
+        assert payload["kind"] == "straggler"
+        assert payload["ranks"] == [3, 7]
+        assert payload["magnitude"] == 0.5
+        assert payload["threshold"] == 0.1
+
+    def test_from_dict_round_trips(self):
+        assert Finding.from_dict(self.FINDING.as_dict()) == self.FINDING
+
+    def test_from_dict_ignores_derived_fields(self):
+        payload = self.FINDING.as_dict()
+        # kind/magnitude are derived: tampering with them cannot skew
+        # the rebuilt finding.
+        payload["kind"] = "goodput_decay"
+        payload["magnitude"] = 99.0
+        assert Finding.from_dict(payload) == self.FINDING
+
+    def test_every_stock_category_is_in_the_taxonomy(self):
+        from repro.obs.detect import default_rules
+
+        for rule in default_rules():
+            assert FindingKind(rule.detector) is not FindingKind.OTHER
+
+    def test_round_trip_through_json(self):
+        import json
+
+        payload = json.loads(json.dumps(self.FINDING.as_dict()))
+        assert Finding.from_dict(payload) == self.FINDING
 
 
 class TestThresholds:

@@ -59,6 +59,38 @@ class TestTypedAppenders:
         assert "run/start" in line and "[info]" in line
 
 
+class TestReplanAppender:
+    def test_replan_payload_preserved(self):
+        journal = EventJournal()
+        journal.record_replan(
+            3, "decision", message="stay: gain below cost",
+            data={"action": "stay", "profile": "c0x8,w11"},
+        )
+        journal.record_replan(
+            5, "switch", severity="warning",
+            message="tp4.f2.d2.mb8+ckpt -> tp2.f4.d2.mb4+pf",
+            data={"migration_cost_s": 0.02},
+        )
+        decision, switch = journal.by_kind("replan")
+        assert decision.category == "decision"
+        assert decision.data == {"action": "stay", "profile": "c0x8,w11"}
+        assert switch.category == "switch"
+        assert switch.severity == "warning"
+
+    def test_replan_is_a_journal_kind(self):
+        from repro.obs.journal import JOURNAL_KINDS
+
+        assert "replan" in JOURNAL_KINDS
+
+    def test_replan_events_round_trip(self, tmp_path):
+        journal = EventJournal()
+        journal.record_run(0, "start", "run begins")
+        journal.record_replan(2, "decision", data={"action": "stay"})
+        journal.record_run(3, "end", "run ends")
+        path = journal.write_jsonl(tmp_path / "journal.jsonl")
+        assert load_journal(path) == journal.events
+
+
 class TestPersistence:
     def test_round_trip(self, tmp_path):
         journal = sample_journal()

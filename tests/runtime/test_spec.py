@@ -65,7 +65,7 @@ class TestPolicyMetadata:
     def test_policy_fields_are_the_knobs(self):
         assert policy_field_names() == {
             "prefetch", "recompute", "tp_innermost", "layer_wrapping", "bf16",
-            "fold", "monitor",
+            "fold", "monitor", "replan",
             "serve_max_batch", "serve_window_s", "serve_queue_limit",
             "serve_cache_entries", "serve_min_replicas", "serve_max_replicas",
         }

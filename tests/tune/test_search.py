@@ -89,6 +89,33 @@ class TestTuneCache:
         cand = Candidate(4, 2, 2, 2)
         assert TuneCache.key(request_a, cand) != TuneCache.key(request_b, cand)
 
+    def test_degradation_key_separates_degraded_estimates(self):
+        from repro.replan import DegradationProfile
+        from repro.tune import Candidate
+
+        profile = DegradationProfile(compute=((0, 4.0),), remaining_steps=3)
+        clean = _request()
+        degraded = _request(degradation_key=profile.key())
+        cand = Candidate(4, 2, 2, 2)
+        assert TuneCache.key(clean, cand) != TuneCache.key(degraded, cand)
+        # Degraded keys are self-describing, so distinct profiles can
+        # never collide with (or poison) each other either.
+        other = _request(degradation_key=DegradationProfile(
+            compute=((0, 2.0),), remaining_steps=3).key())
+        assert TuneCache.key(degraded, cand) != TuneCache.key(other, cand)
+
+    def test_clean_requests_keep_the_historical_key_shape(self):
+        from repro.tune import Candidate
+
+        cand = Candidate(4, 2, 2, 2)
+        key = TuneCache.key(_request(), cand)
+        # The pre-degradation key layout: config | topology | label,
+        # with no degradation component — existing cache files stay
+        # valid.
+        assert key.count("|") == 2
+        assert "degraded=" not in key
+        assert key == TuneCache.key(_request(degradation_key=""), cand)
+
     def test_unknown_schema_ignored(self, tmp_path):
         path = tmp_path / "cache.json"
         path.write_text(json.dumps({"schema": 99, "entries": {"x": {}}}))
